@@ -1,0 +1,281 @@
+package semtree_test
+
+// testing.B benchmarks, one per reproduced table/figure of the paper's
+// evaluation (§IV) plus the core single-operation costs. The figure
+// *sweeps* (full parameter grids, the shapes reported in
+// EXPERIMENTS.md) live in cmd/semtree-bench; these benches pin one
+// representative configuration per figure so `go test -bench=.` tracks
+// regressions in every experimental code path.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	semtree "semtree"
+	"semtree/internal/bench"
+	"semtree/internal/cluster"
+	"semtree/internal/core"
+	"semtree/internal/fastmap"
+	"semtree/internal/kdtree"
+	"semtree/internal/reqcheck"
+	"semtree/internal/semdist"
+	"semtree/internal/synth"
+	"semtree/internal/triple"
+	"semtree/internal/vocab"
+)
+
+// benchPoints embeds n synthetic triples once per size (cached across
+// benchmark iterations of the same b.Run).
+func benchPoints(b *testing.B, n int) []kdtree.Point {
+	b.Helper()
+	g := synth.New(synth.Config{Seed: 1}, nil)
+	triples := g.Triples(n)
+	metric := semdist.MustNew(vocab.DefaultRegistry(), semdist.Options{})
+	_, coords, err := fastmap.Build(triples, metric.Distance, fastmap.Options{Dims: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := make([]kdtree.Point, n)
+	for i, c := range coords {
+		pts[i] = kdtree.Point{Coords: c, ID: uint64(i)}
+	}
+	return pts
+}
+
+// BenchmarkFig3IndexBuild measures distributed index building on the
+// virtual-clock fabric (Figure 3's M=5 point at 20k triples). The
+// reported metric is real work; the figure sweep reports virtual time.
+func BenchmarkFig3IndexBuild(b *testing.B) {
+	for _, m := range []int{1, 5} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			pts := benchPoints(b, 20000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fabric := cluster.NewVirtual(cluster.VirtualOptions{Latency: 200 * time.Microsecond})
+				capacity := 0
+				if m > 1 {
+					capacity = (m - 1) * 16
+				}
+				tr, err := core.New(core.Config{
+					Dim: 8, BucketSize: 16,
+					PartitionCapacity: capacity, MaxPartitions: m, Fabric: fabric,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tr.InsertBatchAsync(append([]kdtree.Point(nil), pts...), 256); err != nil {
+					b.Fatal(err)
+				}
+				tr.Flush()
+				tr.Close()
+				fabric.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkFig4SeqKNN measures the sequential k-nearest query (K=3),
+// balanced vs chain (Figure 4 at 20k points).
+func BenchmarkFig4SeqKNN(b *testing.B) {
+	pts := benchPoints(b, 20000)
+	queries := benchPoints(b, 512)
+	balanced, err := kdtree.BulkLoad(append([]kdtree.Point(nil), pts...), 8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain, err := kdtree.BuildChain(append([]kdtree.Point(nil), pts...), 8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("balanced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			balanced.KNearest(queries[i%len(queries)].Coords, 3)
+		}
+	})
+	b.Run("chain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			chain.KNearest(queries[i%len(queries)].Coords, 3)
+		}
+	})
+}
+
+// BenchmarkFig5DistKNN measures the distributed k-nearest query across
+// partition counts (Figure 5 at 20k points, compute only; the figure
+// sweep adds the latency model).
+func BenchmarkFig5DistKNN(b *testing.B) {
+	for _, m := range []int{1, 5} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			pts := benchPoints(b, 20000)
+			queries := benchPoints(b, 512)
+			capacity := 0
+			if m > 1 {
+				capacity = (m - 1) * 16
+			}
+			tr, err := core.New(core.Config{
+				Dim: 8, BucketSize: 16,
+				PartitionCapacity: capacity, MaxPartitions: m,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tr.Close()
+			if err := tr.InsertBatchAsync(pts, 256); err != nil {
+				b.Fatal(err)
+			}
+			tr.Flush()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.KNearest(queries[i%len(queries)].Coords, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6SeqRange measures the sequential range query (Figure 6
+// at 20k points, D=0.2).
+func BenchmarkFig6SeqRange(b *testing.B) {
+	pts := benchPoints(b, 20000)
+	queries := benchPoints(b, 512)
+	balanced, err := kdtree.BulkLoad(append([]kdtree.Point(nil), pts...), 8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain, err := kdtree.BuildChain(append([]kdtree.Point(nil), pts...), 8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("balanced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			balanced.RangeSearch(queries[i%len(queries)].Coords, 0.2)
+		}
+	})
+	b.Run("chain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			chain.RangeSearch(queries[i%len(queries)].Coords, 0.2)
+		}
+	})
+}
+
+// BenchmarkFig7DistRange measures the distributed range query across
+// partition counts (Figure 7 at 20k points, D=0.2).
+func BenchmarkFig7DistRange(b *testing.B) {
+	for _, m := range []int{1, 5} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			pts := benchPoints(b, 20000)
+			queries := benchPoints(b, 512)
+			capacity := 0
+			if m > 1 {
+				capacity = (m - 1) * 16
+			}
+			tr, err := core.New(core.Config{
+				Dim: 8, BucketSize: 16,
+				PartitionCapacity: capacity, MaxPartitions: m,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tr.Close()
+			if err := tr.InsertBatchAsync(pts, 256); err != nil {
+				b.Fatal(err)
+			}
+			tr.Flush()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.RangeSearch(queries[i%len(queries)].Coords, 0.2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Effectiveness measures one full inconsistency query
+// (target construction + k-nearest + verification), the unit of the
+// Figure 8 evaluation.
+func BenchmarkFig8Effectiveness(b *testing.B) {
+	reg := vocab.DefaultRegistry()
+	gen := synth.New(synth.Config{Seed: 1, Docs: 40, InconsistencyRate: 0.3}, reg)
+	bundle := gen.Corpus()
+	idx, err := semtree.Build(bundle.Corpus.Store, semtree.Options{Registry: reg, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer idx.Close()
+	checker := reqcheck.NewChecker(idx, reg)
+	if len(bundle.Planted) == 0 {
+		b.Fatal("no planted conflicts")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := bundle.Planted[i%len(bundle.Planted)]
+		req := bundle.Corpus.Store.MustGet(p.Requirement)
+		cands, _, err := checker.Candidates(req, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		checker.Confirmed(req, cands, bundle.Corpus.Store)
+	}
+}
+
+// BenchmarkTripleDistance measures one Eq. 1 evaluation (cached).
+func BenchmarkTripleDistance(b *testing.B) {
+	metric := semdist.MustNew(vocab.DefaultRegistry(), semdist.Options{})
+	x, _ := triple.ParseTriple("('OBSW001', Fun:accept_cmd, CmdType:start-up)")
+	y, _ := triple.ParseTriple("('OBSW002', Fun:block_cmd, CmdType:shutdown)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metric.Distance(x, y)
+	}
+}
+
+// BenchmarkFastMapEmbed measures embedding one out-of-sample triple.
+func BenchmarkFastMapEmbed(b *testing.B) {
+	g := synth.New(synth.Config{Seed: 1}, nil)
+	triples := g.Triples(5000)
+	metric := semdist.MustNew(vocab.DefaultRegistry(), semdist.Options{})
+	mapper, _, err := fastmap.Build(triples, metric.Distance, fastmap.Options{Dims: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := g.RandomTriple()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mapper.Map(q)
+	}
+}
+
+// BenchmarkIndexBuildEndToEnd measures the full Build pipeline
+// (distance, FastMap, tree load) at 5k triples.
+func BenchmarkIndexBuildEndToEnd(b *testing.B) {
+	g := synth.New(synth.Config{Seed: 1}, nil)
+	store := triple.NewStore()
+	for _, t := range g.Triples(5000) {
+		store.Add(t, triple.Provenance{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx, err := semtree.Build(store, semtree.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx.Close()
+	}
+}
+
+// BenchmarkFigureTableRender guards the harness rendering itself.
+func BenchmarkFigureTableRender(b *testing.B) {
+	f := &bench.Figure{
+		ID: "figX", Title: "bench", XLabel: "n", YLabel: "y",
+		Series: []bench.Series{
+			{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}},
+			{Name: "b", X: []float64{1, 2, 3}, Y: []float64{4, 5, 6}},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Table()
+	}
+}

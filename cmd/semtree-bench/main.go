@@ -1,0 +1,105 @@
+// Command semtree-bench regenerates the paper's evaluation: every
+// figure (3–8), the §III-C complexity check, and the design ablations.
+//
+// Usage:
+//
+//	semtree-bench -fig all
+//	semtree-bench -fig fig3 -sizes 10000,20000,50000,100000 -partitions 1,3,5,9
+//	semtree-bench -fig fig8 -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"semtree/internal/bench"
+)
+
+func main() {
+	var (
+		fig        = flag.String("fig", "all", "experiment to run: all, "+strings.Join(bench.RunnerIDs(), ", "))
+		sizes      = flag.String("sizes", "", "comma-separated point counts (default 5000,10000,20000,40000,80000)")
+		partitions = flag.String("partitions", "", "comma-separated partition counts (default 1,3,5,9)")
+		queries    = flag.Int("queries", 0, "queries per measurement (default 200)")
+		k          = flag.Int("k", 0, "k-nearest K (default 3)")
+		rangeD     = flag.Float64("d", 0, "range query radius (default 0.2)")
+		latency    = flag.Duration("latency", 0, "simulated per-hop latency (default 200µs)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		csvDir     = flag.String("csv", "", "also write <dir>/<fig>.csv")
+	)
+	flag.Parse()
+
+	params := bench.Params{
+		Queries: *queries,
+		K:       *k,
+		RangeD:  *rangeD,
+		Latency: *latency,
+		Seed:    *seed,
+	}
+	var err error
+	if params.Sizes, err = parseInts(*sizes); err != nil {
+		fatal(err)
+	}
+	if params.Partitions, err = parseInts(*partitions); err != nil {
+		fatal(err)
+	}
+
+	runners := bench.Runners()
+	var ids []string
+	if *fig == "all" {
+		ids = bench.RunnerIDs()
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := runners[id]; !ok {
+				fatal(fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(bench.RunnerIDs(), ", ")))
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		figure, err := runners[id](params)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		fmt.Println(figure.Table())
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*csvDir, figure.ID+".csv")
+			if err := os.WriteFile(path, []byte(figure.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "semtree-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 3,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{1, 3, 5}) {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if got, err := parseInts(""); err != nil || got != nil {
+		t.Fatalf("empty list = %v, %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// Command semtree-gen generates synthetic requirement corpora: either
+// document text (one file per document, NLP-extractable) or a flat
+// triples file in the Turtle-like notation.
+//
+// Usage:
+//
+//	semtree-gen -docs 100 -out corpus/           # document text
+//	semtree-gen -triples 100000 > triples.txt    # flat triples
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"semtree/internal/synth"
+	"semtree/internal/triple"
+)
+
+func main() {
+	var (
+		docs     = flag.Int("docs", 50, "number of documents")
+		sections = flag.Int("sections", 10, "requirements per document")
+		rate     = flag.Float64("inconsistencies", 0.15, "fraction of requirements planting a conflict")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("out", "", "output directory for document text (stdout when empty)")
+		triples  = flag.Int("triples", 0, "generate a flat triples file instead (count)")
+	)
+	flag.Parse()
+
+	gen := synth.New(synth.Config{
+		Seed:              *seed,
+		Docs:              *docs,
+		SectionsPerDoc:    *sections,
+		InconsistencyRate: *rate,
+	}, nil)
+
+	if *triples > 0 {
+		w := bufio.NewWriter(os.Stdout)
+		if err := triple.WriteAll(w, gen.Triples(*triples)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	bundle := gen.Corpus()
+	if len(bundle.Skipped) > 0 {
+		fatal(fmt.Errorf("%d generated sentences failed extraction", len(bundle.Skipped)))
+	}
+	if *out == "" {
+		for _, d := range bundle.Corpus.Docs {
+			fmt.Printf("# %s — %s\n", d.ID, d.Title)
+			for _, s := range d.Sections {
+				fmt.Printf("[%s] %s\n", s.ID, s.Text)
+			}
+			fmt.Println()
+		}
+	} else {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, d := range bundle.Corpus.Docs {
+			var b []byte
+			b = append(b, fmt.Sprintf("# %s\n", d.Title)...)
+			for _, s := range d.Sections {
+				b = append(b, fmt.Sprintf("[%s] %s\n", s.ID, s.Text)...)
+			}
+			path := filepath.Join(*out, d.ID+".txt")
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d documents to %s (%d triples, %d planted inconsistencies)\n",
+			len(bundle.Corpus.Docs), *out, bundle.Corpus.NumTriples(), len(bundle.Planted))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "semtree-gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestMultiFlag(t *testing.T) {
+	var m multiFlag
+	if err := m.Set("a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m[0] != "a.txt" || m[1] != "b.txt" {
+		t.Fatalf("multiFlag = %v", m)
+	}
+	if m.String() == "" {
+		t.Fatal("String empty")
+	}
+}

@@ -1,0 +1,23 @@
+// Package semtree is a reproduction of "SemTree: an index for
+// supporting semantic retrieval of documents" (Amato et al., ICDE
+// Workshops 2015): a distributed KD-tree over RDF-style
+// (subject, predicate, object) triples, embedded into a vector space
+// with FastMap under the paper's weighted semantic distance
+// (Levenshtein for literals, taxonomy measures such as Wu & Palmer for
+// concepts).
+//
+// The public API is the Index facade: build it over a triple store,
+// then ask for the k nearest triples — or all triples within a semantic
+// range — of an example triple, and map results back to the documents
+// they came from. The distributed machinery (partitions, build
+// partition, cross-partition search), the substrates (vocabularies,
+// distance measures, FastMap, KD-tree, message fabric, NLP extraction,
+// synthetic corpora) and the benchmark harness regenerating every
+// figure of the paper's evaluation live under internal/.
+//
+// Quick start:
+//
+//	store := triple.NewStore()            // fill with triples …
+//	idx, err := semtree.Build(store, semtree.Options{})
+//	matches, err := idx.KNearest(queryTriple, 3)
+package semtree

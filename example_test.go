@@ -1,0 +1,95 @@
+package semtree_test
+
+import (
+	"fmt"
+	"log"
+
+	semtree "semtree"
+	"semtree/internal/reqcheck"
+	"semtree/internal/triple"
+	"semtree/internal/vocab"
+)
+
+// ExampleBuild indexes the paper's §III-A resources and runs the §II
+// inconsistency query.
+func ExampleBuild() {
+	store := triple.NewStore()
+	for _, line := range []string{
+		"('OBSW001', Fun:acquire_in, InType:pre-launch_phase)",
+		"('OBSW001', Fun:accept_cmd, CmdType:start-up)",
+		"('OBSW001', Fun:send_msg, MsgType:power_amplifier)",
+	} {
+		t, err := triple.ParseTriple(line)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store.Add(t, triple.Provenance{Doc: "OBSW-SRS", Section: "REQ-1"})
+	}
+
+	idx, err := semtree.Build(store, semtree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	query, _ := triple.ParseTriple("('OBSW001', Fun:block_cmd, CmdType:start-up)")
+	matches, err := idx.KNearest(query, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(matches[0].Triple)
+	// Output: ('OBSW001', Fun:accept_cmd, CmdType:start-up)
+}
+
+// ExampleIndex_MatchPattern retrieves all triples using a predicate,
+// regardless of subject and object.
+func ExampleIndex_MatchPattern() {
+	store := triple.NewStore()
+	for _, line := range []string{
+		"('OBSW001', Fun:accept_cmd, CmdType:start-up)",
+		"('OBSW002', Fun:accept_cmd, CmdType:self-test)",
+		"('OBSW001', Fun:send_msg, MsgType:housekeeping)",
+	} {
+		t, _ := triple.ParseTriple(line)
+		store.Add(t, triple.Provenance{})
+	}
+	idx, err := semtree.Build(store, semtree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	pat, _ := semtree.ParsePattern("(?, Fun:accept_cmd, ?)")
+	matches, err := idx.MatchPattern(pat, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(matches), "matches")
+	// Output: 2 matches
+}
+
+// ExampleIndex_KNearestIDs shows the inconsistency checker over an
+// index: the target triple's neighborhood contains the conflict.
+func ExampleIndex_KNearestIDs() {
+	store := triple.NewStore()
+	req, _ := triple.ParseTriple("('OBSW001', Fun:accept_cmd, CmdType:start-up)")
+	conflict, _ := triple.ParseTriple("('OBSW001', Fun:block_cmd, CmdType:start-up)")
+	store.Add(req, triple.Provenance{})
+	store.Add(conflict, triple.Provenance{})
+
+	idx, err := semtree.Build(store, semtree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	reg := vocab.DefaultRegistry()
+	checker := reqcheck.NewChecker(idx, reg)
+	cands, _, err := checker.Candidates(req, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	confirmed := checker.Confirmed(req, cands, store)
+	fmt.Println(len(confirmed), "confirmed inconsistency")
+	// Output: 1 confirmed inconsistency
+}

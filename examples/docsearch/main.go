@@ -1,0 +1,67 @@
+// Document search: semantic retrieval of *documents* (the paper's
+// title use case). A corpus of requirement documents is indexed; a
+// query-by-example triple retrieves semantically close triples, which
+// are mapped back through their provenance and ranked per document.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	semtree "semtree"
+	"semtree/internal/synth"
+	"semtree/internal/triple"
+)
+
+func main() {
+	gen := synth.New(synth.Config{Seed: 3, Docs: 30, SectionsPerDoc: 8}, nil)
+	bundle := gen.Corpus()
+	corpus := bundle.Corpus
+	fmt.Printf("corpus: %d documents, %d triples\n\n", len(corpus.Docs), corpus.NumTriples())
+
+	idx, err := semtree.Build(corpus.Store, semtree.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	// Query by example: "which documents talk about commanding the
+	// start-up of on-board software components?"
+	query, _ := triple.ParseTriple("('OBSW001', Fun:execute_cmd, CmdType:start-up)")
+	fmt.Printf("query by example: %s\n\n", query)
+
+	matches, err := idx.KNearest(query, 25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := make([]triple.ID, len(matches))
+	for i, m := range matches {
+		ids[i] = m.ID
+	}
+
+	fmt.Println("top documents:")
+	for rank, ds := range corpus.RankDocuments(ids) {
+		if rank >= 5 {
+			break
+		}
+		fmt.Printf("%d. %s (%d matching triples)\n", rank+1, ds.DocID, ds.Matches)
+		for i, id := range ds.Triples {
+			if i >= 2 {
+				break
+			}
+			_, sec, err := corpus.SectionOf(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("     [%s] %s\n", sec.ID, sec.Text)
+		}
+	}
+
+	fmt.Println("\nclosest triples:")
+	for i, m := range matches {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %.4f  %s\n", m.Dist, m.Triple)
+	}
+}

@@ -1,0 +1,297 @@
+package semtree
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"semtree/internal/cluster"
+	"semtree/internal/core"
+	"semtree/internal/fastmap"
+	"semtree/internal/kdtree"
+	"semtree/internal/semdist"
+	"semtree/internal/triple"
+	"semtree/internal/vocab"
+)
+
+// Options configure Build. The zero value selects the paper's defaults:
+// Wu & Palmer concept distance, weights (0.4, 0.3, 0.3), 8 FastMap
+// dimensions, bucket size 16, a single partition on a private
+// in-process fabric.
+type Options struct {
+	// Registry resolves concept prefixes; nil selects the built-in
+	// vocabularies (Fun, CmdType, MsgType, InType, std).
+	Registry *vocab.Registry
+	// Weights are Eq. 1's α, β, γ; the zero value selects (0.4, 0.3, 0.3).
+	Weights semdist.Weights
+	// Measure names the concept distance ("wupalmer", "path",
+	// "leacockchodorow", "resnik", "lin", "jiangconrath").
+	// Empty selects "wupalmer".
+	Measure string
+	// NumericLiterals compares numeric literals by relative difference
+	// instead of Levenshtein.
+	NumericLiterals bool
+	// Dims is the FastMap dimensionality k (default 8).
+	Dims int
+	// PivotIterations is FastMap's pivot heuristic depth (default 5).
+	PivotIterations int
+	// Seed drives FastMap's pivot selection (deterministic builds).
+	Seed int64
+	// BucketSize is the KD-tree leaf capacity Bs (default 16).
+	BucketSize int
+	// PartitionCapacity is the per-partition point budget before the
+	// build-partition algorithm fires (0 = single partition).
+	PartitionCapacity int
+	// MaxPartitions is the paper's M (default 1).
+	MaxPartitions int
+	// Fabric carries inter-partition messages; nil selects a private
+	// zero-latency in-process fabric.
+	Fabric cluster.Fabric
+	// Unbalanced selects the degenerate chain split policy (the
+	// paper's "totally unbalanced" configuration; for benchmarks).
+	Unbalanced bool
+	// BatchSize is the bulk-load pipeline batch (default 64).
+	BatchSize int
+}
+
+// Match is one retrieval result: a stored triple, its provenance, and
+// its distance to the query in the embedded space (which approximates
+// the Eq. 1 semantic distance).
+type Match struct {
+	ID     triple.ID
+	Triple triple.Triple
+	Prov   triple.Provenance
+	Dist   float64
+}
+
+// Index is the SemTree facade: a triple store, the semantic metric, the
+// FastMap embedding, and the distributed KD-tree over the images. All
+// methods are safe for concurrent use after Build; Insert may run
+// concurrently with queries.
+type Index struct {
+	store  *triple.Store
+	metric *semdist.Metric
+	mapper *fastmap.Mapper[triple.Triple]
+	tree   *core.Tree
+	dims   int
+	opts   persistedOptions
+
+	mu     sync.Mutex  // guards coords
+	coords [][]float64 // embedding per stored triple, indexed by triple.ID
+}
+
+// persistedOptions are the build parameters that determine the
+// embedding geometry; they are written into snapshots so a reloaded
+// index answers identically.
+type persistedOptions struct {
+	Weights         semdist.Weights
+	Measure         string
+	NumericLiterals bool
+	Dims            int
+}
+
+// Build embeds every triple of store with FastMap under the semantic
+// metric and bulk-loads the distributed KD-tree with the images.
+func Build(store *triple.Store, opts Options) (*Index, error) {
+	if store == nil {
+		return nil, fmt.Errorf("semtree: nil store")
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = vocab.DefaultRegistry()
+	}
+	measure := semdist.ConceptMeasure(nil)
+	if opts.Measure != "" {
+		m, err := semdist.MeasureByName(opts.Measure)
+		if err != nil {
+			return nil, err
+		}
+		measure = m
+	}
+	metric, err := semdist.New(reg, semdist.Options{
+		Weights:         opts.Weights,
+		Concept:         measure,
+		NumericLiterals: opts.NumericLiterals,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dims := opts.Dims
+	if dims <= 0 {
+		dims = 8
+	}
+
+	triples := store.Triples()
+	mapper, coords, err := fastmap.Build(triples, metric.Distance, fastmap.Options{
+		Dims:            dims,
+		PivotIterations: opts.PivotIterations,
+		Seed:            opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tree, err := core.New(core.Config{
+		Dim:               dims,
+		BucketSize:        opts.BucketSize,
+		PartitionCapacity: opts.PartitionCapacity,
+		MaxPartitions:     opts.MaxPartitions,
+		Fabric:            opts.Fabric,
+		Unbalanced:        opts.Unbalanced,
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]kdtree.Point, len(coords))
+	for i, c := range coords {
+		points[i] = kdtree.Point{Coords: c, ID: uint64(i)}
+	}
+	if err := tree.InsertBatchAsync(points, opts.BatchSize); err != nil {
+		tree.Close()
+		return nil, err
+	}
+	tree.Flush()
+
+	return &Index{
+		store: store, metric: metric, mapper: mapper, tree: tree, dims: dims,
+		coords: coords,
+		opts: persistedOptions{
+			Weights:         metric.Weights(),
+			Measure:         opts.Measure,
+			NumericLiterals: opts.NumericLiterals,
+			Dims:            dims,
+		},
+	}, nil
+}
+
+// Insert adds a triple to the store and the index, returning its ID.
+func (ix *Index) Insert(t triple.Triple, prov triple.Provenance) (triple.ID, error) {
+	id := ix.store.Add(t, prov)
+	c := ix.mapper.Map(t)
+	ix.mu.Lock()
+	for uint64(len(ix.coords)) < uint64(id) {
+		ix.coords = append(ix.coords, nil) // IDs added out of band (direct store writes)
+	}
+	ix.coords = append(ix.coords, c)
+	ix.mu.Unlock()
+	point := kdtree.Point{Coords: c, ID: uint64(id)}
+	if err := ix.tree.Insert(point); err != nil {
+		return id, fmt.Errorf("semtree: insert: %w", err)
+	}
+	return id, nil
+}
+
+// KNearest returns the k stored triples closest to q, ascending by
+// embedded distance.
+func (ix *Index) KNearest(q triple.Triple, k int) ([]Match, error) {
+	neighbors, err := ix.tree.KNearest(ix.mapper.Map(q), k)
+	if err != nil {
+		return nil, err
+	}
+	return ix.matches(neighbors)
+}
+
+// Range returns every stored triple within embedded distance d of q,
+// ascending by distance. Since the embedding approximates the semantic
+// distance, d is on the Eq. 1 scale ([0, 1]-ish).
+func (ix *Index) Range(q triple.Triple, d float64) ([]Match, error) {
+	neighbors, err := ix.tree.RangeSearch(ix.mapper.Map(q), d)
+	if err != nil {
+		return nil, err
+	}
+	return ix.matches(neighbors)
+}
+
+// KNearestExact returns the k stored triples closest to q under the
+// *exact* Eq. 1 distance: it fetches factor·k candidates from the
+// embedded index (factor < 2 is raised to 2) and re-ranks them with the
+// true metric. This trades extra distance evaluations for accuracy —
+// the re-ranking ablation quantifies the gain over plain KNearest.
+func (ix *Index) KNearestExact(q triple.Triple, k, factor int) ([]Match, error) {
+	if factor < 2 {
+		factor = 2
+	}
+	cands, err := ix.KNearest(q, k*factor)
+	if err != nil {
+		return nil, err
+	}
+	for i := range cands {
+		cands[i].Dist = ix.metric.Distance(q, cands[i].Triple)
+	}
+	sortMatches(cands)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands, nil
+}
+
+// KNearestIDs implements the reqcheck.Index interface: ranked result
+// IDs only.
+func (ix *Index) KNearestIDs(q triple.Triple, k int) ([]triple.ID, error) {
+	ms, err := ix.KNearest(q, k)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]triple.ID, len(ms))
+	for i, m := range ms {
+		ids[i] = m.ID
+	}
+	return ids, nil
+}
+
+func (ix *Index) matches(neighbors []kdtree.Neighbor) ([]Match, error) {
+	out := make([]Match, 0, len(neighbors))
+	for _, n := range neighbors {
+		e, ok := ix.store.Get(triple.ID(n.Point.ID))
+		if !ok {
+			return nil, fmt.Errorf("semtree: dangling point ID %d", n.Point.ID)
+		}
+		out = append(out, Match{
+			ID:     triple.ID(n.Point.ID),
+			Triple: e.Triple,
+			Prov:   e.Prov,
+			Dist:   n.Dist,
+		})
+	}
+	return out, nil
+}
+
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Dist != ms[j].Dist {
+			return ms[i].Dist < ms[j].Dist
+		}
+		return ms[i].ID < ms[j].ID
+	})
+}
+
+// SemanticDistance evaluates Eq. 1 between two triples under the
+// index's metric (the exact, un-embedded distance).
+func (ix *Index) SemanticDistance(a, b triple.Triple) float64 {
+	return ix.metric.Distance(a, b)
+}
+
+// Store returns the underlying triple store.
+func (ix *Index) Store() *triple.Store { return ix.store }
+
+// Len returns the number of indexed triples.
+func (ix *Index) Len() int { return ix.tree.Len() }
+
+// Dims returns the embedding dimensionality.
+func (ix *Index) Dims() int { return ix.dims }
+
+// PartitionCount returns the number of KD-tree partitions in use.
+func (ix *Index) PartitionCount() int { return ix.tree.PartitionCount() }
+
+// Stats returns distributed-tree statistics.
+func (ix *Index) Stats() (core.TreeStats, error) { return ix.tree.Stats() }
+
+// Rebalance rebuilds the KD-tree balanced and redistributes the data
+// across all budgeted partitions ("once built, modifying or rebalancing
+// a Kd-tree is a non-trivial task", §III-B — this is the coordinated
+// bulk-load that makes it tractable). The caller must guarantee
+// quiescence: no concurrent Insert or queries.
+func (ix *Index) Rebalance() error { return ix.tree.Rebalance() }
+
+// Close releases the index's private fabric resources.
+func (ix *Index) Close() error { return ix.tree.Close() }

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyParams keep the smoke tests fast; the real sweeps run in
+// cmd/semtree-bench.
+func tinyParams() Params {
+	return Params{
+		Sizes:      []int{2000, 6000},
+		Partitions: []int{1, 3},
+		Queries:    25,
+		Latency:    50 * time.Microsecond,
+		Seed:       1,
+	}
+}
+
+func TestFigureTableAndCSV(t *testing.T) {
+	f := &Figure{
+		ID: "figX", Title: "Test", XLabel: "n", YLabel: "y", YFmt: "%.1f",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{0.5, 1.5}},
+			{Name: "b", X: []float64{2, 3}, Y: []float64{2.5, 3.5}},
+		},
+		Notes: []string{"hello"},
+	}
+	table := f.Table()
+	for _, want := range []string{"FIGX", "a", "b", "0.5", "3.5", "note: hello"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := f.CSV()
+	if !strings.HasPrefix(csv, "n,a,b\n") {
+		t.Errorf("csv header wrong:\n%s", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 4 { // header + x∈{1,2,3}
+		t.Errorf("csv rows = %d:\n%s", lines, csv)
+	}
+}
+
+func TestRunnersRegistryComplete(t *testing.T) {
+	ids := RunnerIDs()
+	want := []string{"ablation-bucket", "ablation-dims", "ablation-measure",
+		"ablation-weights", "complexity", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"}
+	if len(ids) != len(want) {
+		t.Fatalf("runner ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("runner ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	fig, err := Fig3(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 { // 1 balanced, 3 partitions, unbalanced
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 2 {
+			t.Fatalf("series %q has %d points", s.Name, len(s.Y))
+		}
+		if s.Y[1] <= s.Y[0] {
+			t.Errorf("series %q not growing with N: %v", s.Name, s.Y)
+		}
+	}
+	// The unbalanced chain must be the worst curve at the larger size.
+	last := func(s Series) float64 { return s.Y[len(s.Y)-1] }
+	unbalanced := fig.Series[len(fig.Series)-1]
+	for _, s := range fig.Series[:len(fig.Series)-1] {
+		if last(unbalanced) <= last(s) {
+			t.Errorf("unbalanced (%f) not worse than %q (%f)", last(unbalanced), s.Name, last(s))
+		}
+	}
+}
+
+func TestFig4ChainWorse(t *testing.T) {
+	fig, err := Fig4(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	balanced, chain := fig.Series[0], fig.Series[1]
+	if chain.Y[len(chain.Y)-1] <= balanced.Y[len(balanced.Y)-1] {
+		t.Errorf("chain (%v) not slower than balanced (%v)", chain.Y, balanced.Y)
+	}
+}
+
+func TestFig5Runs(t *testing.T) {
+	fig, err := Fig5(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("non-positive query time in %q: %v", s.Name, s.Y)
+			}
+		}
+	}
+}
+
+func TestFig6ChainWorse(t *testing.T) {
+	fig, err := Fig6(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced, chain := fig.Series[0], fig.Series[1]
+	if chain.Y[len(chain.Y)-1] <= balanced.Y[len(balanced.Y)-1] {
+		t.Errorf("chain (%v) not slower than balanced (%v)", chain.Y, balanced.Y)
+	}
+}
+
+func TestFig7Runs(t *testing.T) {
+	if _, err := Fig7(tinyParams()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	fig, err := Fig8(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	precision, recall := fig.Series[0], fig.Series[1]
+	// Figure 8's shape: precision falls, recall rises with K.
+	if precision.Y[0] < precision.Y[len(precision.Y)-1] {
+		t.Errorf("precision not decreasing: %v", precision.Y)
+	}
+	if recall.Y[0] > recall.Y[len(recall.Y)-1] {
+		t.Errorf("recall not increasing: %v", recall.Y)
+	}
+	if recall.Y[len(recall.Y)-1] < 0.6 {
+		t.Errorf("recall@%d = %f, too low", int(recall.X[len(recall.X)-1]), recall.Y[len(recall.Y)-1])
+	}
+}
+
+func TestComplexityTracksModel(t *testing.T) {
+	fig, err := Complexity(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// measured M=1 vs model M=1: within a factor of ~2.5 (the model
+	// ignores constant factors and half-full buckets).
+	measured, model := fig.Series[0], fig.Series[1]
+	for i := range measured.Y {
+		ratio := measured.Y[i] / model.Y[i]
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("measured/model ratio %f at N=%v", ratio, measured.X[i])
+		}
+	}
+}
+
+func TestAblationDimsRecallImproves(t *testing.T) {
+	fig, err := AblationDims(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stress, recall := fig.Series[0], fig.Series[1]
+	if stress.Y[0] < stress.Y[len(stress.Y)-1] {
+		t.Errorf("stress should shrink with dims: %v", stress.Y)
+	}
+	if recall.Y[len(recall.Y)-1] < recall.Y[0] {
+		t.Errorf("recall should grow with dims: %v", recall.Y)
+	}
+}
+
+func TestAblationBucketRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow ablation")
+	}
+	fig, err := AblationBucket(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+}

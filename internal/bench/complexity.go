@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"semtree/internal/cluster"
+)
+
+// Complexity verifies the §III-C insertion cost model
+// Θ(A + log₂(N/M)), A = log₂(M): it compares the measured mean
+// insertion path length (tree nodes traversed per inserted point,
+// summed across partitions) against the model's prediction
+// log₂(M) + log₂(N/(M·Bs)).
+func Complexity(p Params) (*Figure, error) {
+	p = p.withDefaults()
+	data, err := makeSweep(maxSize(p.Sizes), 0, p.Dims, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ms := []int{1, p.Partitions[len(p.Partitions)-1]}
+	fig := &Figure{
+		ID: "complexity", Title: "Insertion path length vs model Θ(A + log2(N/M))",
+		XLabel: "points", YLabel: "nodes/insert", YFmt: "%.2f",
+		Notes: []string{
+			fmt.Sprintf("model = log2(M) + log2(N/(M*Bs)), Bs=%d", p.BucketSize),
+		},
+	}
+	for _, m := range ms {
+		measured := Series{Name: fmt.Sprintf("measured M=%d", m)}
+		model := Series{Name: fmt.Sprintf("model M=%d", m)}
+		for _, n := range p.Sizes {
+			fabric := cluster.NewInProc(cluster.InProcOptions{})
+			tr, err := buildDistributed(data.prefix(n), m, p, fabric, false)
+			if err != nil {
+				fabric.Close()
+				return nil, err
+			}
+			st, err := tr.Stats()
+			tr.Close()
+			fabric.Close()
+			if err != nil {
+				return nil, err
+			}
+			if st.Inserts == 0 {
+				return nil, fmt.Errorf("bench: no inserts recorded")
+			}
+			measured.X = append(measured.X, float64(n))
+			measured.Y = append(measured.Y, float64(st.NavSteps)/float64(st.Inserts))
+			model.X = append(model.X, float64(n))
+			model.Y = append(model.Y, math.Log2(float64(m))+
+				math.Log2(float64(n)/(float64(m)*float64(p.BucketSize))))
+		}
+		fig.Series = append(fig.Series, measured, model)
+	}
+	return fig, nil
+}

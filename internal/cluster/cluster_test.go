@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoReq / echoResp are the test protocol.
+type echoReq struct{ Msg string }
+type echoResp struct {
+	Msg  string
+	From NodeID
+}
+
+func init() {
+	RegisterMessage(echoReq{})
+	RegisterMessage(echoResp{})
+}
+
+func echoHandler(from NodeID, req any) (any, error) {
+	r, ok := req.(echoReq)
+	if !ok {
+		return nil, fmt.Errorf("bad request type %T", req)
+	}
+	return echoResp{Msg: r.Msg, From: from}, nil
+}
+
+// fabrics under test; each constructor returns a fresh fabric.
+func fabrics() map[string]func() Fabric {
+	return map[string]func() Fabric{
+		"inproc": func() Fabric { return NewInProc(InProcOptions{}) },
+		"tcp":    func() Fabric { return NewTCP() },
+	}
+}
+
+func TestFabricBasics(t *testing.T) {
+	for name, mk := range fabrics() {
+		t.Run(name, func(t *testing.T) {
+			f := mk()
+			defer f.Close()
+			a, err := f.AddNode(echoHandler)
+			if err != nil {
+				t.Fatalf("AddNode: %v", err)
+			}
+			b, err := f.AddNode(echoHandler)
+			if err != nil {
+				t.Fatalf("AddNode: %v", err)
+			}
+			if f.NumNodes() != 2 {
+				t.Fatalf("NumNodes = %d", f.NumNodes())
+			}
+			resp, err := f.Call(a, b, echoReq{Msg: "hi"})
+			if err != nil {
+				t.Fatalf("Call: %v", err)
+			}
+			er, ok := resp.(echoResp)
+			if !ok || er.Msg != "hi" || er.From != a {
+				t.Fatalf("resp = %#v", resp)
+			}
+			if _, err := f.Call(ClientID, 99, echoReq{}); err == nil {
+				t.Fatal("call to unknown node succeeded")
+			}
+			if s := f.Stats(); s.Messages < 1 {
+				t.Fatalf("stats = %+v", s)
+			}
+		})
+	}
+}
+
+func TestFabricHandlerError(t *testing.T) {
+	boom := errors.New("boom")
+	for name, mk := range fabrics() {
+		t.Run(name, func(t *testing.T) {
+			f := mk()
+			defer f.Close()
+			id, _ := f.AddNode(func(from NodeID, req any) (any, error) {
+				return nil, boom
+			})
+			_, err := f.Call(ClientID, id, echoReq{})
+			if err == nil {
+				t.Fatal("handler error not propagated")
+			}
+		})
+	}
+}
+
+func TestFabricConcurrentCalls(t *testing.T) {
+	for name, mk := range fabrics() {
+		t.Run(name, func(t *testing.T) {
+			f := mk()
+			defer f.Close()
+			var ids []NodeID
+			for i := 0; i < 4; i++ {
+				id, err := f.AddNode(echoHandler)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, id)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, 64)
+			for w := 0; w < 16; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 25; i++ {
+						to := ids[(w+i)%len(ids)]
+						msg := fmt.Sprintf("w%d-%d", w, i)
+						resp, err := f.Call(ClientID, to, echoReq{Msg: msg})
+						if err != nil {
+							errs <- err
+							return
+						}
+						if resp.(echoResp).Msg != msg {
+							errs <- fmt.Errorf("wrong echo: %v", resp)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFabricClose(t *testing.T) {
+	for name, mk := range fabrics() {
+		t.Run(name, func(t *testing.T) {
+			f := mk()
+			id, _ := f.AddNode(echoHandler)
+			if err := f.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if _, err := f.Call(ClientID, id, echoReq{}); err == nil {
+				t.Fatal("call on closed fabric succeeded")
+			}
+			if _, err := f.AddNode(echoHandler); err == nil {
+				t.Fatal("AddNode on closed fabric succeeded")
+			}
+		})
+	}
+}
+
+func TestInProcLatency(t *testing.T) {
+	f := NewInProc(InProcOptions{Latency: 2 * time.Millisecond})
+	defer f.Close()
+	id, _ := f.AddNode(echoHandler)
+	start := time.Now()
+	const calls = 10
+	for i := 0; i < calls; i++ {
+		if _, err := f.Call(ClientID, id, echoReq{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := time.Since(start); got < calls*2*time.Millisecond {
+		t.Fatalf("latency not applied: %v for %d calls", got, calls)
+	}
+}
+
+func TestInProcFailureInjectionAndRetry(t *testing.T) {
+	f := NewInProc(InProcOptions{FailureRate: 0.5, Seed: 42})
+	defer f.Close()
+	id, _ := f.AddNode(echoHandler)
+	sawFailure := false
+	for i := 0; i < 50; i++ {
+		if _, err := f.Call(ClientID, id, echoReq{}); err != nil {
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			sawFailure = true
+		}
+	}
+	if !sawFailure {
+		t.Fatal("failure injection produced no failures at rate 0.5")
+	}
+	if f.Stats().Failures == 0 {
+		t.Fatal("failures not counted")
+	}
+	// CallRetry should push success probability to ~1 with 20 attempts.
+	for i := 0; i < 10; i++ {
+		if _, err := CallRetry(f, ClientID, id, echoReq{}, 20); err != nil {
+			t.Fatalf("CallRetry failed: %v", err)
+		}
+	}
+}
+
+func TestCallRetryGivesUpOnPermanentError(t *testing.T) {
+	f := NewInProc(InProcOptions{})
+	defer f.Close()
+	calls := 0
+	id, _ := f.AddNode(func(from NodeID, req any) (any, error) {
+		calls++
+		return nil, errors.New("permanent")
+	})
+	if _, err := CallRetry(f, ClientID, id, echoReq{}, 5); err == nil {
+		t.Fatal("expected error")
+	}
+	if calls != 1 {
+		t.Fatalf("permanent error retried %d times", calls)
+	}
+}
+
+func TestCallRetryExhaustsTransient(t *testing.T) {
+	f := NewInProc(InProcOptions{FailureRate: 1.0, Seed: 1})
+	defer f.Close()
+	id, _ := f.AddNode(echoHandler)
+	_, err := CallRetry(f, ClientID, id, echoReq{}, 3)
+	if err == nil || !errors.Is(err, ErrTransient) {
+		t.Fatalf("want exhausted transient error, got %v", err)
+	}
+}
+
+func TestInProcByteAccounting(t *testing.T) {
+	f := NewInProc(InProcOptions{CountBytes: true})
+	defer f.Close()
+	id, _ := f.AddNode(echoHandler)
+	if _, err := f.Call(ClientID, id, echoReq{Msg: "hello world"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().Bytes == 0 {
+		t.Fatal("bytes not accounted")
+	}
+}
+
+func TestTCPNestedCalls(t *testing.T) {
+	// A handler that fans out to another node mid-request, as partition
+	// forwarding does.
+	f := NewTCP()
+	defer f.Close()
+	leaf, _ := f.AddNode(echoHandler)
+	router, err := f.AddNode(func(from NodeID, req any) (any, error) {
+		return f.Call(1, leaf, req)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := f.Call(ClientID, router, echoReq{Msg: "routed"})
+	if err != nil {
+		t.Fatalf("nested call: %v", err)
+	}
+	if resp.(echoResp).Msg != "routed" {
+		t.Fatalf("resp = %#v", resp)
+	}
+	if f.Stats().Bytes == 0 {
+		t.Fatal("TCP bytes not accounted")
+	}
+}

@@ -1,0 +1,100 @@
+// Package cluster is the distributed-runtime substrate under SemTree.
+// The paper runs partitions on the compute nodes of an 8-processor
+// cluster and navigates across them "by a proper communication protocol
+// (in our implementation based on MPJ libraries)" (§III-B.1). This
+// package provides the equivalent: a Fabric of named nodes exchanging
+// synchronous request/response messages, with two implementations —
+//
+//   - InProc: in-process transport with configurable per-message
+//     latency, jitter, transient-failure injection and message/byte
+//     accounting. It reproduces the cost model of a cluster
+//     deterministically and is what the benchmark harness uses.
+//   - TCP: a real network transport over loopback (net + encoding/gob),
+//     used by the distributed example and integration tests.
+//
+// Handlers must be safe for concurrent use: a fabric delivers requests
+// from many callers at once, exactly like a multithreaded MPJ rank.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID names a fabric node (a partition host). The client/coordinator
+// uses ClientID.
+type NodeID int
+
+// ClientID is the conventional "from" for calls originating outside any
+// fabric node (the coordinator / client process).
+const ClientID NodeID = -1
+
+// Handler processes one request addressed to a node and returns the
+// response. Handlers run on the caller's goroutine (InProc) or a
+// per-connection goroutine (TCP) and must be concurrency-safe.
+type Handler func(from NodeID, req any) (any, error)
+
+// Fabric is a set of addressable nodes exchanging request/response
+// messages.
+type Fabric interface {
+	// AddNode registers a handler and returns its address.
+	AddNode(h Handler) (NodeID, error)
+	// Call delivers req to node `to`, identifying the caller as `from`,
+	// and returns the handler's response. It may fail transiently
+	// (ErrTransient) when failure injection is enabled or the network
+	// hiccups; callers that need delivery use CallRetry.
+	Call(from, to NodeID, req any) (any, error)
+	// Send delivers req one-way: it enqueues the message into the
+	// target node's mailbox and returns immediately. The handler's
+	// response is discarded. Mailbox messages are processed by the
+	// node's worker(s) — on InProc a single worker by default,
+	// modeling a single-threaded compute rank as in the paper's MPJ
+	// deployment. Delivery is at-most-once: transit failures drop the
+	// message (counted in Stats).
+	Send(from, to NodeID, req any) error
+	// Flush blocks until every message enqueued by Send (including
+	// messages sent by handlers while processing) has been handled.
+	Flush()
+	// NumNodes returns the number of registered nodes.
+	NumNodes() int
+	// Stats returns cumulative message accounting.
+	Stats() Stats
+	// Close releases transport resources. Calls after Close fail.
+	Close() error
+}
+
+// Stats is cumulative fabric accounting.
+type Stats struct {
+	Messages int64 // completed calls (including failed ones)
+	Bytes    int64 // encoded request+response bytes, when accounted
+	Failures int64 // injected or transport-level transient failures
+}
+
+// ErrTransient marks a delivery failure that may succeed on retry.
+var ErrTransient = errors.New("cluster: transient delivery failure")
+
+// ErrClosed is returned by operations on a closed fabric.
+var ErrClosed = errors.New("cluster: fabric closed")
+
+// ErrUnknownNode is returned when calling an unregistered address.
+var ErrUnknownNode = errors.New("cluster: unknown node")
+
+// CallRetry calls f.Call up to attempts times, retrying only transient
+// failures. It returns the last error when all attempts fail.
+func CallRetry(f Fabric, from, to NodeID, req any, attempts int) (any, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		var resp any
+		resp, err = f.Call(from, to, req)
+		if err == nil {
+			return resp, nil
+		}
+		if !errors.Is(err, ErrTransient) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("cluster: %d attempts exhausted: %w", attempts, err)
+}

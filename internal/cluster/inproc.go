@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// InProcOptions configure the in-process fabric.
+type InProcOptions struct {
+	// Latency is the simulated network transit per message: slept on
+	// the caller's goroutine for Call, and during asynchronous transit
+	// (off the sender's goroutine) for Send.
+	Latency time.Duration
+	// Jitter adds a uniform random extra in [0, Jitter) per message.
+	Jitter time.Duration
+	// FailureRate is the probability in [0, 1) that a message fails
+	// with ErrTransient (Call) or is dropped (Send) before reaching the
+	// handler — failure injection for robustness tests.
+	FailureRate float64
+	// CountBytes gob-encodes requests and responses to account message
+	// sizes in Stats (slower; off by default).
+	CountBytes bool
+	// Seed makes jitter and failure injection deterministic.
+	Seed int64
+	// NodeWorkers is the number of mailbox workers per node processing
+	// Send messages. Default 1: a node is a single-threaded compute
+	// rank, which is what makes partition parallelism measurable.
+	NodeWorkers int
+	// WorkCost is slept by a mailbox worker for every Send message it
+	// processes, on top of the real handler time: simulated CPU cost of
+	// one message on a compute rank.
+	WorkCost time.Duration
+	// MailboxSize is the per-node queue capacity. Default 1024.
+	MailboxSize int
+}
+
+func (o InProcOptions) withDefaults() InProcOptions {
+	if o.NodeWorkers <= 0 {
+		o.NodeWorkers = 1
+	}
+	if o.MailboxSize <= 0 {
+		o.MailboxSize = 1024
+	}
+	return o
+}
+
+// InProc is an in-process Fabric. Call invokes the handler
+// synchronously on the caller's goroutine after the simulated transit
+// delay (a multithreaded RPC endpoint); Send enqueues into the target
+// node's mailbox, processed by NodeWorkers workers (a message-passing
+// rank). It is safe for concurrent use.
+type InProc struct {
+	opts InProcOptions
+
+	mu     sync.RWMutex
+	nodes  []*inprocNode
+	closed bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	pending sync.WaitGroup // un-processed Send messages
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+	failures atomic.Int64
+}
+
+type inprocNode struct {
+	handler Handler
+	mailbox chan mailboxMsg
+	done    sync.WaitGroup
+}
+
+type mailboxMsg struct {
+	from NodeID
+	req  any
+}
+
+// NewInProc returns an in-process fabric.
+func NewInProc(opts InProcOptions) *InProc {
+	return &InProc{
+		opts: opts.withDefaults(),
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// AddNode implements Fabric: it registers the handler and starts the
+// node's mailbox workers.
+func (f *InProc) AddNode(h Handler) (NodeID, error) {
+	if h == nil {
+		return 0, ErrUnknownNode
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	n := &inprocNode{handler: h, mailbox: make(chan mailboxMsg, f.opts.MailboxSize)}
+	id := NodeID(len(f.nodes))
+	f.nodes = append(f.nodes, n)
+	for w := 0; w < f.opts.NodeWorkers; w++ {
+		n.done.Add(1)
+		go f.work(n, id)
+	}
+	return id, nil
+}
+
+// work is one mailbox worker: it serializes the node's asynchronous
+// message processing, charging WorkCost per message.
+func (f *InProc) work(n *inprocNode, id NodeID) {
+	defer n.done.Done()
+	for msg := range n.mailbox {
+		if f.opts.WorkCost > 0 {
+			time.Sleep(f.opts.WorkCost)
+		}
+		_, _ = n.handler(msg.from, msg.req) // one-way: response discarded
+		f.pending.Done()
+	}
+}
+
+func (f *InProc) node(to NodeID) (*inprocNode, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	if to < 0 || int(to) >= len(f.nodes) {
+		return nil, ErrUnknownNode
+	}
+	return f.nodes[to], nil
+}
+
+// Call implements Fabric.
+func (f *InProc) Call(from, to NodeID, req any) (any, error) {
+	n, err := f.node(to)
+	if err != nil {
+		return nil, err
+	}
+	f.messages.Add(1)
+	if d := f.delay(); d > 0 {
+		time.Sleep(d)
+	}
+	if f.opts.FailureRate > 0 && f.roll() < f.opts.FailureRate {
+		f.failures.Add(1)
+		return nil, ErrTransient
+	}
+	if f.opts.CountBytes {
+		f.bytes.Add(encodedSize(req))
+	}
+	resp, err := n.handler(from, req)
+	if err != nil {
+		return nil, err
+	}
+	if f.opts.CountBytes {
+		f.bytes.Add(encodedSize(resp))
+	}
+	return resp, nil
+}
+
+// Send implements Fabric: at-most-once asynchronous delivery into the
+// target's mailbox.
+func (f *InProc) Send(from, to NodeID, req any) error {
+	n, err := f.node(to)
+	if err != nil {
+		return err
+	}
+	f.messages.Add(1)
+	if f.opts.CountBytes {
+		f.bytes.Add(encodedSize(req))
+	}
+	f.pending.Add(1)
+	transit := f.delay()
+	dropped := f.opts.FailureRate > 0 && f.roll() < f.opts.FailureRate
+	deliver := func() {
+		if dropped {
+			f.failures.Add(1)
+			f.pending.Done()
+			return
+		}
+		n.mailbox <- mailboxMsg{from: from, req: req}
+	}
+	if transit > 0 {
+		go func() {
+			time.Sleep(transit)
+			deliver()
+		}()
+		return nil
+	}
+	deliver()
+	return nil
+}
+
+// Flush implements Fabric: it waits for all in-flight Send messages,
+// including cascades sent by handlers mid-processing.
+func (f *InProc) Flush() { f.pending.Wait() }
+
+func (f *InProc) delay() time.Duration {
+	d := f.opts.Latency
+	if f.opts.Jitter > 0 {
+		f.rngMu.Lock()
+		d += time.Duration(f.rng.Int63n(int64(f.opts.Jitter)))
+		f.rngMu.Unlock()
+	}
+	return d
+}
+
+func (f *InProc) roll() float64 {
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
+	return f.rng.Float64()
+}
+
+// NumNodes implements Fabric.
+func (f *InProc) NumNodes() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.nodes)
+}
+
+// Stats implements Fabric.
+func (f *InProc) Stats() Stats {
+	return Stats{
+		Messages: f.messages.Load(),
+		Bytes:    f.bytes.Load(),
+		Failures: f.failures.Load(),
+	}
+}
+
+// Close implements Fabric: it drains mailboxes and stops the workers.
+func (f *InProc) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	nodes := f.nodes
+	f.mu.Unlock()
+	f.pending.Wait()
+	for _, n := range nodes {
+		close(n.mailbox)
+	}
+	for _, n := range nodes {
+		n.done.Wait()
+	}
+	return nil
+}
+
+func encodedSize(v any) int64 {
+	if v == nil {
+		return 0
+	}
+	var buf bytes.Buffer
+	// Wrap in an envelope so interface values encode like the TCP
+	// transport would send them.
+	if err := gob.NewEncoder(&buf).Encode(&envelope{Payload: v}); err != nil {
+		return 0 // unregistered type; size unknown
+	}
+	return int64(buf.Len())
+}

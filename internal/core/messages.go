@@ -1,0 +1,142 @@
+// Package core implements SemTree's distributed KD-tree (§III-B): a
+// partition tree whose nodes are hosted by fabric compute nodes. Data
+// points live only in leaf buckets; a root partition holds routing
+// nodes; navigation, insertion and search cross partition boundaries
+// through fabric messages, mirroring the paper's MPJ protocol.
+//
+// The three algorithms of the paper map to:
+//
+//   - Distributed insertion (§III-B.1): Tree.Insert / InsertAll —
+//     navigate by (Sr, Sv) comparisons, forwarding to the partition
+//     hosting the child when Cp != Childp, splitting saturated leaves.
+//   - Build partition (§III-B.2): triggered when a partition's
+//     resource condition fires; the partition's leaves are moved into
+//     newly created partitions and direct links are installed.
+//   - Distributed k-nearest and range search (§III-B.3, §III-B.4):
+//     Tree.KNearest / Tree.RangeSearch — the sequential backtracking
+//     procedures, carrying the result set Rs across partitions; range
+//     search fans out in parallel at border nodes.
+package core
+
+import (
+	"semtree/internal/cluster"
+	"semtree/internal/kdtree"
+)
+
+// childRef addresses a tree node: the partition hosting it and the node
+// index inside that partition's arena. A ref is "local" to a partition
+// when Part equals that partition's own fabric ID (the paper's
+// Cp == Childp test).
+type childRef struct {
+	Part cluster.NodeID
+	Node int32
+}
+
+// insertReq asks a partition to insert Point into the subtree rooted at
+// its node Node. When Async is set, cross-partition forwarding uses
+// one-way mailbox messages (fire-and-forget, like the paper's MPJ
+// pipeline) instead of nested synchronous calls.
+type insertReq struct {
+	Node  int32
+	Point kdtree.Point
+	Async bool
+}
+
+// insertResp acknowledges an insertion.
+type insertResp struct{}
+
+// batchEntry is one point of a batched insert, tagged with the node at
+// which its descent (re-)enters the receiving partition.
+type batchEntry struct {
+	Node  int32
+	Point kdtree.Point
+}
+
+// insertBatchReq carries a batch of points through the one-way insert
+// pipeline. Batching amortizes per-message costs exactly like a real
+// bulk load ("Kd-trees are more efficient in bulk-loading situations
+// (as required by our approach)" — §III-B); the receiving partition
+// applies local entries and re-batches the rest per target partition.
+type insertBatchReq struct {
+	Entries []batchEntry
+}
+
+// knnReq asks a partition to continue a k-nearest search in the subtree
+// rooted at Node. Rs carries the current result set (Table I), so the
+// remote side prunes with the same bound the caller had; the response
+// returns the merged set.
+type knnReq struct {
+	Node  int32
+	Query []float64
+	K     int
+	Rs    []kdtree.Neighbor
+}
+
+// knnResp carries the merged result set back.
+type knnResp struct {
+	Rs []kdtree.Neighbor
+}
+
+// rangeReq asks a partition for all points within D of Query in the
+// subtree rooted at Node.
+type rangeReq struct {
+	Node  int32
+	Query []float64
+	D     float64
+}
+
+// rangeResp carries the subtree's matches back.
+type rangeResp struct {
+	Neighbors []kdtree.Neighbor
+}
+
+// adoptReq moves a leaf bucket into a (newly created) partition during
+// the build-partition algorithm (Figure 2's Lc relocation).
+type adoptReq struct {
+	Bucket []kdtree.Point
+}
+
+// adoptResp returns the node index of the adopted leaf, which becomes
+// the target of the direct link installed in the source partition.
+type adoptResp struct {
+	Node int32
+}
+
+// statsReq asks a partition for its local statistics.
+type statsReq struct{}
+
+// statsResp reports one partition's state.
+type statsResp struct {
+	Points   int
+	Nodes    int
+	Leaves   int
+	NavSteps int64
+}
+
+// heightReq asks for the height of the subtree rooted at Node,
+// following cross-partition links.
+type heightReq struct {
+	Node int32
+}
+
+// heightResp carries the subtree height.
+type heightResp struct {
+	Height int
+}
+
+func init() {
+	// Register every protocol type so the TCP fabric can carry it.
+	cluster.RegisterMessage(insertReq{})
+	cluster.RegisterMessage(insertResp{})
+	cluster.RegisterMessage(insertBatchReq{})
+	cluster.RegisterMessage(knnReq{})
+	cluster.RegisterMessage(knnResp{})
+	cluster.RegisterMessage(rangeReq{})
+	cluster.RegisterMessage(rangeResp{})
+	cluster.RegisterMessage(adoptReq{})
+	cluster.RegisterMessage(adoptResp{})
+	cluster.RegisterMessage(statsReq{})
+	cluster.RegisterMessage(statsResp{})
+	cluster.RegisterMessage(heightReq{})
+	cluster.RegisterMessage(heightResp{})
+}

@@ -1,0 +1,461 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"semtree/internal/cluster"
+	"semtree/internal/kdtree"
+)
+
+// pnode is one tree node hosted by a partition. Exactly one of three
+// states holds:
+//
+//   - leaf:    data node, bucket valid;
+//   - routing: splitDim/splitVal/left/right valid — an *edge node* when
+//     a child lives on another partition, *internal* otherwise (§III-B.1);
+//   - moved:   tombstone left behind by the build-partition algorithm;
+//     fwd is the direct link to the adopting partition, so in-flight
+//     operations that resolved this node keep working.
+type pnode struct {
+	leaf     bool
+	moved    bool
+	fwd      childRef
+	splitDim int32
+	splitVal float64
+	left     childRef
+	right    childRef
+	bucket   []kdtree.Point
+}
+
+// partition is one fabric-hosted piece of the SemTree. Nodes live in an
+// arena addressed by index; cross-partition children are childRefs with
+// a foreign Part. Navigation takes the read lock; mutation (insert,
+// split, spill) the write lock. Locks are never held while waiting on
+// an *upstream* partition — call edges follow the partition DAG, so
+// lock acquisition cannot cycle.
+type partition struct {
+	t  *Tree
+	id cluster.NodeID
+
+	mu     sync.RWMutex
+	nodes  []pnode
+	points int
+
+	navSteps atomic.Int64 // nodes traversed by insert descents
+	inserts  atomic.Int64 // insertions applied locally
+	spills   atomic.Int64 // build-partition runs
+}
+
+// handle dispatches one fabric message.
+func (p *partition) handle(from cluster.NodeID, req any) (any, error) {
+	switch r := req.(type) {
+	case insertReq:
+		return p.handleInsert(r)
+	case insertBatchReq:
+		return p.handleInsertBatch(r)
+	case knnReq:
+		return p.handleKNN(r)
+	case rangeReq:
+		return p.handleRange(r)
+	case adoptReq:
+		return p.handleAdopt(r)
+	case statsReq:
+		return p.handleStats()
+	case heightReq:
+		return p.handleHeight(r)
+	case collectReq:
+		return p.handleCollect(r)
+	case resetReq:
+		return p.handleReset(r)
+	case installReq:
+		return p.handleInstall(r)
+	default:
+		return nil, fmt.Errorf("core: partition %d: unknown request %T", p.id, req)
+	}
+}
+
+// local reports whether ref points into this partition (Cp == Childp).
+func (p *partition) local(ref childRef) bool { return ref.Part == p.id }
+
+// addNode appends a node to the arena; callers hold the write lock.
+func (p *partition) addNode(n pnode) int32 {
+	p.nodes = append(p.nodes, n)
+	return int32(len(p.nodes) - 1)
+}
+
+// descend walks from idx towards the leaf that should hold pt, under
+// the read lock. It stops at a local leaf (remote == false) or at the
+// first reference leaving the partition (remote == true).
+func (p *partition) descend(idx int32, pt []float64) (leafIdx int32, ref childRef, remote bool) {
+	steps := int64(0)
+	defer func() { p.navSteps.Add(steps) }()
+	for {
+		n := &p.nodes[idx]
+		steps++
+		if n.moved {
+			return 0, n.fwd, true
+		}
+		if n.leaf {
+			return idx, childRef{}, false
+		}
+		var c childRef
+		if pt[n.splitDim] <= n.splitVal {
+			c = n.left
+		} else {
+			c = n.right
+		}
+		if !p.local(c) {
+			return 0, c, true
+		}
+		idx = c.Node
+	}
+}
+
+// handleInsert implements the distributed insertion algorithm
+// (§III-B.1). Navigation runs under the read lock; the leaf mutation
+// re-validates under the write lock (a concurrent split or spill may
+// have changed the node in between) and loops or forwards as needed.
+// No lock is held while forwarding to another partition.
+func (p *partition) handleInsert(r insertReq) (any, error) {
+	forward := func(ref childRef) error {
+		req := insertReq{Node: ref.Node, Point: r.Point, Async: r.Async}
+		if r.Async {
+			return p.t.fabric.Send(p.id, ref.Part, req)
+		}
+		_, err := p.t.call(p.id, ref.Part, req)
+		return err
+	}
+	idx := r.Node
+	for {
+		p.mu.RLock()
+		leafIdx, ref, remote := p.descend(idx, r.Point.Coords)
+		p.mu.RUnlock()
+		if remote {
+			return insertResp{}, forward(ref)
+		}
+
+		p.mu.Lock()
+		n := &p.nodes[leafIdx]
+		switch {
+		case n.moved:
+			ref := n.fwd
+			p.mu.Unlock()
+			return insertResp{}, forward(ref)
+		case !n.leaf:
+			// A concurrent insert split this leaf; resume from it.
+			idx = leafIdx
+			p.mu.Unlock()
+			continue
+		}
+		n.bucket = append(n.bucket, r.Point)
+		p.points++
+		p.inserts.Add(1)
+		if len(n.bucket) > p.t.cfg.BucketSize {
+			p.splitLeaf(leafIdx)
+		}
+		spill := p.capacityExceededLocked()
+		p.mu.Unlock()
+		if spill {
+			p.buildPartition()
+		}
+		return insertResp{}, nil
+	}
+}
+
+// handleInsertBatch applies a batch of pipelined inserts. The whole
+// batch runs under one write lock (no per-point lock churn and no
+// re-validation needed); entries whose descent leaves the partition are
+// re-grouped per target and forwarded as one message each, after the
+// lock is released.
+func (p *partition) handleInsertBatch(r insertBatchReq) (any, error) {
+	var forwards map[cluster.NodeID][]batchEntry
+	p.mu.Lock()
+	for _, e := range r.Entries {
+		leafIdx, ref, remote := p.descend(e.Node, e.Point.Coords)
+		if remote {
+			if forwards == nil {
+				forwards = make(map[cluster.NodeID][]batchEntry)
+			}
+			forwards[ref.Part] = append(forwards[ref.Part], batchEntry{Node: ref.Node, Point: e.Point})
+			continue
+		}
+		n := &p.nodes[leafIdx]
+		n.bucket = append(n.bucket, e.Point)
+		p.points++
+		p.inserts.Add(1)
+		if len(n.bucket) > p.t.cfg.BucketSize {
+			p.splitLeaf(leafIdx)
+		}
+	}
+	spill := p.capacityExceededLocked()
+	p.mu.Unlock()
+	for part, entries := range forwards {
+		// One-way, at-most-once: a drop loses the batch, mirroring the
+		// async single-insert semantics.
+		_ = p.t.fabric.Send(p.id, part, insertBatchReq{Entries: entries})
+	}
+	if spill {
+		p.buildPartition()
+	}
+	return insertResp{}, nil
+}
+
+// splitLeaf turns a saturated leaf into a routing node with two local
+// leaf children (Figure 1). Callers hold the write lock.
+func (p *partition) splitLeaf(idx int32) {
+	bucket := p.nodes[idx].bucket
+	var dim int
+	var splitVal float64
+	var ok bool
+	if p.t.cfg.Unbalanced {
+		dim, splitVal, ok = chainSplit(bucket)
+	}
+	if !ok {
+		dim, splitVal, ok = medianSplit(bucket, p.t.cfg.Dim)
+	}
+	if !ok {
+		return // all points identical: oversized leaf stands
+	}
+	var lb, rb []kdtree.Point
+	for _, pt := range bucket {
+		if pt.Coords[dim] <= splitVal {
+			lb = append(lb, pt)
+		} else {
+			rb = append(rb, pt)
+		}
+	}
+	li := p.addNode(pnode{leaf: true, bucket: lb})
+	ri := p.addNode(pnode{leaf: true, bucket: rb})
+	n := &p.nodes[idx] // re-take: addNode may have grown the arena
+	n.leaf = false
+	n.bucket = nil
+	n.splitDim = int32(dim)
+	n.splitVal = splitVal
+	n.left = childRef{Part: p.id, Node: li}
+	n.right = childRef{Part: p.id, Node: ri}
+}
+
+// medianSplit picks the widest dimension and a value separating the
+// bucket (median when it separates, midpoint otherwise).
+func medianSplit(bucket []kdtree.Point, dims int) (dim int, splitVal float64, ok bool) {
+	bestSpread := 0.0
+	var lo, hi float64
+	for d := 0; d < dims; d++ {
+		mn, mx := bucket[0].Coords[d], bucket[0].Coords[d]
+		for _, p := range bucket[1:] {
+			v := p.Coords[d]
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if spread := mx - mn; spread > bestSpread {
+			bestSpread, dim, lo, hi, ok = spread, d, mn, mx, true
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	vals := make([]float64, len(bucket))
+	for i, p := range bucket {
+		vals[i] = p.Coords[dim]
+	}
+	sort.Float64s(vals)
+	med := vals[(len(vals)-1)/2]
+	if med < hi {
+		return dim, med, true
+	}
+	return dim, (lo + hi) / 2, true
+}
+
+// chainSplit is the degenerate split policy behind the paper's "totally
+// unbalanced" curves: split on dimension 0 at the predecessor of the
+// maximum, so monotonically increasing inserts grow a right-leaning
+// chain. ok is false when dimension 0 has no spread.
+func chainSplit(bucket []kdtree.Point) (dim int, splitVal float64, ok bool) {
+	mx := bucket[0].Coords[0]
+	for _, p := range bucket[1:] {
+		if v := p.Coords[0]; v > mx {
+			mx = v
+		}
+	}
+	// splitVal is the largest value strictly below the maximum, so the
+	// maximum (and its duplicates) form the right side.
+	havePred := false
+	var pred float64
+	for _, p := range bucket {
+		if v := p.Coords[0]; v < mx && (!havePred || v > pred) {
+			pred, havePred = v, true
+		}
+	}
+	if !havePred {
+		return 0, 0, false // no spread on dim 0
+	}
+	return 0, pred, true
+}
+
+// capacityExceededLocked evaluates the partition's resource condition
+// (§III-B.1: "dynamically evaluated at run-time … or statically
+// fixed"). Callers hold at least the read lock.
+func (p *partition) capacityExceededLocked() bool {
+	cfg := p.t.cfg
+	if !p.t.hasPartitionBudget() {
+		return false
+	}
+	if cfg.CapacityCheck != nil {
+		return cfg.CapacityCheck(PartitionInfo{
+			Points:   p.points,
+			Nodes:    len(p.nodes),
+			Capacity: cfg.PartitionCapacity,
+		})
+	}
+	return cfg.PartitionCapacity > 0 && p.points > cfg.PartitionCapacity
+}
+
+// buildPartition implements §III-B.2: when the resource condition
+// fires, the partition's leaf nodes are moved into newly created
+// partitions and direct links replace the local references; the moved
+// leaves stay behind as forwarding tombstones for in-flight operations.
+// When fewer compute nodes remain than leaves exist, the available new
+// partitions adopt the leaves round-robin (a budget-limited variant of
+// the paper's one-partition-per-leaf procedure).
+func (p *partition) buildPartition() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.capacityExceededLocked() {
+		return // a concurrent spill already ran
+	}
+
+	// Movable leaves are leaf children of local routing nodes; the
+	// partition's own subtree roots must stay for routing.
+	type move struct {
+		parent int32
+		right  bool
+		leaf   int32
+	}
+	var moves []move
+	for i := range p.nodes {
+		n := &p.nodes[i]
+		if n.leaf || n.moved {
+			continue
+		}
+		if p.local(n.left) {
+			if c := &p.nodes[n.left.Node]; c.leaf && !c.moved {
+				moves = append(moves, move{int32(i), false, n.left.Node})
+			}
+		}
+		if p.local(n.right) {
+			if c := &p.nodes[n.right.Node]; c.leaf && !c.moved {
+				moves = append(moves, move{int32(i), true, n.right.Node})
+			}
+		}
+	}
+	if len(moves) == 0 {
+		return
+	}
+	targets := p.t.allocPartitions(len(moves))
+	if len(targets) == 0 {
+		return
+	}
+	p.spills.Add(1)
+	for k, mv := range moves {
+		target := targets[k%len(targets)]
+		leaf := &p.nodes[mv.leaf]
+		resp, err := p.t.call(p.id, target, adoptReq{Bucket: leaf.bucket})
+		if err != nil {
+			continue // leaf stays local; a later spill may retry
+		}
+		ref := childRef{Part: target, Node: resp.(adoptResp).Node}
+		if mv.right {
+			p.nodes[mv.parent].right = ref
+		} else {
+			p.nodes[mv.parent].left = ref
+		}
+		p.points -= len(leaf.bucket)
+		leaf.bucket = nil
+		leaf.moved = true
+		leaf.leaf = false
+		leaf.fwd = ref
+	}
+}
+
+// handleAdopt installs a moved leaf bucket as a new subtree root and
+// returns its node index (the other end of Figure 2's direct link).
+func (p *partition) handleAdopt(r adoptReq) (any, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx := p.addNode(pnode{leaf: true, bucket: r.Bucket})
+	p.points += len(r.Bucket)
+	return adoptResp{Node: idx}, nil
+}
+
+// handleStats reports local counters.
+func (p *partition) handleStats() (any, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	leaves := 0
+	for i := range p.nodes {
+		if p.nodes[i].leaf {
+			leaves++
+		}
+	}
+	return statsResp{
+		Points:   p.points,
+		Nodes:    len(p.nodes),
+		Leaves:   leaves,
+		NavSteps: p.navSteps.Load(),
+	}, nil
+}
+
+// handleHeight computes the height of the subtree rooted at r.Node,
+// following cross-partition links.
+func (p *partition) handleHeight(r heightReq) (any, error) {
+	h, err := p.heightVisit(r.Node)
+	if err != nil {
+		return nil, err
+	}
+	return heightResp{Height: h}, nil
+}
+
+func (p *partition) heightVisit(idx int32) (int, error) {
+	p.mu.RLock()
+	n := p.nodes[idx] // copy: we release the lock around remote calls
+	p.mu.RUnlock()
+	if n.moved {
+		return p.remoteHeight(n.fwd)
+	}
+	if n.leaf {
+		return 1, nil
+	}
+	childHeight := func(ref childRef) (int, error) {
+		if p.local(ref) {
+			return p.heightVisit(ref.Node)
+		}
+		return p.remoteHeight(ref)
+	}
+	lh, err := childHeight(n.left)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := childHeight(n.right)
+	if err != nil {
+		return 0, err
+	}
+	if rh > lh {
+		lh = rh
+	}
+	return lh + 1, nil
+}
+
+func (p *partition) remoteHeight(ref childRef) (int, error) {
+	resp, err := p.t.call(p.id, ref.Part, heightReq{Node: ref.Node})
+	if err != nil {
+		return 0, err
+	}
+	return resp.(heightResp).Height, nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+
+	"semtree/internal/kdtree"
+)
+
+// resultSet is the paper's Rs (Table I): the best k candidates seen so
+// far, kept sorted ascending by distance (ties broken by point ID for
+// determinism). K is small in practice, so ordered insertion beats a
+// heap and keeps the serialized form canonical for the wire protocol.
+type resultSet struct {
+	k     int
+	items []kdtree.Neighbor
+}
+
+func newResultSet(k int, seed []kdtree.Neighbor) *resultSet {
+	rs := &resultSet{k: k, items: make([]kdtree.Neighbor, 0, k)}
+	for _, n := range seed {
+		rs.offer(n)
+	}
+	return rs
+}
+
+func (r *resultSet) full() bool { return len(r.items) >= r.k }
+
+// worst returns the distance D of Table I: the distance between the
+// query point and the most distant member of the result set (infinite
+// while the set is not full).
+func (r *resultSet) worst() float64 {
+	if !r.full() {
+		return math.Inf(1)
+	}
+	return r.items[len(r.items)-1].Dist
+}
+
+func neighborLess(a, b kdtree.Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.Point.ID < b.Point.ID
+}
+
+// offer inserts a candidate in order, evicting the worst when full.
+func (r *resultSet) offer(n kdtree.Neighbor) {
+	if r.full() {
+		if !neighborLess(n, r.items[len(r.items)-1]) {
+			return
+		}
+	} else {
+		r.items = append(r.items, kdtree.Neighbor{})
+	}
+	i := len(r.items) - 1
+	for i > 0 && neighborLess(n, r.items[i-1]) {
+		r.items[i] = r.items[i-1]
+		i--
+	}
+	r.items[i] = n
+}
+
+// replace swaps in a merged set returned by a remote partition (which
+// was seeded with our items, so it is already the union's top k).
+func (r *resultSet) replace(items []kdtree.Neighbor) {
+	r.items = items
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"semtree/internal/kdtree"
+)
+
+// TestResultSetMatchesSortOracle: offering any sequence of neighbors
+// must keep exactly the k best, sorted, with deterministic tie-breaks.
+func TestResultSetMatchesSortOracle(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%10) + 1
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(60)
+		rs := newResultSet(k, nil)
+		var all []kdtree.Neighbor
+		for i := 0; i < n; i++ {
+			nb := kdtree.Neighbor{
+				Point: kdtree.Point{ID: uint64(r.Intn(20))},
+				Dist:  float64(r.Intn(8)), // coarse values force ties
+			}
+			all = append(all, nb)
+			rs.offer(nb)
+		}
+		sort.Slice(all, func(i, j int) bool { return neighborLess(all[i], all[j]) })
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(rs.items) != len(want) {
+			return false
+		}
+		for i := range want {
+			if rs.items[i].Dist != want[i].Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultSetSeedRespectsK(t *testing.T) {
+	seed := []kdtree.Neighbor{
+		{Point: kdtree.Point{ID: 1}, Dist: 3},
+		{Point: kdtree.Point{ID: 2}, Dist: 1},
+		{Point: kdtree.Point{ID: 3}, Dist: 2},
+	}
+	rs := newResultSet(2, seed)
+	if len(rs.items) != 2 || rs.items[0].Dist != 1 || rs.items[1].Dist != 2 {
+		t.Fatalf("seeded set = %v", rs.items)
+	}
+	if rs.worst() != 2 {
+		t.Fatalf("worst = %f", rs.worst())
+	}
+}
+
+func TestResultSetWorstWhenNotFull(t *testing.T) {
+	rs := newResultSet(3, nil)
+	if !math.IsInf(rs.worst(), 1) {
+		t.Fatalf("worst of empty set = %f, want +Inf", rs.worst())
+	}
+	rs.offer(kdtree.Neighbor{Dist: 5})
+	if !math.IsInf(rs.worst(), 1) {
+		t.Fatalf("worst of non-full set must stay +Inf (Rs.length() < K)")
+	}
+}

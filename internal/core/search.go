@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"semtree/internal/kdtree"
+)
+
+// handleKNN implements the distributed k-nearest search (§III-B.3).
+// The request carries the caller's current result set Rs; the local
+// traversal continues the sequential backtracking algorithm, forwarding
+// Rs across partition boundaries and returning the merged set. The
+// read lock is held for the whole local traversal, so references cannot
+// go stale mid-search; nested calls only ever go downstream in the
+// partition DAG, so locking cannot cycle.
+func (p *partition) handleKNN(r knnReq) (any, error) {
+	if r.K <= 0 {
+		return knnResp{}, nil
+	}
+	rs := newResultSet(r.K, r.Rs)
+	p.mu.RLock()
+	err := p.knnVisit(r.Node, r.Query, rs)
+	p.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	return knnResp{Rs: rs.items}, nil
+}
+
+func (p *partition) knnVisit(idx int32, q []float64, rs *resultSet) error {
+	n := &p.nodes[idx]
+	if n.moved {
+		return p.remoteKNN(n.fwd, q, rs)
+	}
+	if n.leaf {
+		for _, pt := range n.bucket {
+			rs.offer(kdtree.Neighbor{Point: pt, Dist: euclidean(q, pt.Coords)})
+		}
+		return nil
+	}
+	near, far := n.left, n.right
+	if q[n.splitDim] > n.splitVal {
+		near, far = far, near
+	}
+	if err := p.knnChild(near, q, rs); err != nil {
+		return err
+	}
+	// Backtracking condition (§III-B.3): visit the unexplored subtree
+	// when the result set is not full (Rs.length() < K) or the worst
+	// kept distance still crosses the splitting plane.
+	planeDist := math.Abs(q[n.splitDim] - n.splitVal)
+	if !rs.full() || rs.worst() > planeDist {
+		return p.knnChild(far, q, rs)
+	}
+	return nil
+}
+
+func (p *partition) knnChild(ref childRef, q []float64, rs *resultSet) error {
+	if p.local(ref) {
+		return p.knnVisit(ref.Node, q, rs)
+	}
+	return p.remoteKNN(ref, q, rs)
+}
+
+func (p *partition) remoteKNN(ref childRef, q []float64, rs *resultSet) error {
+	resp, err := p.t.call(p.id, ref.Part, knnReq{Node: ref.Node, Query: q, K: rs.k, Rs: rs.items})
+	if err != nil {
+		return err
+	}
+	rs.replace(resp.(knnResp).Rs)
+	return nil
+}
+
+// handleRange implements the distributed range search (§III-B.4).
+// Descending, both children are visited when |P[SI] − Sv| <= D; "if the
+// current node is a border node, the navigation is performed in a
+// parallel way": remote subtrees are queried on their own goroutines
+// while the local side proceeds, and the partial result sets are merged
+// on the way back.
+func (p *partition) handleRange(r rangeReq) (any, error) {
+	if r.D < 0 {
+		return rangeResp{}, nil
+	}
+	col := &rangeCollector{}
+	p.mu.RLock()
+	p.rangeVisit(r.Node, r.Query, r.D, col)
+	p.mu.RUnlock()
+	col.wg.Wait()
+	if col.err != nil {
+		return nil, col.err
+	}
+	return rangeResp{Neighbors: col.out}, nil
+}
+
+// rangeCollector accumulates matches from the local traversal and any
+// parallel remote fan-outs.
+type rangeCollector struct {
+	mu  sync.Mutex
+	wg  sync.WaitGroup
+	out []kdtree.Neighbor
+	err error
+}
+
+func (c *rangeCollector) add(ns []kdtree.Neighbor) {
+	c.mu.Lock()
+	c.out = append(c.out, ns...)
+	c.mu.Unlock()
+}
+
+func (c *rangeCollector) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+func (p *partition) rangeVisit(idx int32, q []float64, d float64, col *rangeCollector) {
+	n := &p.nodes[idx]
+	if n.moved {
+		p.remoteRange(n.fwd, q, d, col, false)
+		return
+	}
+	if n.leaf {
+		var local []kdtree.Neighbor
+		for _, pt := range n.bucket {
+			if dist := euclidean(q, pt.Coords); dist <= d {
+				local = append(local, kdtree.Neighbor{Point: pt, Dist: dist})
+			}
+		}
+		if local != nil {
+			col.add(local)
+		}
+		return
+	}
+	if math.Abs(q[n.splitDim]-n.splitVal) <= d {
+		// Border node: both subtrees qualify; remote ones in parallel.
+		p.rangeChild(n.left, q, d, col, true)
+		p.rangeChild(n.right, q, d, col, true)
+		return
+	}
+	if q[n.splitDim] <= n.splitVal {
+		p.rangeChild(n.left, q, d, col, false)
+	} else {
+		p.rangeChild(n.right, q, d, col, false)
+	}
+}
+
+func (p *partition) rangeChild(ref childRef, q []float64, d float64, col *rangeCollector, parallel bool) {
+	if p.local(ref) {
+		p.rangeVisit(ref.Node, q, d, col)
+		return
+	}
+	p.remoteRange(ref, q, d, col, parallel)
+}
+
+func (p *partition) remoteRange(ref childRef, q []float64, d float64, col *rangeCollector, parallel bool) {
+	call := func() {
+		resp, err := p.t.call(p.id, ref.Part, rangeReq{Node: ref.Node, Query: q, D: d})
+		if err != nil {
+			col.fail(err)
+			return
+		}
+		if ns := resp.(rangeResp).Neighbors; len(ns) > 0 {
+			col.add(ns)
+		}
+	}
+	if !parallel {
+		call()
+		return
+	}
+	col.wg.Add(1)
+	go func() {
+		defer col.wg.Done()
+		call()
+	}()
+}
+
+func euclidean(q, p []float64) float64 {
+	s := 0.0
+	for i := range q {
+		d := q[i] - p[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

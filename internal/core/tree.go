@@ -1,0 +1,374 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"semtree/internal/cluster"
+	"semtree/internal/kdtree"
+)
+
+// PartitionInfo is handed to a dynamic capacity check (the run-time
+// evaluated resource condition of §III-B.1).
+type PartitionInfo struct {
+	Points   int // points currently hosted by the partition
+	Nodes    int // tree nodes hosted (routing + leaf + tombstones)
+	Capacity int // the configured PartitionCapacity
+}
+
+// Config configures a distributed SemTree.
+type Config struct {
+	// Dim is the dimensionality of indexed points (the FastMap k).
+	Dim int
+	// BucketSize is the leaf capacity Bs. Default 16.
+	BucketSize int
+	// PartitionCapacity is the number of points a partition may host
+	// before the build-partition algorithm fires. 0 disables spilling
+	// (a single partition holds everything).
+	PartitionCapacity int
+	// MaxPartitions is the paper's M: the number of compute nodes
+	// available, including the root partition. Default 1.
+	MaxPartitions int
+	// Fabric carries inter-partition messages. Nil selects a private
+	// in-process fabric with zero latency.
+	Fabric cluster.Fabric
+	// Unbalanced selects the degenerate chain split policy, reproducing
+	// the paper's "totally unbalanced" configuration.
+	Unbalanced bool
+	// RetryAttempts bounds per-message retries on transient fabric
+	// failures. Default 3. Retries are safe because delivery failures
+	// happen before the handler runs (at-most-once processing).
+	RetryAttempts int
+	// CapacityCheck, when set, replaces the static points>capacity
+	// condition with a dynamic one.
+	CapacityCheck func(PartitionInfo) bool
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Dim <= 0 {
+		return c, fmt.Errorf("core: dimension %d must be positive", c.Dim)
+	}
+	if c.BucketSize <= 0 {
+		c.BucketSize = kdtree.DefaultBucketSize
+	}
+	if c.MaxPartitions <= 0 {
+		c.MaxPartitions = 1
+	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 3
+	}
+	if c.PartitionCapacity < 0 {
+		return c, fmt.Errorf("core: negative partition capacity %d", c.PartitionCapacity)
+	}
+	return c, nil
+}
+
+// Tree is the distributed SemTree index. The structure is reachable
+// only through fabric messages addressed to the root partition, exactly
+// as a client of the paper's system would use it. All methods are safe
+// for concurrent use.
+type Tree struct {
+	cfg       Config
+	fabric    cluster.Fabric
+	ownFabric bool
+
+	mu    sync.RWMutex
+	parts []*partition
+
+	size atomic.Int64
+}
+
+// TreeStats aggregates the state of every partition plus fabric
+// accounting.
+type TreeStats struct {
+	Points          int
+	Partitions      int
+	PartitionPoints []int // per-partition hosted points
+	Nodes           int
+	Leaves          int
+	NavSteps        int64 // total nodes traversed by insert descents
+	Inserts         int64
+	Fabric          cluster.Stats
+}
+
+// New creates a distributed SemTree with its root partition.
+func New(cfg Config) (*Tree, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{cfg: cfg, fabric: cfg.Fabric}
+	if t.fabric == nil {
+		t.fabric = cluster.NewInProc(cluster.InProcOptions{})
+		t.ownFabric = true
+	}
+	if _, err := t.addPartition(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// addPartition registers a new partition on the fabric. The first one
+// becomes the root partition.
+func (t *Tree) addPartition() (*partition, error) {
+	p := &partition{t: t}
+	id, err := t.fabric.AddNode(p.handle)
+	if err != nil {
+		return nil, err
+	}
+	p.id = id
+	t.mu.Lock()
+	if len(t.parts) == 0 {
+		// The root partition starts with the tree root: one empty
+		// leaf at node index 0, where Insert and the searches enter.
+		p.nodes = []pnode{{leaf: true}}
+	}
+	t.parts = append(t.parts, p)
+	t.mu.Unlock()
+	return p, nil
+}
+
+// rootPartition returns the partition holding the tree root.
+func (t *Tree) rootPartition() *partition {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.parts[0]
+}
+
+// hasPartitionBudget reports whether more partitions may be created.
+func (t *Tree) hasPartitionBudget() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.parts) < t.cfg.MaxPartitions
+}
+
+// allocPartitions creates up to want new partitions, bounded by the
+// remaining MaxPartitions budget, and returns their fabric IDs.
+func (t *Tree) allocPartitions(want int) []cluster.NodeID {
+	t.mu.RLock()
+	budget := t.cfg.MaxPartitions - len(t.parts)
+	t.mu.RUnlock()
+	if want > budget {
+		want = budget
+	}
+	var ids []cluster.NodeID
+	for i := 0; i < want; i++ {
+		p, err := t.addPartition()
+		if err != nil {
+			break
+		}
+		ids = append(ids, p.id)
+	}
+	return ids
+}
+
+// call sends one fabric message with transient-failure retries.
+func (t *Tree) call(from, to cluster.NodeID, req any) (any, error) {
+	return cluster.CallRetry(t.fabric, from, to, req, t.cfg.RetryAttempts)
+}
+
+// Insert adds a point, entering at the root node of the root partition
+// (§III-B.1).
+func (t *Tree) Insert(p kdtree.Point) error {
+	if len(p.Coords) != t.cfg.Dim {
+		return fmt.Errorf("core: point has %d coords, tree dimension is %d", len(p.Coords), t.cfg.Dim)
+	}
+	root := t.rootPartition()
+	if _, err := t.call(cluster.ClientID, root.id, insertReq{Node: 0, Point: p}); err != nil {
+		return err
+	}
+	t.size.Add(1)
+	return nil
+}
+
+// InsertAsync enqueues a point through the fabric's one-way mailbox
+// path: the root partition routes it and forwards across partitions
+// with fire-and-forget messages, exactly like an MPJ insert pipeline.
+// Use Flush to wait for all enqueued points to land. Delivery is
+// at-most-once — on a fabric with failure injection, dropped messages
+// lose points (Stats().Points reveals the loss).
+func (t *Tree) InsertAsync(p kdtree.Point) error {
+	if len(p.Coords) != t.cfg.Dim {
+		return fmt.Errorf("core: point has %d coords, tree dimension is %d", len(p.Coords), t.cfg.Dim)
+	}
+	root := t.rootPartition()
+	if err := t.fabric.Send(cluster.ClientID, root.id, insertReq{Node: 0, Point: p, Async: true}); err != nil {
+		return err
+	}
+	t.size.Add(1)
+	return nil
+}
+
+// Flush waits until all asynchronously inserted points have been
+// applied, including cross-partition forwards still in flight.
+func (t *Tree) Flush() { t.fabric.Flush() }
+
+// DefaultBatchSize is the pipeline batch used by InsertBatchAsync when
+// none is given.
+const DefaultBatchSize = 64
+
+// InsertBatchAsync enqueues pts through the one-way pipeline in chunks
+// of batchSize (DefaultBatchSize when <= 0). Batching amortizes
+// per-message cost: this is the bulk-load path the index-building
+// benchmarks (Figure 3) measure. Call Flush to wait for completion.
+func (t *Tree) InsertBatchAsync(pts []kdtree.Point, batchSize int) error {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	for i, p := range pts {
+		if len(p.Coords) != t.cfg.Dim {
+			return fmt.Errorf("core: point %d has %d coords, tree dimension is %d", i, len(p.Coords), t.cfg.Dim)
+		}
+	}
+	root := t.rootPartition()
+	for start := 0; start < len(pts); start += batchSize {
+		end := start + batchSize
+		if end > len(pts) {
+			end = len(pts)
+		}
+		entries := make([]batchEntry, 0, end-start)
+		for _, p := range pts[start:end] {
+			entries = append(entries, batchEntry{Node: 0, Point: p})
+		}
+		if err := t.fabric.Send(cluster.ClientID, root.id, insertBatchReq{Entries: entries}); err != nil {
+			return err
+		}
+		t.size.Add(int64(end - start))
+	}
+	return nil
+}
+
+// InsertAll inserts points concurrently with the given number of
+// workers ("using M−1 data partitions, we can perform in the best case
+// M−1 parallel operations maximizing our throughput" — §III-C). It
+// returns the first error; remaining points are still attempted.
+func (t *Tree) InsertAll(pts []kdtree.Point, workers int) error {
+	if workers <= 1 {
+		for _, p := range pts {
+			if err := t.Insert(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		firstErr atomic.Value
+	)
+	ch := make(chan kdtree.Point, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range ch {
+				if err := t.Insert(p); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}
+		}()
+	}
+	for _, p := range pts {
+		ch <- p
+	}
+	close(ch)
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// KNearest returns the k points closest to q, ascending by distance.
+func (t *Tree) KNearest(q []float64, k int) ([]kdtree.Neighbor, error) {
+	if len(q) != t.cfg.Dim {
+		return nil, fmt.Errorf("core: query has %d coords, tree dimension is %d", len(q), t.cfg.Dim)
+	}
+	if k <= 0 || t.size.Load() == 0 {
+		return nil, nil
+	}
+	root := t.rootPartition()
+	resp, err := t.call(cluster.ClientID, root.id, knnReq{Node: 0, Query: q, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.(knnResp).Rs, nil
+}
+
+// RangeSearch returns every point within distance d of q, ascending by
+// distance.
+func (t *Tree) RangeSearch(q []float64, d float64) ([]kdtree.Neighbor, error) {
+	if len(q) != t.cfg.Dim {
+		return nil, fmt.Errorf("core: query has %d coords, tree dimension is %d", len(q), t.cfg.Dim)
+	}
+	if d < 0 || t.size.Load() == 0 {
+		return nil, nil
+	}
+	root := t.rootPartition()
+	resp, err := t.call(cluster.ClientID, root.id, rangeReq{Node: 0, Query: q, D: d})
+	if err != nil {
+		return nil, err
+	}
+	out := resp.(rangeResp).Neighbors
+	sort.Slice(out, func(i, j int) bool { return neighborLess(out[i], out[j]) })
+	return out, nil
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return int(t.size.Load()) }
+
+// PartitionCount returns the number of partitions in use.
+func (t *Tree) PartitionCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.parts)
+}
+
+// Height returns the number of levels of the distributed tree,
+// following cross-partition links.
+func (t *Tree) Height() (int, error) {
+	root := t.rootPartition()
+	resp, err := t.call(cluster.ClientID, root.id, heightReq{Node: 0})
+	if err != nil {
+		return 0, err
+	}
+	return resp.(heightResp).Height, nil
+}
+
+// Stats gathers per-partition statistics through the fabric. The
+// partition list is snapshotted first; no tree lock is held while
+// messaging (partitions may be spilling concurrently).
+func (t *Tree) Stats() (TreeStats, error) {
+	t.mu.RLock()
+	parts := append([]*partition(nil), t.parts...)
+	t.mu.RUnlock()
+	st := TreeStats{Partitions: len(parts)}
+	for _, p := range parts {
+		resp, err := t.call(cluster.ClientID, p.id, statsReq{})
+		if err != nil {
+			return st, err
+		}
+		pr := resp.(statsResp)
+		st.Points += pr.Points
+		st.PartitionPoints = append(st.PartitionPoints, pr.Points)
+		st.Nodes += pr.Nodes
+		st.Leaves += pr.Leaves
+		st.NavSteps += pr.NavSteps
+		st.Inserts += p.inserts.Load()
+	}
+	st.Fabric = t.fabric.Stats()
+	return st, nil
+}
+
+// Close releases the private fabric when the tree owns one.
+func (t *Tree) Close() error {
+	if t.ownFabric {
+		return t.fabric.Close()
+	}
+	return nil
+}
+
+// ErrNotFound is returned by lookups that match nothing.
+var ErrNotFound = errors.New("core: not found")

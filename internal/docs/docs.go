@@ -1,0 +1,180 @@
+// Package docs models the document side of SemTree: corpora of
+// documents composed of sections ("data come from software
+// requirements' documents … composed by a set of sections, each one
+// containing the definition of a specific requirement", §III-A), the
+// provenance from indexed triples back to the sections they were
+// extracted from, and document-level retrieval: since SemTree answers
+// queries with triples, mapping results back to documents is what makes
+// it a *document* index.
+package docs
+
+import (
+	"fmt"
+	"sort"
+
+	"semtree/internal/nlp"
+	"semtree/internal/triple"
+)
+
+// SectionSource is one requirement's raw content before ingestion.
+type SectionSource struct {
+	ID   string // requirement identifier, e.g. "REQ-OBSW-001"
+	Text string // natural-language sentences and/or Turtle-like lines
+}
+
+// DocumentSource is a document's raw content before ingestion.
+type DocumentSource struct {
+	ID       string
+	Title    string
+	Sections []SectionSource
+}
+
+// Section is an ingested requirement: its source plus the IDs of the
+// triples extracted from it.
+type Section struct {
+	ID      string
+	Text    string
+	Triples []triple.ID
+}
+
+// Document is an ingested document.
+type Document struct {
+	ID       string
+	Title    string
+	Sections []Section
+}
+
+// Ref locates the section a triple came from.
+type Ref struct {
+	Doc     int // index into Corpus.Docs
+	Section int // index into Document.Sections
+}
+
+// Corpus is an ingested document collection sharing one triple store.
+// Build it single-threaded (Ingest), then read freely: reads after
+// building are safe for concurrent use.
+type Corpus struct {
+	Store    *triple.Store
+	Docs     []Document
+	byTriple map[triple.ID]Ref
+}
+
+// NewCorpus returns an empty corpus with a fresh store.
+func NewCorpus() *Corpus {
+	return &Corpus{
+		Store:    triple.NewStore(),
+		byTriple: make(map[triple.ID]Ref),
+	}
+}
+
+// Ingest extracts triples from every section of src with ex and adds
+// the document to the corpus. It returns the sentences the extractor
+// could not parse (they are kept in the section text regardless).
+func (c *Corpus) Ingest(src DocumentSource, ex *nlp.Extractor) (skipped []string) {
+	doc := Document{ID: src.ID, Title: src.Title}
+	docIdx := len(c.Docs)
+	for si, s := range src.Sections {
+		sec := Section{ID: s.ID, Text: s.Text}
+		ts, sk := ex.Extract(s.Text)
+		skipped = append(skipped, sk...)
+		if len(ts) > 0 {
+			first := c.Store.AddAll(ts, triple.Provenance{Doc: src.ID, Section: s.ID})
+			for k := range ts {
+				id := first + triple.ID(k)
+				sec.Triples = append(sec.Triples, id)
+				c.byTriple[id] = Ref{Doc: docIdx, Section: si}
+			}
+		}
+		doc.Sections = append(doc.Sections, sec)
+	}
+	c.Docs = append(c.Docs, doc)
+	return skipped
+}
+
+// AddTriples records pre-extracted triples under a synthetic section,
+// for corpora generated directly as triples (the 100k-triple benchmark
+// path).
+func (c *Corpus) AddTriples(docID, sectionID string, ts []triple.Triple) []triple.ID {
+	docIdx := -1
+	for i := range c.Docs {
+		if c.Docs[i].ID == docID {
+			docIdx = i
+			break
+		}
+	}
+	if docIdx < 0 {
+		docIdx = len(c.Docs)
+		c.Docs = append(c.Docs, Document{ID: docID})
+	}
+	doc := &c.Docs[docIdx]
+	secIdx := len(doc.Sections)
+	sec := Section{ID: sectionID}
+	first := c.Store.AddAll(ts, triple.Provenance{Doc: docID, Section: sectionID})
+	ids := make([]triple.ID, len(ts))
+	for k := range ts {
+		id := first + triple.ID(k)
+		ids[k] = id
+		sec.Triples = append(sec.Triples, id)
+		c.byTriple[id] = Ref{Doc: docIdx, Section: secIdx}
+	}
+	doc.Sections = append(doc.Sections, sec)
+	return ids
+}
+
+// Ref returns the section a triple was extracted from.
+func (c *Corpus) Ref(id triple.ID) (Ref, bool) {
+	r, ok := c.byTriple[id]
+	return r, ok
+}
+
+// SectionOf resolves a triple to its document and section; it errors on
+// unknown IDs.
+func (c *Corpus) SectionOf(id triple.ID) (*Document, *Section, error) {
+	r, ok := c.byTriple[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("docs: no provenance for triple %d", id)
+	}
+	d := &c.Docs[r.Doc]
+	return d, &d.Sections[r.Section], nil
+}
+
+// DocScore is a ranked document-retrieval result.
+type DocScore struct {
+	DocID   string
+	Matches int         // number of matched triples in the document
+	Triples []triple.ID // the matched triples, in input order
+}
+
+// RankDocuments groups matched triple IDs by document and ranks
+// documents by descending match count (ties broken by document ID), the
+// final step of semantic document retrieval.
+func (c *Corpus) RankDocuments(ids []triple.ID) []DocScore {
+	byDoc := make(map[int]*DocScore)
+	for _, id := range ids {
+		r, ok := c.byTriple[id]
+		if !ok {
+			continue
+		}
+		s, ok := byDoc[r.Doc]
+		if !ok {
+			s = &DocScore{DocID: c.Docs[r.Doc].ID}
+			byDoc[r.Doc] = s
+		}
+		s.Matches++
+		s.Triples = append(s.Triples, id)
+	}
+	out := make([]DocScore, 0, len(byDoc))
+	for _, s := range byDoc {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Matches != out[j].Matches {
+			return out[i].Matches > out[j].Matches
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	return out
+}
+
+// NumTriples returns the total number of ingested triples.
+func (c *Corpus) NumTriples() int { return c.Store.Len() }

@@ -1,0 +1,118 @@
+package docs
+
+import (
+	"testing"
+
+	"semtree/internal/nlp"
+	"semtree/internal/triple"
+	"semtree/internal/vocab"
+)
+
+func testCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	ex := nlp.NewExtractor(nlp.NewLexicon(vocab.DefaultRegistry()))
+	c := NewCorpus()
+	skipped := c.Ingest(DocumentSource{
+		ID:    "DOC-1",
+		Title: "On-board software requirements",
+		Sections: []SectionSource{
+			{ID: "REQ-1", Text: "OBSW001 shall accept the start-up command."},
+			{ID: "REQ-2", Text: "In the orbit phase, OBSW001 shall send the housekeeping message."},
+			{ID: "REQ-3", Text: "('OBSW001', Fun:send_msg, MsgType:power_amplifier)"},
+		},
+	}, ex)
+	if len(skipped) != 0 {
+		t.Fatalf("skipped sentences: %v", skipped)
+	}
+	c.Ingest(DocumentSource{
+		ID: "DOC-2",
+		Sections: []SectionSource{
+			{ID: "REQ-4", Text: "TTC3 shall broadcast the fault alert."},
+		},
+	}, ex)
+	return c
+}
+
+func TestIngestProvenance(t *testing.T) {
+	c := testCorpus(t)
+	if c.NumTriples() != 5 { // 1 + 2 (phase) + 1 + 1
+		t.Fatalf("NumTriples = %d, want 5", c.NumTriples())
+	}
+	if len(c.Docs) != 2 {
+		t.Fatalf("docs = %d", len(c.Docs))
+	}
+	// Every stored triple must resolve back to its section.
+	c.Store.Each(func(id triple.ID, e triple.Entry) bool {
+		d, s, err := c.SectionOf(id)
+		if err != nil {
+			t.Fatalf("SectionOf(%d): %v", id, err)
+		}
+		if e.Prov.Doc != d.ID || e.Prov.Section != s.ID {
+			t.Fatalf("provenance mismatch for %d: %v vs %s/%s", id, e.Prov, d.ID, s.ID)
+		}
+		return true
+	})
+	if _, _, err := c.SectionOf(triple.ID(999)); err == nil {
+		t.Fatal("SectionOf on unknown id should fail")
+	}
+}
+
+func TestIngestReportsSkipped(t *testing.T) {
+	ex := nlp.NewExtractor(nlp.NewLexicon(vocab.DefaultRegistry()))
+	c := NewCorpus()
+	skipped := c.Ingest(DocumentSource{
+		ID:       "DOC-X",
+		Sections: []SectionSource{{ID: "R", Text: "This is not a requirement."}},
+	}, ex)
+	if len(skipped) != 1 {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	if c.NumTriples() != 0 {
+		t.Fatalf("triples = %d", c.NumTriples())
+	}
+}
+
+func TestRankDocuments(t *testing.T) {
+	c := testCorpus(t)
+	// Match every triple of DOC-1 plus the single DOC-2 triple.
+	var all []triple.ID
+	c.Store.Each(func(id triple.ID, e triple.Entry) bool {
+		all = append(all, id)
+		return true
+	})
+	ranked := c.RankDocuments(all)
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	if ranked[0].DocID != "DOC-1" || ranked[0].Matches != 4 {
+		t.Fatalf("top doc = %+v", ranked[0])
+	}
+	if ranked[1].DocID != "DOC-2" || ranked[1].Matches != 1 {
+		t.Fatalf("second doc = %+v", ranked[1])
+	}
+	// Unknown IDs are ignored.
+	if got := c.RankDocuments([]triple.ID{9999}); len(got) != 0 {
+		t.Fatalf("unknown id ranked: %v", got)
+	}
+}
+
+func TestAddTriplesDirect(t *testing.T) {
+	c := NewCorpus()
+	ts := []triple.Triple{
+		triple.New(triple.NewLiteral("A"), triple.NewConcept("Fun", "accept_cmd"), triple.NewConcept("CmdType", "start-up")),
+		triple.New(triple.NewLiteral("A"), triple.NewConcept("Fun", "send_msg"), triple.NewConcept("MsgType", "housekeeping")),
+	}
+	ids := c.AddTriples("DOC-9", "REQ-9", ts)
+	if len(ids) != 2 || c.NumTriples() != 2 {
+		t.Fatalf("ids = %v, triples = %d", ids, c.NumTriples())
+	}
+	// Appending to the same document adds a section, not a new doc.
+	c.AddTriples("DOC-9", "REQ-10", ts[:1])
+	if len(c.Docs) != 1 || len(c.Docs[0].Sections) != 2 {
+		t.Fatalf("docs = %d, sections = %d", len(c.Docs), len(c.Docs[0].Sections))
+	}
+	d, s, err := c.SectionOf(ids[1])
+	if err != nil || d.ID != "DOC-9" || s.ID != "REQ-9" {
+		t.Fatalf("SectionOf = %v/%v/%v", d, s, err)
+	}
+}

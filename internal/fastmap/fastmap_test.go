@@ -1,0 +1,251 @@
+package fastmap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// euclideanPoints builds n random points in dim dimensions; the ground
+// distance is genuinely Euclidean, so FastMap should recover it well.
+func euclideanPoints(r *rand.Rand, n, dim int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = r.Float64() * 10
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestBuildRejectsNilDistance(t *testing.T) {
+	if _, _, err := Build[int](nil, nil, Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBuildEmptyAndSingle(t *testing.T) {
+	dist := func(a, b int) float64 { return math.Abs(float64(a - b)) }
+	m, coords, err := Build(nil, dist, Options{Dims: 4})
+	if err != nil || len(coords) != 0 {
+		t.Fatalf("empty build: %v, %d coords", err, len(coords))
+	}
+	if got := m.Map(42); len(got) != 4 {
+		t.Fatalf("Map on empty mapper returned %d dims", len(got))
+	}
+
+	m, coords, err = Build([]int{7}, dist, Options{Dims: 4})
+	if err != nil {
+		t.Fatalf("single build: %v", err)
+	}
+	for _, c := range coords[0] {
+		if c != 0 {
+			t.Fatalf("single object should map to origin, got %v", coords[0])
+		}
+	}
+	if got := m.Map(7); Euclidean(got, coords[0]) != 0 {
+		t.Fatalf("Map(same single object) = %v, want %v", got, coords[0])
+	}
+}
+
+func TestEmbeddingPreservesEuclideanDistances(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	pts := euclideanPoints(r, 120, 4)
+	dist := func(a, b []float64) float64 { return Euclidean(a, b) }
+	_, coords, err := Build(pts, dist, Options{Dims: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s := Stress(pts, dist, coords, 2000, 2)
+	if s > 0.12 {
+		t.Fatalf("stress %f too high for a 4-dim Euclidean source in 4 dims", s)
+	}
+}
+
+func TestEmbeddingContractsNonEuclidean(t *testing.T) {
+	// With a non-Euclidean metric the embedding still must not blow up:
+	// coordinates are finite and the stress is bounded.
+	r := rand.New(rand.NewSource(9))
+	objs := make([]string, 80)
+	letters := []rune("abcdefg")
+	for i := range objs {
+		n := 3 + r.Intn(8)
+		s := make([]rune, n)
+		for j := range s {
+			s[j] = letters[r.Intn(len(letters))]
+		}
+		objs[i] = string(s)
+	}
+	dist := func(a, b string) float64 {
+		// crude edit-ish distance: |len diff| + per-position mismatch
+		la, lb := len(a), len(b)
+		if la > lb {
+			a, b, la, lb = b, a, lb, la
+		}
+		d := float64(lb - la)
+		for i := 0; i < la; i++ {
+			if a[i] != b[i] {
+				d++
+			}
+		}
+		return d
+	}
+	_, coords, err := Build(objs, dist, Options{Dims: 6, Seed: 3})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for i, c := range coords {
+		for _, x := range c {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("coords[%d] contains NaN/Inf: %v", i, c)
+			}
+		}
+	}
+	if s := Stress(objs, dist, coords, 2000, 4); s > 1 {
+		t.Fatalf("stress %f > 1", s)
+	}
+}
+
+func TestPivotProjectionsOnFirstAxis(t *testing.T) {
+	// On the first axis, pivot A maps to 0 and pivot B to d(A,B): the
+	// cosine-law projection fixes both endpoints.
+	r := rand.New(rand.NewSource(17))
+	pts := euclideanPoints(r, 60, 3)
+	dist := func(a, b []float64) float64 { return Euclidean(a, b) }
+	m, coords, err := Build(pts, dist, Options{Dims: 3, Seed: 5})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Recover pivot indices by matching coordinates.
+	xA := m.Map(m.pivotA[0])
+	xB := m.Map(m.pivotB[0])
+	if math.Abs(xA[0]) > 1e-9 {
+		t.Errorf("pivot A first coordinate = %f, want 0", xA[0])
+	}
+	if math.Abs(xB[0]-m.dAB[0]) > 1e-9 {
+		t.Errorf("pivot B first coordinate = %f, want %f", xB[0], m.dAB[0])
+	}
+	_ = coords
+}
+
+func TestMapConsistentWithBuild(t *testing.T) {
+	// Mapping a training object out-of-sample must land exactly on its
+	// build-time coordinates (the recursion is identical).
+	r := rand.New(rand.NewSource(23))
+	pts := euclideanPoints(r, 50, 3)
+	dist := func(a, b []float64) float64 { return Euclidean(a, b) }
+	m, coords, err := Build(pts, dist, Options{Dims: 5, Seed: 6})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for i, p := range pts {
+		got := m.Map(p)
+		if d := Euclidean(got, coords[i]); d > 1e-6 {
+			t.Fatalf("object %d: Map differs from build coords by %g (%v vs %v)", i, d, got, coords[i])
+		}
+	}
+}
+
+func TestMapPreservesNeighborhoods(t *testing.T) {
+	// For a query point, the nearest object in the original space
+	// should rank among the nearest few in the embedded space.
+	r := rand.New(rand.NewSource(31))
+	pts := euclideanPoints(r, 200, 3)
+	dist := func(a, b []float64) float64 { return Euclidean(a, b) }
+	m, coords, err := Build(pts, dist, Options{Dims: 3, Seed: 7})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	hits := 0
+	const trials = 50
+	for q := 0; q < trials; q++ {
+		query := []float64{r.Float64() * 10, r.Float64() * 10, r.Float64() * 10}
+		trueNN, bestD := -1, math.Inf(1)
+		for i, p := range pts {
+			if d := dist(query, p); d < bestD {
+				trueNN, bestD = i, d
+			}
+		}
+		qc := m.Map(query)
+		// rank of trueNN in embedded space
+		dNN := Euclidean(qc, coords[trueNN])
+		rank := 0
+		for i := range pts {
+			if Euclidean(qc, coords[i]) < dNN {
+				rank++
+			}
+		}
+		if rank < 5 {
+			hits++
+		}
+	}
+	if hits < trials*7/10 {
+		t.Fatalf("true NN ranked in embedded top-5 only %d/%d times", hits, trials)
+	}
+}
+
+func TestDegenerateAllEqualObjects(t *testing.T) {
+	objs := []int{1, 1, 1, 1}
+	dist := func(a, b int) float64 { return 0 }
+	m, coords, err := Build(objs, dist, Options{Dims: 3})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for _, c := range coords {
+		for _, x := range c {
+			if x != 0 {
+				t.Fatalf("identical objects must map to origin, got %v", coords)
+			}
+		}
+	}
+	if got := m.Map(1); Euclidean(got, coords[0]) != 0 {
+		t.Fatalf("Map of identical object = %v", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	pts := euclideanPoints(r, 64, 3)
+	dist := func(a, b []float64) float64 { return Euclidean(a, b) }
+	_, c1, _ := Build(pts, dist, Options{Dims: 4, Seed: 9})
+	_, c2, _ := Build(pts, dist, Options{Dims: 4, Seed: 9})
+	for i := range c1 {
+		for d := range c1[i] {
+			if c1[i][d] != c2[i][d] {
+				t.Fatalf("same seed produced different embeddings at [%d][%d]", i, d)
+			}
+		}
+	}
+}
+
+func TestStressDecreasesWithDims(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	pts := euclideanPoints(r, 150, 6)
+	dist := func(a, b []float64) float64 { return Euclidean(a, b) }
+	var prev float64 = math.Inf(1)
+	for _, k := range []int{1, 3, 6} {
+		_, coords, err := Build(pts, dist, Options{Dims: k, Seed: 11})
+		if err != nil {
+			t.Fatalf("Build k=%d: %v", k, err)
+		}
+		s := Stress(pts, dist, coords, 3000, 12)
+		if s > prev+0.05 { // allow small sampling noise
+			t.Fatalf("stress increased when adding dims: k=%d s=%f prev=%f", k, s, prev)
+		}
+		prev = s
+	}
+}
+
+func BenchmarkBuild1k(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := euclideanPoints(r, 1000, 4)
+	dist := func(a, b []float64) float64 { return Euclidean(a, b) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Build(pts, dist, Options{Dims: 8, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package kdtree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BulkLoad builds a balanced tree over pts by recursive median splits
+// ("Kd-trees are more efficient in bulk-loading situations (as required
+// by our approach)" — §III-B). The input slice is reordered in place.
+func BulkLoad(pts []Point, dim, bucketSize int) (*Tree, error) {
+	t, err := New(dim, bucketSize)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pts {
+		if len(p.Coords) != dim {
+			return nil, fmt.Errorf("kdtree: point %d has %d coords, want %d", i, len(p.Coords), dim)
+		}
+	}
+	t.root = buildBalanced(pts, dim, t.bucketSize)
+	t.size = len(pts)
+	return t, nil
+}
+
+func buildBalanced(pts []Point, dims, bucketSize int) *node {
+	if len(pts) <= bucketSize {
+		return &node{leaf: true, bucket: append([]Point(nil), pts...)}
+	}
+	d, _, _, ok := widestDimension(pts, dims)
+	if !ok {
+		// All points identical: unsplittable oversized leaf.
+		return &node{leaf: true, bucket: append([]Point(nil), pts...)}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Coords[d] < pts[j].Coords[d] })
+	// A valid cut c needs pts[c-1] < pts[c] on dimension d, so that
+	// "<= goes left" keeps both halves non-empty with duplicates
+	// present. Pick the valid cut closest to the median.
+	mid := len(pts) / 2
+	cutUp := mid
+	for cutUp < len(pts) && pts[cutUp].Coords[d] == pts[cutUp-1].Coords[d] {
+		cutUp++
+	}
+	cutDown := mid
+	for cutDown > 0 && pts[cutDown].Coords[d] == pts[cutDown-1].Coords[d] {
+		cutDown--
+	}
+	var cut int
+	switch {
+	case cutUp < len(pts) && cutDown > 0:
+		if cutUp-mid <= mid-cutDown {
+			cut = cutUp
+		} else {
+			cut = cutDown
+		}
+	case cutUp < len(pts):
+		cut = cutUp
+	case cutDown > 0:
+		cut = cutDown
+	default:
+		// Unreachable: widestDimension guarantees spread > 0, so some
+		// adjacent pair differs. Fall back defensively.
+		return &node{leaf: true, bucket: append([]Point(nil), pts...)}
+	}
+	splitVal := pts[cut-1].Coords[d]
+	return &node{
+		splitDim: d,
+		splitVal: splitVal,
+		left:     buildBalanced(pts[:cut], dims, bucketSize),
+		right:    buildBalanced(pts[cut:], dims, bucketSize),
+	}
+}
+
+// BuildChain builds the paper's "totally unbalanced (chain)" tree: the
+// points are sorted on the first coordinate and each routing node peels
+// one leaf bucket off the left side, so the tree height is ~N/Bs. It is
+// the worst-case structure of Figures 3, 4 and 6. The input slice is
+// reordered in place.
+func BuildChain(pts []Point, dim, bucketSize int) (*Tree, error) {
+	t, err := New(dim, bucketSize)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pts {
+		if len(p.Coords) != dim {
+			return nil, fmt.Errorf("kdtree: point %d has %d coords, want %d", i, len(p.Coords), dim)
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Coords[0] < pts[j].Coords[0] })
+	t.root = buildChain(pts, t.bucketSize)
+	t.size = len(pts)
+	return t, nil
+}
+
+func buildChain(pts []Point, bucketSize int) *node {
+	if len(pts) <= bucketSize {
+		return &node{leaf: true, bucket: append([]Point(nil), pts...)}
+	}
+	// Take the first bucketSize points, extending over duplicates of the
+	// boundary value so the "<= goes left" invariant holds.
+	cut := bucketSize
+	for cut < len(pts) && pts[cut].Coords[0] == pts[cut-1].Coords[0] {
+		cut++
+	}
+	if cut == len(pts) {
+		return &node{leaf: true, bucket: append([]Point(nil), pts...)}
+	}
+	return &node{
+		splitDim: 0,
+		splitVal: pts[cut-1].Coords[0],
+		left:     &node{leaf: true, bucket: append([]Point(nil), pts[:cut]...)},
+		right:    buildChain(pts[cut:], bucketSize),
+	}
+}

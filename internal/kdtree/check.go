@@ -1,0 +1,102 @@
+package kdtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Check validates the structural invariants of the tree and returns the
+// first violation found. It is used by the test suite and by the
+// distributed core's property tests.
+//
+// Invariants:
+//  1. every node is either a routing node with two children or a leaf
+//     with a bucket (never both, never neither);
+//  2. every point in the left subtree of a routing node has
+//     coords[splitDim] <= splitVal, every point in the right subtree
+//     has coords[splitDim] > splitVal (checked transitively against
+//     all ancestors);
+//  3. leaf buckets respect the bucket size unless unsplittable (all
+//     points equal on every dimension);
+//  4. the tree size equals the number of points in the leaves;
+//  5. every point has the tree's dimensionality.
+func (t *Tree) Check() error {
+	counted := 0
+	// Per-dimension bounds implied by the ancestor chain.
+	lo := make([]float64, t.dim)
+	hi := make([]float64, t.dim)
+	for d := range lo {
+		lo[d] = math.Inf(-1)
+		hi[d] = math.Inf(1)
+	}
+	if err := t.checkNode(t.root, lo, hi, &counted); err != nil {
+		return err
+	}
+	if counted != t.size {
+		return fmt.Errorf("kdtree: size %d but %d points in leaves", t.size, counted)
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(n *node, lo, hi []float64, counted *int) error {
+	if n == nil {
+		return fmt.Errorf("kdtree: nil node")
+	}
+	if n.leaf {
+		if n.left != nil || n.right != nil {
+			return fmt.Errorf("kdtree: leaf with children")
+		}
+		if len(n.bucket) > t.bucketSize && !allEqual(n.bucket) {
+			return fmt.Errorf("kdtree: splittable bucket of %d exceeds Bs=%d", len(n.bucket), t.bucketSize)
+		}
+		for _, p := range n.bucket {
+			if len(p.Coords) != t.dim {
+				return fmt.Errorf("kdtree: point %d has %d coords, want %d", p.ID, len(p.Coords), t.dim)
+			}
+			for d, v := range p.Coords {
+				// lo is exclusive (right side of an ancestor split),
+				// hi is inclusive (left side).
+				if !(v > lo[d]) || !(v <= hi[d]) {
+					return fmt.Errorf("kdtree: point %d dim %d value %g outside (%g, %g]", p.ID, d, v, lo[d], hi[d])
+				}
+			}
+		}
+		*counted += len(n.bucket)
+		return nil
+	}
+	if n.left == nil || n.right == nil || n.bucket != nil {
+		return fmt.Errorf("kdtree: malformed routing node")
+	}
+	if n.splitDim < 0 || n.splitDim >= t.dim {
+		return fmt.Errorf("kdtree: split dimension %d out of range", n.splitDim)
+	}
+	if !(n.splitVal > lo[n.splitDim]) || !(n.splitVal < hi[n.splitDim]) {
+		return fmt.Errorf("kdtree: split value %g outside ancestor bounds (%g, %g)",
+			n.splitVal, lo[n.splitDim], hi[n.splitDim])
+	}
+	savedHi := hi[n.splitDim]
+	hi[n.splitDim] = n.splitVal
+	if err := t.checkNode(n.left, lo, hi, counted); err != nil {
+		return err
+	}
+	hi[n.splitDim] = savedHi
+
+	savedLo := lo[n.splitDim]
+	lo[n.splitDim] = n.splitVal
+	if err := t.checkNode(n.right, lo, hi, counted); err != nil {
+		return err
+	}
+	lo[n.splitDim] = savedLo
+	return nil
+}
+
+func allEqual(bucket []Point) bool {
+	for _, p := range bucket[1:] {
+		for d := range p.Coords {
+			if p.Coords[d] != bucket[0].Coords[d] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+package kdtree
+
+import "fmt"
+
+// FlatNode is one node of a flattened tree: children are indexes into
+// the flat slice (-1 for none). Flattening gives external systems —
+// the distributed rebalancer, persistence — a structural view without
+// exposing internal pointers.
+type FlatNode struct {
+	Leaf     bool
+	SplitDim int32
+	SplitVal float64
+	Left     int32 // index into the flat slice, -1 when leaf
+	Right    int32
+	Bucket   []Point // shared with the tree; treat as read-only
+}
+
+// Flatten returns the tree's nodes in preorder, root at index 0.
+func (t *Tree) Flatten() []FlatNode {
+	var out []FlatNode
+	var walk func(n *node) int32
+	walk = func(n *node) int32 {
+		idx := int32(len(out))
+		out = append(out, FlatNode{Leaf: n.leaf, Left: -1, Right: -1})
+		if n.leaf {
+			out[idx].Bucket = n.bucket
+			return idx
+		}
+		out[idx].SplitDim = int32(n.splitDim)
+		out[idx].SplitVal = n.splitVal
+		out[idx].Left = walk(n.left)
+		out[idx].Right = walk(n.right)
+		return idx
+	}
+	walk(t.root)
+	return out
+}
+
+// Subtree extracts the subtree rooted at root from a flat tree as a
+// self-contained flat tree (indexes renumbered, root at 0).
+func Subtree(flat []FlatNode, root int32) ([]FlatNode, error) {
+	if root < 0 || int(root) >= len(flat) {
+		return nil, fmt.Errorf("kdtree: subtree root %d out of range", root)
+	}
+	var out []FlatNode
+	var walk func(idx int32) (int32, error)
+	walk = func(idx int32) (int32, error) {
+		if idx < 0 || int(idx) >= len(flat) {
+			return 0, fmt.Errorf("kdtree: dangling child index %d", idx)
+		}
+		n := flat[idx]
+		at := int32(len(out))
+		out = append(out, FlatNode{
+			Leaf: n.Leaf, SplitDim: n.SplitDim, SplitVal: n.SplitVal,
+			Left: -1, Right: -1, Bucket: n.Bucket,
+		})
+		if n.Leaf {
+			return at, nil
+		}
+		l, err := walk(n.Left)
+		if err != nil {
+			return 0, err
+		}
+		r, err := walk(n.Right)
+		if err != nil {
+			return 0, err
+		}
+		out[at].Left = l
+		out[at].Right = r
+		return at, nil
+	}
+	if _, err := walk(root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

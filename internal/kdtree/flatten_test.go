@@ -1,0 +1,99 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFlattenStructure(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	pts := randomPoints(r, 300, 3)
+	tr, err := BulkLoad(pts, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := tr.Flatten()
+	leaves, points := 0, 0
+	for i, n := range flat {
+		if n.Leaf {
+			leaves++
+			points += len(n.Bucket)
+			if n.Left != -1 || n.Right != -1 {
+				t.Fatalf("leaf %d has children", i)
+			}
+			continue
+		}
+		for _, c := range []int32{n.Left, n.Right} {
+			if c <= 0 || int(c) >= len(flat) {
+				t.Fatalf("node %d child %d out of range", i, c)
+			}
+		}
+	}
+	if leaves != tr.LeafCount() {
+		t.Fatalf("flat leaves = %d, tree reports %d", leaves, tr.LeafCount())
+	}
+	if points != tr.Len() {
+		t.Fatalf("flat points = %d, tree holds %d", points, tr.Len())
+	}
+	// Every non-root node is referenced exactly once.
+	refs := make([]int, len(flat))
+	for _, n := range flat {
+		if !n.Leaf {
+			refs[n.Left]++
+			refs[n.Right]++
+		}
+	}
+	if refs[0] != 0 {
+		t.Fatalf("root referenced %d times", refs[0])
+	}
+	for i := 1; i < len(refs); i++ {
+		if refs[i] != 1 {
+			t.Fatalf("node %d referenced %d times", i, refs[i])
+		}
+	}
+}
+
+func TestSubtreeExtraction(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	pts := randomPoints(r, 200, 2)
+	tr, err := BulkLoad(pts, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := tr.Flatten()
+	if flat[0].Leaf {
+		t.Skip("tree too small")
+	}
+	left, err := Subtree(flat, flat[0].Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := Subtree(flat, flat[0].Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(f []FlatNode) int {
+		n := 0
+		for _, fn := range f {
+			n += len(fn.Bucket)
+		}
+		return n
+	}
+	if count(left)+count(right) != tr.Len() {
+		t.Fatalf("subtree points %d + %d != %d", count(left), count(right), tr.Len())
+	}
+	// Extracted fragments are self-contained: indexes in range.
+	for _, f := range [][]FlatNode{left, right} {
+		for i, n := range f {
+			if n.Leaf {
+				continue
+			}
+			if n.Left <= 0 || int(n.Left) >= len(f) || n.Right <= 0 || int(n.Right) >= len(f) {
+				t.Fatalf("fragment node %d has out-of-range children", i)
+			}
+		}
+	}
+	if _, err := Subtree(flat, int32(len(flat))); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+}

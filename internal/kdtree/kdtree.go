@@ -1,0 +1,233 @@
+// Package kdtree implements the sequential bucket KD-tree SemTree is
+// built from (§III-B): data points live only in leaf buckets; routing
+// nodes carry a split index Sr and split value Sv; navigation compares
+// P[Sr] against Sv at each level. The package provides dynamic
+// insertion with leaf splitting, balanced bulk-loading, the "totally
+// unbalanced (chain)" construction used as the worst case in the
+// paper's evaluation, and the k-nearest / range search procedures.
+//
+// The distributed version lives in internal/core; this package is both
+// its single-partition building block, the sequential baseline of
+// Figures 4 and 6, and the reference oracle the distributed tree is
+// property-tested against.
+package kdtree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Point is an indexed vector with an opaque payload identifier
+// (in SemTree the triple ID). Coords must not be mutated after the
+// point is handed to a tree.
+type Point struct {
+	Coords []float64
+	ID     uint64
+}
+
+// Neighbor is a search result: a point and its distance to the query.
+type Neighbor struct {
+	Point Point
+	Dist  float64
+}
+
+// Stats counts the work done by a traversal; pass to the *WithStats
+// search variants to measure pruning effectiveness.
+type Stats struct {
+	NodesVisited  int // routing + leaf nodes touched
+	LeavesVisited int // leaf nodes touched
+	PointsScanned int // candidate points distance-tested
+}
+
+// node is either a routing node (leaf == false: splitDim/splitVal/
+// children valid) or a leaf (bucket valid). Points with
+// coords[splitDim] <= splitVal belong to the left subtree.
+type node struct {
+	splitDim    int
+	splitVal    float64
+	left, right *node
+	leaf        bool
+	bucket      []Point
+}
+
+// Tree is a sequential bucket KD-tree. It is not safe for concurrent
+// mutation; concurrent reads are safe once building is done.
+type Tree struct {
+	dim        int
+	bucketSize int
+	root       *node
+	size       int
+}
+
+// DefaultBucketSize is the leaf capacity Bs used when none is given.
+const DefaultBucketSize = 16
+
+// New returns an empty tree for points of the given dimensionality.
+// bucketSize <= 0 selects DefaultBucketSize.
+func New(dim, bucketSize int) (*Tree, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("kdtree: dimension %d must be positive", dim)
+	}
+	if bucketSize <= 0 {
+		bucketSize = DefaultBucketSize
+	}
+	return &Tree{
+		dim:        dim,
+		bucketSize: bucketSize,
+		root:       &node{leaf: true},
+	}, nil
+}
+
+// Dim returns the dimensionality of indexed points.
+func (t *Tree) Dim() int { return t.dim }
+
+// BucketSize returns the leaf capacity Bs.
+func (t *Tree) BucketSize() int { return t.bucketSize }
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels (a single leaf root has height 1).
+func (t *Tree) Height() int { return height(t.root) }
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		return 1
+	}
+	l, r := height(n.left), height(n.right)
+	if r > l {
+		l = r
+	}
+	return l + 1
+}
+
+// Insert adds a point, splitting the target leaf when its bucket
+// saturates (Figure 1's red-node split).
+func (t *Tree) Insert(p Point) error {
+	if len(p.Coords) != t.dim {
+		return fmt.Errorf("kdtree: point has %d coords, tree dimension is %d", len(p.Coords), t.dim)
+	}
+	n := t.root
+	for !n.leaf {
+		if p.Coords[n.splitDim] <= n.splitVal {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	n.bucket = append(n.bucket, p)
+	t.size++
+	if len(n.bucket) > t.bucketSize {
+		t.splitLeaf(n)
+	}
+	return nil
+}
+
+// splitLeaf converts a saturated leaf into a routing node with two leaf
+// children. The split dimension is the one with the largest spread
+// (letting the tree "adapt to different densities in various regions of
+// the space", §III-B); when every dimension has zero spread the bucket
+// is unsplittable (all points identical) and is allowed to exceed Bs.
+func (t *Tree) splitLeaf(n *node) {
+	dim, lo, hi, ok := widestDimension(n.bucket, t.dim)
+	if !ok {
+		return // all points identical; oversized bucket stands
+	}
+	splitVal := chooseSplitValue(n.bucket, dim, lo, hi)
+	left := &node{leaf: true}
+	right := &node{leaf: true}
+	for _, p := range n.bucket {
+		if p.Coords[dim] <= splitVal {
+			left.bucket = append(left.bucket, p)
+		} else {
+			right.bucket = append(right.bucket, p)
+		}
+	}
+	n.leaf = false
+	n.bucket = nil
+	n.splitDim = dim
+	n.splitVal = splitVal
+	n.left = left
+	n.right = right
+}
+
+// widestDimension returns the dimension with the largest value spread
+// within the bucket, with its min and max. ok is false when every
+// dimension is constant.
+func widestDimension(bucket []Point, dims int) (dim int, lo, hi float64, ok bool) {
+	bestSpread := 0.0
+	for d := 0; d < dims; d++ {
+		mn, mx := bucket[0].Coords[d], bucket[0].Coords[d]
+		for _, p := range bucket[1:] {
+			v := p.Coords[d]
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if spread := mx - mn; spread > bestSpread {
+			bestSpread, dim, lo, hi, ok = spread, d, mn, mx, true
+		}
+	}
+	return dim, lo, hi, ok
+}
+
+// chooseSplitValue picks Sv along dim: the median bucket value when it
+// separates the points, otherwise the midpoint of the range. Both
+// choices guarantee non-empty halves under the "<= goes left" rule,
+// because lo < hi.
+func chooseSplitValue(bucket []Point, dim int, lo, hi float64) float64 {
+	vals := make([]float64, len(bucket))
+	for i, p := range bucket {
+		vals[i] = p.Coords[dim]
+	}
+	sort.Float64s(vals)
+	med := vals[(len(vals)-1)/2]
+	if med < hi {
+		return med
+	}
+	return (lo + hi) / 2
+}
+
+// Points returns all indexed points in traversal order.
+func (t *Tree) Points() []Point {
+	out := make([]Point, 0, t.size)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			out = append(out, n.bucket...)
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return out
+}
+
+// LeafCount returns the number of leaf nodes.
+func (t *Tree) LeafCount() int {
+	count := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			count++
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return count
+}

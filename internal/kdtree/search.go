@@ -1,0 +1,173 @@
+package kdtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// resultSet is a bounded max-heap of neighbors: the worst (most
+// distant) candidate sits at the top so it can be evicted in O(log k).
+// It implements the paper's Rs structure (Table I).
+type resultSet struct {
+	items []Neighbor
+	k     int
+}
+
+func (r *resultSet) Len() int           { return len(r.items) }
+func (r *resultSet) Less(i, j int) bool { return r.items[i].Dist > r.items[j].Dist }
+func (r *resultSet) Swap(i, j int)      { r.items[i], r.items[j] = r.items[j], r.items[i] }
+func (r *resultSet) Push(x interface{}) { r.items = append(r.items, x.(Neighbor)) }
+func (r *resultSet) Pop() interface{} {
+	x := r.items[len(r.items)-1]
+	r.items = r.items[:len(r.items)-1]
+	return x
+}
+func (r *resultSet) full() bool { return len(r.items) >= r.k }
+func (r *resultSet) worst() float64 {
+	if len(r.items) == 0 {
+		return math.Inf(1)
+	}
+	return r.items[0].Dist
+}
+
+// offer inserts a candidate, evicting the current worst when full.
+func (r *resultSet) offer(n Neighbor) {
+	if !r.full() {
+		heap.Push(r, n)
+		return
+	}
+	if n.Dist < r.worst() {
+		r.items[0] = n
+		heap.Fix(r, 0)
+	}
+}
+
+// sorted drains the set into ascending-distance order, breaking ties by
+// point ID so results are deterministic.
+func (r *resultSet) sorted() []Neighbor {
+	out := append([]Neighbor(nil), r.items...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Point.ID < out[j].Point.ID
+	})
+	return out
+}
+
+// euclidean returns the Euclidean distance between q and p.
+func euclidean(q, p []float64) float64 {
+	s := 0.0
+	for i := range q {
+		d := q[i] - p[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// KNearest returns the k points closest to q in ascending distance
+// order (fewer when the tree holds fewer than k points).
+func (t *Tree) KNearest(q []float64, k int) []Neighbor {
+	return t.KNearestWithStats(q, k, nil)
+}
+
+// KNearestWithStats is KNearest recording traversal work into stats
+// (which may be nil). The descent/backtrack structure follows §III-B.3:
+// navigate to the leaf containing q, add its bucket to Rs, then walk
+// back up; at each node the unexplored subtree is visited when
+// |max(Rs) − P[SI]| > |P[SI] − Sv| — i.e. the hypersphere of the
+// current worst result crosses the splitting hyperplane — or when Rs is
+// not yet full (Rs.length() < K).
+func (t *Tree) KNearestWithStats(q []float64, k int, stats *Stats) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	rs := &resultSet{k: k}
+	t.knnVisit(t.root, q, rs, stats)
+	return rs.sorted()
+}
+
+func (t *Tree) knnVisit(n *node, q []float64, rs *resultSet, stats *Stats) {
+	if stats != nil {
+		stats.NodesVisited++
+	}
+	if n.leaf {
+		if stats != nil {
+			stats.LeavesVisited++
+			stats.PointsScanned += len(n.bucket)
+		}
+		for _, p := range n.bucket {
+			rs.offer(Neighbor{Point: p, Dist: euclidean(q, p.Coords)})
+		}
+		return
+	}
+	near, far := n.left, n.right
+	if q[n.splitDim] > n.splitVal {
+		near, far = far, near
+	}
+	t.knnVisit(near, q, rs, stats)
+	// Backtracking condition (logical disjunction of the two
+	// sub-conditions in §III-B.3).
+	planeDist := math.Abs(q[n.splitDim] - n.splitVal)
+	if !rs.full() || rs.worst() > planeDist {
+		t.knnVisit(far, q, rs, stats)
+	}
+}
+
+// RangeSearch returns every point within distance d of q, in ascending
+// distance order.
+func (t *Tree) RangeSearch(q []float64, d float64) []Neighbor {
+	return t.RangeSearchWithStats(q, d, nil)
+}
+
+// RangeSearchWithStats is RangeSearch recording traversal work into
+// stats (which may be nil). Per §III-B.4: while descending, when
+// |P[SI] − Sv| < D both children are visited, otherwise navigation
+// proceeds on one side as in the insertion algorithm; results are
+// gathered on the way back.
+func (t *Tree) RangeSearchWithStats(q []float64, d float64, stats *Stats) []Neighbor {
+	if d < 0 || t.size == 0 {
+		return nil
+	}
+	var out []Neighbor
+	t.rangeVisit(t.root, q, d, &out, stats)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Point.ID < out[j].Point.ID
+	})
+	return out
+}
+
+func (t *Tree) rangeVisit(n *node, q []float64, d float64, out *[]Neighbor, stats *Stats) {
+	if stats != nil {
+		stats.NodesVisited++
+	}
+	if n.leaf {
+		if stats != nil {
+			stats.LeavesVisited++
+			stats.PointsScanned += len(n.bucket)
+		}
+		for _, p := range n.bucket {
+			if dist := euclidean(q, p.Coords); dist <= d {
+				*out = append(*out, Neighbor{Point: p, Dist: dist})
+			}
+		}
+		return
+	}
+	// The paper states the both-children condition as strict <; we use
+	// <= so that points lying at distance exactly D across the
+	// splitting plane are not missed (results use dist <= D).
+	if math.Abs(q[n.splitDim]-n.splitVal) <= d {
+		t.rangeVisit(n.left, q, d, out, stats)
+		t.rangeVisit(n.right, q, d, out, stats)
+		return
+	}
+	if q[n.splitDim] <= n.splitVal {
+		t.rangeVisit(n.left, q, d, out, stats)
+	} else {
+		t.rangeVisit(n.right, q, d, out, stats)
+	}
+}

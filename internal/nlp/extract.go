@@ -1,0 +1,306 @@
+package nlp
+
+import (
+	"fmt"
+	"strings"
+
+	"semtree/internal/triple"
+)
+
+// Extractor turns requirement sentences into triples using a Lexicon.
+type Extractor struct {
+	lex *Lexicon
+}
+
+// NewExtractor returns an extractor over the given lexicon.
+func NewExtractor(lex *Lexicon) *Extractor { return &Extractor{lex: lex} }
+
+// Extract processes a whole requirement text: Turtle-like lines are
+// parsed verbatim (structured content), every other sentence goes
+// through the pattern extractor. Unparseable sentences are returned in
+// skipped rather than failing the document.
+func (e *Extractor) Extract(text string) (triples []triple.Triple, skipped []string) {
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "(") {
+			t, err := triple.ParseTriple(trimmed)
+			if err != nil {
+				skipped = append(skipped, trimmed)
+				continue
+			}
+			triples = append(triples, t)
+			continue
+		}
+		for _, sentence := range SplitSentences(trimmed) {
+			ts, err := e.ExtractSentence(sentence)
+			if err != nil {
+				skipped = append(skipped, sentence)
+				continue
+			}
+			triples = append(triples, ts...)
+		}
+	}
+	return triples, skipped
+}
+
+// ExtractSentence parses one requirement sentence. Supported forms:
+//
+//	active:   "[In the <p> phase,] <Actor> shall [not] <verb> the <obj>
+//	           [<category>] [and [not] <verb> the <obj> [<category>]]*"
+//	passive:  "The <obj> [<category>] shall be <verb-past> by <Actor>"
+//
+// Negation maps the predicate to its vocabulary antonym when one exists
+// ("shall not accept" → block_cmd); a phase prefix contributes an
+// additional (Actor, Fun:acquire_in, InType:<p>_phase) triple, emitted
+// first to preserve the temporal order of the requirement elements
+// (§III-A footnote 1).
+func (e *Extractor) ExtractSentence(sentence string) ([]triple.Triple, error) {
+	tokens := Tokenize(sentence)
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("nlp: empty sentence")
+	}
+	i := 0
+	var phaseObj *triple.Term
+	if low(tokens[i]) == "in" || low(tokens[i]) == "during" {
+		obj, next, err := e.parsePhasePrefix(tokens, i+1)
+		if err != nil {
+			return nil, err
+		}
+		phaseObj = &obj
+		i = next
+	}
+
+	shall := indexOf(tokens, i, "shall")
+	if shall < 0 {
+		return nil, fmt.Errorf("nlp: no modal 'shall' in %q", sentence)
+	}
+	if shall+1 < len(tokens) && low(tokens[shall+1]) == "be" {
+		ts, err := e.parsePassive(tokens, i, shall)
+		if err != nil {
+			return nil, err
+		}
+		return e.withPhase(phaseObj, ts), nil
+	}
+
+	// Active: subject tokens lie between i and shall.
+	subjTokens := tokens[i:shall]
+	if len(subjTokens) > 0 && isArticle(subjTokens[0]) {
+		subjTokens = subjTokens[1:]
+	}
+	if len(subjTokens) != 1 {
+		return nil, fmt.Errorf("nlp: cannot identify actor in %q", sentence)
+	}
+	subject := triple.NewLiteral(subjTokens[0])
+
+	var out []triple.Triple
+	i = shall + 1
+	for {
+		pred, obj, next, err := e.parseVerbPhrase(tokens, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, triple.New(subject, pred, obj))
+		i = next
+		if i >= len(tokens) {
+			break
+		}
+		if low(tokens[i]) == "and" {
+			i++
+			continue
+		}
+		return nil, fmt.Errorf("nlp: trailing tokens %v in %q", tokens[i:], sentence)
+	}
+	return e.withPhase(phaseObj, out), nil
+}
+
+// parsePhasePrefix consumes "[the] <p...> phase ," returning the InType
+// phase concept and the index after the comma.
+func (e *Extractor) parsePhasePrefix(tokens []string, i int) (triple.Term, int, error) {
+	if i < len(tokens) && isArticle(tokens[i]) {
+		i++
+	}
+	start := i
+	for i < len(tokens) && low(tokens[i]) != "phase" {
+		i++
+	}
+	if i >= len(tokens) || i == start {
+		return triple.Term{}, 0, fmt.Errorf("nlp: malformed phase prefix")
+	}
+	name := low(strings.Join(tokens[start:i], "_")) + "_phase"
+	i++ // consume "phase"
+	if i >= len(tokens) || tokens[i] != "," {
+		return triple.Term{}, 0, fmt.Errorf("nlp: phase prefix missing comma")
+	}
+	return triple.NewConcept("InType", name), i + 1, nil
+}
+
+// withPhase prepends the acquire-phase triple, reusing the subject of
+// the first main triple.
+func (e *Extractor) withPhase(phaseObj *triple.Term, ts []triple.Triple) []triple.Triple {
+	if phaseObj == nil || len(ts) == 0 {
+		return ts
+	}
+	phase := triple.New(ts[0].Subject, triple.NewConcept("Fun", "acquire_in"), *phaseObj)
+	return append([]triple.Triple{phase}, ts...)
+}
+
+// parseVerbPhrase consumes "[not] <verb> [the] <obj> [<category>]" from
+// position i, stopping before "and" or the sentence end.
+func (e *Extractor) parseVerbPhrase(tokens []string, i int) (pred, obj triple.Term, next int, err error) {
+	negated := false
+	if i < len(tokens) && low(tokens[i]) == "not" {
+		negated = true
+		i++
+	}
+	if i >= len(tokens) {
+		return pred, obj, 0, fmt.Errorf("nlp: missing verb")
+	}
+	// Two-token verbs ("power on") take precedence.
+	var concept string
+	var ok bool
+	if i+1 < len(tokens) {
+		if concept, ok = e.lex.Verb(low(tokens[i]) + " " + low(tokens[i+1])); ok {
+			i += 2
+		}
+	}
+	if !ok {
+		if concept, ok = e.lex.Verb(low(tokens[i])); !ok {
+			return pred, obj, 0, fmt.Errorf("nlp: unknown verb %q", tokens[i])
+		}
+		i++
+	}
+	if negated {
+		if ant, ok := e.lex.Antonym(concept); ok {
+			concept = ant
+		} else {
+			// No recorded antinomy: keep a marked, unresolvable
+			// concept (the distance layer falls back to string
+			// comparison for it).
+			concept = "not_" + concept
+		}
+	}
+	pred = triple.NewConcept("Fun", concept)
+	obj, next, err = e.parseObject(tokens, i)
+	return pred, obj, next, err
+}
+
+// parseObject consumes "[the] <name tokens> [<category>]", resolving
+// the longest token join against the lexicon. Unknown names become
+// concepts of the category's vocabulary when a category noun follows,
+// literals otherwise.
+func (e *Extractor) parseObject(tokens []string, i int) (triple.Term, int, error) {
+	if i < len(tokens) && isArticle(tokens[i]) {
+		i++
+	}
+	// Candidate tokens run to the next conjunction or the end.
+	end := i
+	for end < len(tokens) && low(tokens[end]) != "and" && tokens[end] != "," {
+		end++
+	}
+	if end == i {
+		return triple.Term{}, 0, fmt.Errorf("nlp: missing object")
+	}
+	cand := tokens[i:end]
+	max := len(cand)
+	if max > 4 {
+		max = 4
+	}
+	for k := max; k >= 1; k-- {
+		name := low(strings.Join(cand[:k], "_"))
+		prefix, ok := e.lex.Object(name)
+		if !ok {
+			continue
+		}
+		next := i + k
+		// An optional trailing category noun must agree with the
+		// object's vocabulary.
+		if next < end {
+			if catPrefix, isCat := e.lex.Category(cand[k]); isCat && catPrefix == prefix {
+				next++
+			}
+		}
+		return triple.NewConcept(prefix, name), next, nil
+	}
+	// Unknown object: use a trailing category noun to type it.
+	if catPrefix, isCat := e.lex.Category(cand[len(cand)-1]); isCat && len(cand) > 1 {
+		name := low(strings.Join(cand[:len(cand)-1], "_"))
+		return triple.NewConcept(catPrefix, name), end, nil
+	}
+	if len(cand) == 1 {
+		return triple.NewLiteral(cand[0]), end, nil
+	}
+	return triple.Term{}, 0, fmt.Errorf("nlp: unresolvable object %v", cand)
+}
+
+func low(s string) string { return strings.ToLower(s) }
+
+func isArticle(s string) bool {
+	switch low(s) {
+	case "the", "a", "an":
+		return true
+	}
+	return false
+}
+
+func indexOf(tokens []string, from int, word string) int {
+	for i := from; i < len(tokens); i++ {
+		if low(tokens[i]) == word {
+			return i
+		}
+	}
+	return -1
+}
+
+// parsePassive handles "<obj tokens> shall be <verb-past> by [the]
+// <Actor>"; objStart marks where the object tokens begin.
+func (e *Extractor) parsePassive(tokens []string, objStart, shall int) ([]triple.Triple, error) {
+	i := shall + 2 // past "shall be"
+	if i >= len(tokens) {
+		return nil, fmt.Errorf("nlp: truncated passive sentence")
+	}
+	// Two-token past participles ("powered on") take precedence.
+	var lemma string
+	var ok bool
+	if i+1 < len(tokens) {
+		if lemma, ok = e.lex.PastVerb(low(tokens[i]) + " " + low(tokens[i+1])); ok {
+			i += 2
+		}
+	}
+	if !ok {
+		if lemma, ok = e.lex.PastVerb(low(tokens[i])); !ok {
+			return nil, fmt.Errorf("nlp: unknown past participle %q", tokens[i])
+		}
+		i++
+	}
+	concept, _ := e.lex.Verb(lemma)
+	if i >= len(tokens) || low(tokens[i]) != "by" {
+		return nil, fmt.Errorf("nlp: passive sentence missing 'by'")
+	}
+	i++
+	if i < len(tokens) && isArticle(tokens[i]) {
+		i++
+	}
+	if i != len(tokens)-1 {
+		return nil, fmt.Errorf("nlp: cannot identify actor in passive sentence")
+	}
+	subject := triple.NewLiteral(tokens[i])
+
+	objTokens := tokens[objStart:shall]
+	if len(objTokens) > 0 && isArticle(objTokens[0]) {
+		objTokens = objTokens[1:]
+	}
+	if len(objTokens) == 0 {
+		return nil, fmt.Errorf("nlp: passive sentence missing object")
+	}
+	obj, next, err := e.parseObject(append([]string{"the"}, objTokens...), 0)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(objTokens)+1 {
+		return nil, fmt.Errorf("nlp: trailing object tokens in passive sentence")
+	}
+	return []triple.Triple{triple.New(subject, triple.NewConcept("Fun", concept), obj)}, nil
+}

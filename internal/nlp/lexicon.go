@@ -1,0 +1,182 @@
+package nlp
+
+import (
+	"strings"
+
+	"semtree/internal/vocab"
+)
+
+// Lexicon resolves surface forms to vocabulary concepts: verbs to Fun
+// predicates (with their past participles for passive sentences),
+// parameter names to their typed vocabularies, and category nouns
+// ("command", "message", ...) to vocabulary prefixes.
+type Lexicon struct {
+	reg *vocab.Registry
+
+	// verb lemma → Fun concept name ("accept" → "accept_cmd");
+	// multi-word lemmas are joined with a space ("power on").
+	verbs map[string]string
+	// past participle → lemma ("accepted" → "accept")
+	past map[string]string
+	// normalized object name → vocabulary prefix
+	objects map[string]string
+	// category noun → vocabulary prefix ("command" → "CmdType")
+	categories map[string]string
+	// Fun concept name → verb lemma (inverse of verbs, for rendering)
+	lemmas map[string]string
+}
+
+// defaultVerbs maps requirement verbs to Fun concepts. Multi-word verbs
+// use a space.
+var defaultVerbs = map[string]string{
+	"accept": "accept_cmd", "reject": "reject_cmd", "block": "block_cmd",
+	"execute": "execute_cmd", "abort": "abort_cmd", "queue": "queue_cmd",
+	"discard": "discard_cmd",
+	"send":    "send_msg", "receive": "receive_msg", "broadcast": "broadcast_msg",
+	"suppress": "suppress_msg", "forward": "forward_msg", "drop": "drop_msg",
+	"acquire": "acquire_in", "release": "release_in", "sample": "sample_in",
+	"ignore":   "ignore_in",
+	"power on": "power_on", "power off": "power_off",
+	"open": "open_valve", "close": "close_valve",
+	"arm": "arm_device", "disarm": "disarm_device",
+	"lock": "lock_device", "unlock": "unlock_device",
+	"start": "start_unit", "stop": "stop_unit",
+	"enable": "enable_unit", "disable": "disable_unit",
+	"activate": "activate_unit", "deactivate": "deactivate_unit",
+	"monitor": "monitor_param", "report": "report_status",
+	"raise": "raise_alarm", "clear": "clear_alarm",
+	"store": "store_data", "erase": "erase_data",
+	"read": "read_data", "write": "write_data", "checksum": "checksum_data",
+}
+
+// defaultCategories maps trailing category nouns to vocabulary prefixes.
+var defaultCategories = map[string]string{
+	"command": "CmdType", "commands": "CmdType",
+	"message": "MsgType", "messages": "MsgType",
+	"telemetry": "MsgType", "alert": "MsgType", "acknowledgement": "MsgType",
+	"input": "InType", "inputs": "InType",
+	"reading": "InType", "frame": "InType", "packet": "InType",
+	"phase": "InType",
+}
+
+// NewLexicon builds a lexicon over the given registry. Object names are
+// enumerated from every concept of the CmdType, MsgType and InType
+// vocabularies, so extending a vocabulary extends the lexicon.
+func NewLexicon(reg *vocab.Registry) *Lexicon {
+	l := &Lexicon{
+		reg:        reg,
+		verbs:      make(map[string]string, len(defaultVerbs)),
+		past:       make(map[string]string, len(defaultVerbs)),
+		objects:    make(map[string]string),
+		categories: defaultCategories,
+	}
+	l.lemmas = make(map[string]string, len(defaultVerbs))
+	for lemma, concept := range defaultVerbs {
+		l.verbs[lemma] = concept
+		l.past[pastParticiple(lemma)] = lemma
+		l.lemmas[concept] = lemma
+	}
+	for _, prefix := range []string{"CmdType", "MsgType", "InType"} {
+		v, ok := reg.Get(prefix)
+		if !ok {
+			continue
+		}
+		for id := vocab.ConceptID(0); int(id) < v.Len(); id++ {
+			l.objects[normalizeName(v.Name(id))] = prefix
+		}
+	}
+	return l
+}
+
+// pastParticiple derives the past participle of a verb lemma. Phrasal
+// verbs inflect their first word ("power on" → "powered on"); the small
+// irregular set the lexicon needs is handled explicitly.
+func pastParticiple(lemma string) string {
+	words := strings.Split(lemma, " ")
+	words[0] = pastOf(words[0])
+	return strings.Join(words, " ")
+}
+
+func pastOf(verb string) string {
+	switch verb {
+	case "send":
+		return "sent"
+	case "read":
+		return "read"
+	case "write":
+		return "written"
+	case "drop", "stop":
+		return verb + "ped"
+	}
+	if strings.HasSuffix(verb, "e") {
+		return verb + "d"
+	}
+	return verb + "ed"
+}
+
+// normalizeName folds an object concept name to its token form:
+// lower-case with separators unified ("power_amplifier" matches the
+// tokens "power amplifier" joined by '_').
+func normalizeName(name string) string {
+	return strings.ToLower(name)
+}
+
+// Verb resolves a verb lemma to its Fun concept name.
+func (l *Lexicon) Verb(lemma string) (string, bool) {
+	c, ok := l.verbs[strings.ToLower(lemma)]
+	return c, ok
+}
+
+// PastVerb resolves a past participle to its lemma.
+func (l *Lexicon) PastVerb(p string) (string, bool) {
+	lemma, ok := l.past[strings.ToLower(p)]
+	return lemma, ok
+}
+
+// Object resolves a normalized object name to its vocabulary prefix.
+func (l *Lexicon) Object(name string) (string, bool) {
+	p, ok := l.objects[normalizeName(name)]
+	return p, ok
+}
+
+// Category resolves a category noun to its vocabulary prefix.
+func (l *Lexicon) Category(noun string) (string, bool) {
+	p, ok := l.categories[strings.ToLower(noun)]
+	return p, ok
+}
+
+// Lemma returns the verb lemma that renders the given Fun concept in a
+// sentence (the inverse of Verb); the synthetic corpus generator uses
+// it to produce text the extractor round-trips.
+func (l *Lexicon) Lemma(concept string) (string, bool) {
+	lemma, ok := l.lemmas[concept]
+	return lemma, ok
+}
+
+// ParticipleOf returns the past participle of a known verb lemma, for
+// rendering passive sentences.
+func (l *Lexicon) ParticipleOf(lemma string) (string, bool) {
+	if _, ok := l.verbs[strings.ToLower(lemma)]; !ok {
+		return "", false
+	}
+	return pastParticiple(strings.ToLower(lemma)), true
+}
+
+// Antonym returns the name of an antonym of the given Fun concept, if
+// the vocabulary records one ("shall not accept" → block/reject). When
+// several antonyms exist the first is returned.
+func (l *Lexicon) Antonym(funConcept string) (string, bool) {
+	v, ok := l.reg.Get("Fun")
+	if !ok {
+		return "", false
+	}
+	id, ok := v.Lookup(funConcept)
+	if !ok {
+		return "", false
+	}
+	ants := v.Antonyms(id)
+	if len(ants) == 0 {
+		return "", false
+	}
+	return v.Name(ants[0]), true
+}

@@ -1,0 +1,256 @@
+package nlp
+
+import (
+	"reflect"
+	"testing"
+
+	"semtree/internal/triple"
+	"semtree/internal/vocab"
+)
+
+func testExtractor(t *testing.T) *Extractor {
+	t.Helper()
+	return NewExtractor(NewLexicon(vocab.DefaultRegistry()))
+}
+
+func TestSplitSentences(t *testing.T) {
+	got := SplitSentences("A shall start. B shall stop!  C shall send\nD shall read data")
+	if len(got) != 4 {
+		t.Fatalf("got %d sentences: %v", len(got), got)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("In the pre-launch phase, OBSW001 shall accept the start-up command.")
+	want := []string{"In", "the", "pre-launch", "phase", ",", "OBSW001", "shall", "accept", "the", "start-up", "command"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func mustExtract(t *testing.T, e *Extractor, sentence string) []triple.Triple {
+	t.Helper()
+	ts, err := e.ExtractSentence(sentence)
+	if err != nil {
+		t.Fatalf("ExtractSentence(%q): %v", sentence, err)
+	}
+	return ts
+}
+
+func TestActiveSentence(t *testing.T) {
+	e := testExtractor(t)
+	ts := mustExtract(t, e, "OBSW001 shall accept the start-up command")
+	want := triple.New(
+		triple.NewLiteral("OBSW001"),
+		triple.NewConcept("Fun", "accept_cmd"),
+		triple.NewConcept("CmdType", "start-up"),
+	)
+	if len(ts) != 1 || !ts[0].Equal(want) {
+		t.Fatalf("got %v, want %v", ts, want)
+	}
+}
+
+func TestActiveWithArticleSubject(t *testing.T) {
+	e := testExtractor(t)
+	ts := mustExtract(t, e, "The PDU9 shall send the housekeeping message")
+	want := triple.New(
+		triple.NewLiteral("PDU9"),
+		triple.NewConcept("Fun", "send_msg"),
+		triple.NewConcept("MsgType", "housekeeping"),
+	)
+	if len(ts) != 1 || !ts[0].Equal(want) {
+		t.Fatalf("got %v, want %v", ts, want)
+	}
+}
+
+func TestMultiWordObject(t *testing.T) {
+	e := testExtractor(t)
+	ts := mustExtract(t, e, "OBSW001 shall send the power amplifier message")
+	want := triple.NewConcept("MsgType", "power_amplifier")
+	if len(ts) != 1 || !ts[0].Object.Equal(want) {
+		t.Fatalf("got %v, want object %v", ts, want)
+	}
+}
+
+func TestPhrasalVerb(t *testing.T) {
+	e := testExtractor(t)
+	ts := mustExtract(t, e, "PDU9 shall power on the heater")
+	if len(ts) != 1 || ts[0].Predicate.Value != "power_on" {
+		t.Fatalf("got %v", ts)
+	}
+	if !ts[0].Object.IsLiteral() || ts[0].Object.Value != "heater" {
+		t.Fatalf("unknown object should stay literal: %v", ts[0].Object)
+	}
+}
+
+func TestNegationMapsToAntonym(t *testing.T) {
+	e := testExtractor(t)
+	ts := mustExtract(t, e, "OBSW001 shall not accept the shutdown command")
+	// accept_cmd's first antonym in the built-in vocabulary is block_cmd.
+	if len(ts) != 1 || ts[0].Predicate.Value != "block_cmd" {
+		t.Fatalf("negation produced %v", ts)
+	}
+}
+
+func TestNegationWithoutAntonym(t *testing.T) {
+	e := testExtractor(t)
+	ts := mustExtract(t, e, "OBSW001 shall not monitor the temperature reading")
+	if len(ts) != 1 || ts[0].Predicate.Value != "not_monitor_param" {
+		t.Fatalf("unmapped negation produced %v", ts)
+	}
+}
+
+func TestConjunction(t *testing.T) {
+	e := testExtractor(t)
+	ts := mustExtract(t, e, "OBSW001 shall accept the start-up command and send the command ack")
+	if len(ts) != 2 {
+		t.Fatalf("got %d triples: %v", len(ts), ts)
+	}
+	if ts[0].Predicate.Value != "accept_cmd" || ts[1].Predicate.Value != "send_msg" {
+		t.Fatalf("predicates: %v / %v", ts[0].Predicate, ts[1].Predicate)
+	}
+	if !ts[1].Subject.Equal(ts[0].Subject) {
+		t.Fatalf("conjunction lost the shared subject")
+	}
+	if ts[1].Object.Value != "command_ack" {
+		t.Fatalf("second object = %v", ts[1].Object)
+	}
+}
+
+func TestPhasePrefixPaperExample(t *testing.T) {
+	// The paper's running example resources (§III-A): acquire_in with
+	// the pre-launch phase, then accept_cmd start-up.
+	e := testExtractor(t)
+	ts := mustExtract(t, e, "In the pre-launch phase, OBSW001 shall accept the start-up command")
+	if len(ts) != 2 {
+		t.Fatalf("got %d triples: %v", len(ts), ts)
+	}
+	wantPhase := triple.New(
+		triple.NewLiteral("OBSW001"),
+		triple.NewConcept("Fun", "acquire_in"),
+		triple.NewConcept("InType", "pre-launch_phase"),
+	)
+	if !ts[0].Equal(wantPhase) {
+		t.Fatalf("phase triple = %v, want %v", ts[0], wantPhase)
+	}
+	if ts[1].Predicate.Value != "accept_cmd" {
+		t.Fatalf("main triple = %v", ts[1])
+	}
+}
+
+func TestPassiveSentence(t *testing.T) {
+	e := testExtractor(t)
+	ts := mustExtract(t, e, "The start-up command shall be accepted by OBSW001")
+	want := triple.New(
+		triple.NewLiteral("OBSW001"),
+		triple.NewConcept("Fun", "accept_cmd"),
+		triple.NewConcept("CmdType", "start-up"),
+	)
+	if len(ts) != 1 || !ts[0].Equal(want) {
+		t.Fatalf("got %v, want %v", ts, want)
+	}
+}
+
+func TestPassiveIrregularParticiple(t *testing.T) {
+	e := testExtractor(t)
+	ts := mustExtract(t, e, "The housekeeping message shall be sent by TTC3")
+	if len(ts) != 1 || ts[0].Predicate.Value != "send_msg" || ts[0].Subject.Value != "TTC3" {
+		t.Fatalf("got %v", ts)
+	}
+}
+
+func TestPassivePhrasalParticiple(t *testing.T) {
+	e := testExtractor(t)
+	ts := mustExtract(t, e, "The heater shall be powered on by PDU9")
+	if len(ts) != 1 || ts[0].Predicate.Value != "power_on" {
+		t.Fatalf("got %v", ts)
+	}
+}
+
+func TestUnknownTypedObject(t *testing.T) {
+	e := testExtractor(t)
+	ts := mustExtract(t, e, "OBSW001 shall accept the warmup command")
+	obj := ts[0].Object
+	if !obj.IsConcept() || obj.Prefix != "CmdType" || obj.Value != "warmup" {
+		t.Fatalf("unknown typed object = %v", obj)
+	}
+}
+
+func TestExtractSentenceErrors(t *testing.T) {
+	e := testExtractor(t)
+	for _, s := range []string{
+		"",
+		"no modal verb here",
+		"OBSW001 shall frobnicate the thing",
+		"OBSW001 shall accept",
+		"OBSW001 and OBSW002 shall accept the start-up command",
+		"In the phase, OBSW001 shall accept the start-up command",
+		"The start-up command shall be accepted near OBSW001",
+	} {
+		if _, err := e.ExtractSentence(s); err == nil {
+			t.Errorf("ExtractSentence(%q): expected error", s)
+		}
+	}
+}
+
+func TestExtractDocumentMixedContent(t *testing.T) {
+	e := testExtractor(t)
+	doc := `('OBSW001', Fun:send_msg, MsgType:power_amplifier)
+OBSW001 shall accept the start-up command.
+This sentence is not a requirement at all.
+During the orbit phase, TTC3 shall broadcast the housekeeping message.`
+	ts, skipped := e.Extract(doc)
+	if len(ts) != 4 {
+		t.Fatalf("got %d triples: %v", len(ts), ts)
+	}
+	if len(skipped) != 1 {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	if ts[0].Predicate.Value != "send_msg" {
+		t.Fatalf("structured line not parsed first: %v", ts[0])
+	}
+}
+
+func TestExtractRoundTripThroughRendering(t *testing.T) {
+	// Extracted triples rendered to Turtle-like text and re-extracted
+	// must be identical (the structured path round-trips the NLP path).
+	e := testExtractor(t)
+	ts := mustExtract(t, e, "In the launch phase, OBSW001 shall accept the start-up command and send the command ack")
+	for _, tr := range ts {
+		back, skipped := e.Extract(tr.String())
+		if len(skipped) != 0 || len(back) != 1 || !back[0].Equal(tr) {
+			t.Fatalf("round trip failed for %v: %v / %v", tr, back, skipped)
+		}
+	}
+}
+
+func TestLexiconObjectCoverage(t *testing.T) {
+	// Every leaf of the parameter vocabularies must be resolvable, so
+	// generated corpora always extract.
+	reg := vocab.DefaultRegistry()
+	lex := NewLexicon(reg)
+	for _, prefix := range []string{"CmdType", "MsgType", "InType"} {
+		v, _ := reg.Get(prefix)
+		for _, leaf := range v.Leaves() {
+			name := v.Name(leaf)
+			if got, ok := lex.Object(name); !ok || got != prefix {
+				t.Errorf("object %q: got (%q, %v), want %q", name, got, ok, prefix)
+			}
+		}
+	}
+}
+
+func TestLexiconVerbCoverage(t *testing.T) {
+	// Every verb in the lexicon must map to a resolvable Fun concept.
+	reg := vocab.DefaultRegistry()
+	fun, _ := reg.Get("Fun")
+	lex := NewLexicon(reg)
+	for lemma, concept := range lex.verbs {
+		if _, ok := fun.Lookup(concept); !ok {
+			t.Errorf("verb %q maps to unknown concept %q", lemma, concept)
+		}
+	}
+	if len(lex.verbs) < 30 {
+		t.Errorf("suspiciously small verb lexicon: %d", len(lex.verbs))
+	}
+}

@@ -1,0 +1,70 @@
+// Package nlp turns requirement text into (subject, predicate, object)
+// triples. The paper treats extraction as a solved prerequisite ("we
+// are not interested in how it is possible to transform documents into
+// a set of assertions/triples", §III-A, citing the iWIN system); this
+// package provides the deterministic rule-based equivalent used by the
+// reproduction: a tokenizer, a requirements lexicon grounded in the
+// built-in vocabularies, and a pattern extractor for the active,
+// passive, conjunctive, negated and phase-prefixed sentence forms that
+// requirement documents use. Lines that already are Turtle-like triples
+// ("structured information whose transformation … is immediate", §I)
+// are parsed verbatim.
+package nlp
+
+import "strings"
+
+// SplitSentences splits text into sentences on '.', '!', '?' and
+// newline boundaries, trimming whitespace and dropping empties.
+func SplitSentences(text string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		s := strings.TrimSpace(b.String())
+		if s != "" {
+			out = append(out, s)
+		}
+		b.Reset()
+	}
+	for _, r := range text {
+		switch r {
+		case '.', '!', '?', '\n':
+			flush()
+		default:
+			b.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+// Tokenize splits a sentence into word tokens. Hyphens and underscores
+// stay inside tokens (start-up, power_amplifier); commas become their
+// own tokens (they delimit phase prefixes); other punctuation is
+// dropped.
+func Tokenize(s string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == ' ' || r == '\t':
+			flush()
+		case r == ',':
+			flush()
+			out = append(out, ",")
+		case r == '-' || r == '_':
+			b.WriteRune(r)
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			// other punctuation dropped
+		}
+	}
+	flush()
+	return out
+}

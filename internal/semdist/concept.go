@@ -1,0 +1,130 @@
+package semdist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"semtree/internal/vocab"
+)
+
+// ConceptMeasure maps a pair of concepts of one vocabulary to a distance
+// in [0, 1]. All measures in this package return 0 for identical
+// concepts (an explicit normalization: Resnik similarity, for instance,
+// does not natively satisfy identity of indiscernibles).
+type ConceptMeasure func(v *vocab.Vocabulary, a, b vocab.ConceptID) float64
+
+// WuPalmer is the paper's headline measure: distance
+// 1 − 2·depth(LCS)/(depth(a)+depth(b)).
+func WuPalmer(v *vocab.Vocabulary, a, b vocab.ConceptID) float64 {
+	if a == b {
+		return 0
+	}
+	lcs := v.LCS(a, b)
+	sim := 2 * float64(v.Depth(lcs)) / float64(v.Depth(a)+v.Depth(b))
+	return clamp01(1 - sim)
+}
+
+// Path is the Rada et al. edge-counting distance, normalized by the
+// longest possible path in the taxonomy (2·(maxDepth−1)).
+func Path(v *vocab.Vocabulary, a, b vocab.ConceptID) float64 {
+	if a == b {
+		return 0
+	}
+	den := 2 * float64(v.MaxDepth()-1)
+	if den <= 0 {
+		return 1
+	}
+	return clamp01(float64(v.ShortestPath(a, b)) / den)
+}
+
+// LeacockChodorow is 1 − sim/sim_max with
+// sim = −log(pathNodes / (2·maxDepth)) and pathNodes the node count of
+// the shortest path (edges + 1).
+func LeacockChodorow(v *vocab.Vocabulary, a, b vocab.ConceptID) float64 {
+	if a == b {
+		return 0
+	}
+	d := float64(2 * v.MaxDepth())
+	sim := -math.Log(float64(v.ShortestPath(a, b)+1) / d)
+	simMax := math.Log(d)
+	if simMax <= 0 {
+		return 1
+	}
+	return clamp01(1 - sim/simMax)
+}
+
+// Resnik is 1 − IC(LCS)/maxIC: two concepts are close when their least
+// common subsumer is informative.
+func Resnik(v *vocab.Vocabulary, a, b vocab.ConceptID) float64 {
+	if a == b {
+		return 0
+	}
+	if v.MaxIC() <= 0 {
+		return 1
+	}
+	return clamp01(1 - v.IC(v.LCS(a, b))/v.MaxIC())
+}
+
+// Lin is 1 − 2·IC(LCS)/(IC(a)+IC(b)).
+func Lin(v *vocab.Vocabulary, a, b vocab.ConceptID) float64 {
+	if a == b {
+		return 0
+	}
+	den := v.IC(a) + v.IC(b)
+	if den <= 0 {
+		return 1 // both are the root-like concepts; maximally unspecific
+	}
+	return clamp01(1 - 2*v.IC(v.LCS(a, b))/den)
+}
+
+// JiangConrath is the JC distance IC(a)+IC(b)−2·IC(LCS), normalized by
+// 2·maxIC.
+func JiangConrath(v *vocab.Vocabulary, a, b vocab.ConceptID) float64 {
+	if a == b {
+		return 0
+	}
+	if v.MaxIC() <= 0 {
+		return 1
+	}
+	d := v.IC(a) + v.IC(b) - 2*v.IC(v.LCS(a, b))
+	return clamp01(d / (2 * v.MaxIC()))
+}
+
+var measures = map[string]ConceptMeasure{
+	"wupalmer":        WuPalmer,
+	"path":            Path,
+	"leacockchodorow": LeacockChodorow,
+	"resnik":          Resnik,
+	"lin":             Lin,
+	"jiangconrath":    JiangConrath,
+}
+
+// MeasureByName resolves a measure by its lower-case name (e.g.
+// "wupalmer"). It errors on unknown names and lists the alternatives.
+func MeasureByName(name string) (ConceptMeasure, error) {
+	if m, ok := measures[name]; ok {
+		return m, nil
+	}
+	return nil, fmt.Errorf("semdist: unknown measure %q (have %v)", name, MeasureNames())
+}
+
+// MeasureNames returns the registered measure names in sorted order.
+func MeasureNames() []string {
+	out := make([]string, 0, len(measures))
+	for n := range measures {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

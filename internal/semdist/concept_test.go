@@ -1,0 +1,131 @@
+package semdist
+
+import (
+	"math/rand"
+	"testing"
+
+	"semtree/internal/vocab"
+)
+
+func funVocab(t *testing.T) *vocab.Vocabulary {
+	t.Helper()
+	return vocab.Functions()
+}
+
+func cid(t *testing.T, v *vocab.Vocabulary, name string) vocab.ConceptID {
+	t.Helper()
+	c, ok := v.Lookup(name)
+	if !ok {
+		t.Fatalf("concept %q missing", name)
+	}
+	return c
+}
+
+func allMeasures() map[string]ConceptMeasure { return measures }
+
+func TestMeasuresIdentityAndRange(t *testing.T) {
+	v := funVocab(t)
+	r := rand.New(rand.NewSource(3))
+	for name, m := range allMeasures() {
+		for trial := 0; trial < 200; trial++ {
+			a := vocab.ConceptID(r.Intn(v.Len()))
+			b := vocab.ConceptID(r.Intn(v.Len()))
+			d := m(v, a, b)
+			if d < 0 || d > 1 {
+				t.Fatalf("%s(%s, %s) = %f out of [0,1]", name, v.Name(a), v.Name(b), d)
+			}
+			if a == b && d != 0 {
+				t.Fatalf("%s identity violated for %s: %f", name, v.Name(a), d)
+			}
+			if a != b && d != m(v, b, a) {
+				t.Fatalf("%s not symmetric for (%s, %s)", name, v.Name(a), v.Name(b))
+			}
+		}
+	}
+}
+
+func TestWuPalmerOrdering(t *testing.T) {
+	v := funVocab(t)
+	accept := cid(t, v, "accept_cmd")
+	block := cid(t, v, "block_cmd")  // sibling: same area
+	sendMsg := cid(t, v, "send_msg") // different area
+	powerOn := cid(t, v, "power_on") // deeper, different area
+	dSibling := WuPalmer(v, accept, block)
+	dCross := WuPalmer(v, accept, sendMsg)
+	dDeep := WuPalmer(v, accept, powerOn)
+	if dSibling >= dCross {
+		t.Errorf("sibling distance %f not < cross-area %f", dSibling, dCross)
+	}
+	if dSibling >= dDeep {
+		t.Errorf("sibling distance %f not < deep cross-area %f", dSibling, dDeep)
+	}
+}
+
+func TestWuPalmerExactValue(t *testing.T) {
+	// accept_cmd and block_cmd both have depth 3 under command_handling
+	// (depth 2): sim = 2·2/(3+3) = 2/3, dist = 1/3.
+	v := funVocab(t)
+	d := WuPalmer(v, cid(t, v, "accept_cmd"), cid(t, v, "block_cmd"))
+	if want := 1.0 / 3.0; !close(d, want) {
+		t.Fatalf("WuPalmer(accept_cmd, block_cmd) = %f, want %f", d, want)
+	}
+}
+
+func TestPathMeasureProportionalToEdges(t *testing.T) {
+	v := funVocab(t)
+	accept := cid(t, v, "accept_cmd")
+	block := cid(t, v, "block_cmd")
+	sendMsg := cid(t, v, "send_msg")
+	if Path(v, accept, block) >= Path(v, accept, sendMsg) {
+		t.Errorf("2-edge path not closer than 4-edge path")
+	}
+}
+
+func TestResnikSiblingsShareIC(t *testing.T) {
+	// Siblings under the same informative parent are closer than
+	// concepts whose LCS is the root (IC 0 → distance 1).
+	v := funVocab(t)
+	accept := cid(t, v, "accept_cmd")
+	reject := cid(t, v, "reject_cmd")
+	sendMsg := cid(t, v, "send_msg")
+	if d := Resnik(v, accept, sendMsg); d != 1 {
+		t.Errorf("Resnik with root LCS = %f, want 1", d)
+	}
+	if d := Resnik(v, accept, reject); d >= 1 {
+		t.Errorf("Resnik siblings = %f, want < 1", d)
+	}
+}
+
+func TestLinAndJiangConrathOrdering(t *testing.T) {
+	v := funVocab(t)
+	accept := cid(t, v, "accept_cmd")
+	block := cid(t, v, "block_cmd")
+	powerOn := cid(t, v, "power_on")
+	for name, m := range map[string]ConceptMeasure{"lin": Lin, "jiangconrath": JiangConrath} {
+		if m(v, accept, block) >= m(v, accept, powerOn) {
+			t.Errorf("%s: same-area pair not closer than cross-area pair", name)
+		}
+	}
+}
+
+func TestMeasureByName(t *testing.T) {
+	for _, name := range MeasureNames() {
+		if _, err := MeasureByName(name); err != nil {
+			t.Errorf("MeasureByName(%q): %v", name, err)
+		}
+	}
+	if _, err := MeasureByName("cosine"); err == nil {
+		t.Error("expected error for unknown measure")
+	}
+	if len(MeasureNames()) != 6 {
+		t.Errorf("measure count = %d, want 6", len(MeasureNames()))
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

@@ -1,0 +1,75 @@
+// Package semdist implements SemTree's semantic distance layer (§III-A):
+// the weighted triple distance of Eq. 1,
+//
+//	d(ti,tj) = α·ds(si,sj) + β·dp(pi,pj) + γ·do(oi,oj),  α+β+γ = 1,
+//
+// with component distances dispatched on term type: string distance
+// (Levenshtein) when both elements are literals of the same type, and a
+// taxonomy-based measure (Wu & Palmer, Resnik, Lin, ...) when both are
+// concepts of the same vocabulary. All distances are normalized to
+// [0, 1], so Eq. 1 is itself in [0, 1].
+package semdist
+
+// Levenshtein returns the edit distance (insertions, deletions,
+// substitutions, unit cost) between a and b, computed over runes.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	// Trim common prefix and suffix: they never change the distance.
+	for len(ra) > 0 && len(rb) > 0 && ra[0] == rb[0] {
+		ra, rb = ra[1:], rb[1:]
+	}
+	for len(ra) > 0 && len(rb) > 0 && ra[len(ra)-1] == rb[len(rb)-1] {
+		ra, rb = ra[:len(ra)-1], rb[:len(rb)-1]
+	}
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra // keep the DP row short
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// NormalizedLevenshtein returns Levenshtein(a, b) divided by the length
+// of the longer string, yielding a distance in [0, 1]. Two empty strings
+// have distance 0.
+func NormalizedLevenshtein(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 0
+	}
+	return float64(Levenshtein(a, b)) / float64(m)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,90 @@
+package semdist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"accept_cmd", "block_cmd", 6},
+		{"start-up", "shutdown", 7},
+		{"OBSW001", "OBSW002", 1},
+		{"résumé", "resume", 2}, // rune-level, not byte-level
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetry(t *testing.T) {
+	f := func(a, b string) bool {
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinIdentity(t *testing.T) {
+	f := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinBounds(t *testing.T) {
+	// |len(a)−len(b)| ≤ d ≤ max(len(a), len(b)), lengths in runes.
+	f := func(a, b string) bool {
+		ra, rb := []rune(a), []rune(b)
+		d := Levenshtein(a, b)
+		lo := len(ra) - len(rb)
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := len(ra)
+		if len(rb) > hi {
+			hi = len(rb)
+		}
+		return lo <= d && d <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizedLevenshteinRange(t *testing.T) {
+	f := func(a, b string) bool {
+		d := NormalizedLevenshtein(a, b)
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if d := NormalizedLevenshtein("", ""); d != 0 {
+		t.Errorf("NormalizedLevenshtein(\"\", \"\") = %f, want 0", d)
+	}
+	if d := NormalizedLevenshtein("abc", "xyz"); d != 1 {
+		t.Errorf("maximally different strings: %f, want 1", d)
+	}
+}

@@ -1,0 +1,71 @@
+package semdist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"semtree/internal/synth"
+	"semtree/internal/vocab"
+)
+
+// TestDistanceMetricPropertiesQuick checks Eq. 1 over the full
+// generated triple population: range [0,1], symmetry, and identity for
+// identical triples, under every concept measure.
+func TestDistanceMetricPropertiesQuick(t *testing.T) {
+	reg := vocab.DefaultRegistry()
+	for _, name := range MeasureNames() {
+		m, err := MeasureByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metric := MustNew(reg, Options{Concept: m})
+		f := func(seed int64) bool {
+			g := synth.New(synth.Config{Seed: seed}, reg)
+			a, b := g.RandomTriple(), g.RandomTriple()
+			dab := metric.Distance(a, b)
+			if dab < 0 || dab > 1 {
+				return false
+			}
+			if dab != metric.Distance(b, a) {
+				return false
+			}
+			return metric.Distance(a, a) == 0 && metric.Distance(b, b) == 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestTriangleInequalityOverGeneratedTriples: Eq. 1 is a weighted sum
+// of component distances; Levenshtein satisfies the triangle
+// inequality exactly and the path-based taxonomy measures do on trees,
+// so the combined distance should too (within float tolerance) for the
+// default Wu-Palmer configuration restricted to same-kind terms.
+// FastMap assumes approximate triangle behavior; this quantifies it:
+// violations beyond tolerance fail the test.
+func TestTriangleInequalityOverGeneratedTriples(t *testing.T) {
+	metric := MustNew(vocab.DefaultRegistry(), Options{})
+	g := synth.New(synth.Config{Seed: 77}, nil)
+	pool := g.Triples(120)
+	violations, checks := 0, 0
+	for i := 0; i < len(pool); i += 7 {
+		for j := 1; j < len(pool); j += 11 {
+			for k := 2; k < len(pool); k += 13 {
+				a, b, c := pool[i], pool[j], pool[k]
+				checks++
+				if metric.Distance(a, c) > metric.Distance(a, b)+metric.Distance(b, c)+1e-9 {
+					violations++
+				}
+			}
+		}
+	}
+	if checks == 0 {
+		t.Fatal("no checks ran")
+	}
+	// Wu-Palmer is not a strict metric on DAG taxonomies; tolerate a
+	// small violation rate but flag structural regressions.
+	if rate := float64(violations) / float64(checks); rate > 0.02 {
+		t.Fatalf("triangle inequality violated in %.1f%% of %d checks", rate*100, checks)
+	}
+}

@@ -1,0 +1,208 @@
+package semdist
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+
+	"semtree/internal/triple"
+	"semtree/internal/vocab"
+)
+
+// Weights are the α, β, γ coefficients of Eq. 1. They must be
+// non-negative and sum to 1.
+type Weights struct {
+	Alpha float64 // subject weight
+	Beta  float64 // predicate weight
+	Gamma float64 // object weight
+}
+
+// DefaultWeights weight the predicate and object slightly below the
+// subject; the inconsistency case study is most sensitive to Beta
+// (see the weight ablation bench).
+var DefaultWeights = Weights{Alpha: 0.4, Beta: 0.3, Gamma: 0.3}
+
+// Validate checks non-negativity and Σ = 1 (within float tolerance).
+func (w Weights) Validate() error {
+	if w.Alpha < 0 || w.Beta < 0 || w.Gamma < 0 {
+		return fmt.Errorf("semdist: negative weight in %+v", w)
+	}
+	if s := w.Alpha + w.Beta + w.Gamma; math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("semdist: weights sum to %g, want 1", s)
+	}
+	return nil
+}
+
+// Options configure a Metric.
+type Options struct {
+	// Weights are Eq. 1's α, β, γ. Zero value selects DefaultWeights.
+	Weights Weights
+	// Concept is the taxonomy measure for concept/concept pairs.
+	// Nil selects WuPalmer (the paper's example measure).
+	Concept ConceptMeasure
+	// NumericLiterals, when true, compares int/float literals by
+	// normalized absolute difference |a−b|/(|a|+|b|) instead of
+	// Levenshtein on their lexical forms. The paper prescribes a string
+	// distance for all same-typed literals; this switch is an ablation.
+	NumericLiterals bool
+	// DisableCache turns off memoization (useful to measure its effect).
+	DisableCache bool
+}
+
+// Metric computes the semantic distance between triples (Eq. 1). It is
+// immutable after construction and safe for concurrent use; concept
+// distances are memoized per vocabulary as a dense matrix, literal
+// distances in a shared map.
+type Metric struct {
+	w        Weights
+	concept  ConceptMeasure
+	reg      *vocab.Registry
+	numeric  bool
+	useCache bool
+
+	mu       sync.Mutex
+	matrices map[*vocab.Vocabulary][]float64 // lazily built V×V distance matrices
+	litCache sync.Map                        // string pair key → float64
+}
+
+// New builds a Metric over the vocabularies in reg.
+func New(reg *vocab.Registry, opts Options) (*Metric, error) {
+	w := opts.Weights
+	if w == (Weights{}) {
+		w = DefaultWeights
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	c := opts.Concept
+	if c == nil {
+		c = WuPalmer
+	}
+	if reg == nil {
+		return nil, fmt.Errorf("semdist: nil vocabulary registry")
+	}
+	return &Metric{
+		w:        w,
+		concept:  c,
+		reg:      reg,
+		numeric:  opts.NumericLiterals,
+		useCache: !opts.DisableCache,
+		matrices: make(map[*vocab.Vocabulary][]float64),
+	}, nil
+}
+
+// MustNew is New for static setup; it panics on error.
+func MustNew(reg *vocab.Registry, opts Options) *Metric {
+	m, err := New(reg, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Weights returns the Eq. 1 coefficients in use.
+func (m *Metric) Weights() Weights { return m.w }
+
+// Registry returns the vocabulary registry the metric resolves
+// concepts against.
+func (m *Metric) Registry() *vocab.Registry { return m.reg }
+
+// Distance computes Eq. 1 between two triples. The result is in [0, 1].
+func (m *Metric) Distance(a, b triple.Triple) float64 {
+	return m.w.Alpha*m.TermDistance(a.Subject, b.Subject) +
+		m.w.Beta*m.TermDistance(a.Predicate, b.Predicate) +
+		m.w.Gamma*m.TermDistance(a.Object, b.Object)
+}
+
+// TermDistance computes the component distance between two terms,
+// dispatching per §III-A:
+//
+//   - both literals of the same type → string distance (Levenshtein,
+//     normalized), or relative numeric difference with NumericLiterals;
+//   - both concepts of the same vocabulary → the configured taxonomy
+//     measure;
+//   - anything else (cross-vocabulary concepts, unresolvable names,
+//     literal vs concept, differently-typed literals) → fallback to
+//     normalized Levenshtein over the surface forms, the most
+//     conservative comparison available.
+func (m *Metric) TermDistance(a, b triple.Term) float64 {
+	if a.Equal(b) {
+		return 0
+	}
+	if a.IsLiteral() && b.IsLiteral() && a.LitType == b.LitType {
+		if m.numeric && (a.LitType == triple.LitInt || a.LitType == triple.LitFloat) {
+			return numericDistance(a.Value, b.Value)
+		}
+		return m.literalDistance(a.Value, b.Value)
+	}
+	if a.IsConcept() && b.IsConcept() && a.Prefix == b.Prefix {
+		if v, ok := m.reg.Get(a.Prefix); ok {
+			ca, okA := v.Lookup(a.Value)
+			cb, okB := v.Lookup(b.Value)
+			if okA && okB {
+				return m.conceptDistance(v, ca, cb)
+			}
+		}
+	}
+	return m.literalDistance(a.Value, b.Value)
+}
+
+func (m *Metric) literalDistance(a, b string) float64 {
+	if !m.useCache {
+		return NormalizedLevenshtein(a, b)
+	}
+	if b < a {
+		a, b = b, a
+	}
+	key := a + "\x00" + b
+	if d, ok := m.litCache.Load(key); ok {
+		return d.(float64)
+	}
+	d := NormalizedLevenshtein(a, b)
+	m.litCache.Store(key, d)
+	return d
+}
+
+func (m *Metric) conceptDistance(v *vocab.Vocabulary, a, b vocab.ConceptID) float64 {
+	if !m.useCache {
+		return m.concept(v, a, b)
+	}
+	mat := m.matrix(v)
+	return mat[int(a)*v.Len()+int(b)]
+}
+
+// matrix returns (building on first use) the dense pairwise distance
+// matrix for vocabulary v. Vocabularies are small (tens to a few
+// hundred concepts), so the matrix is cheap and makes the hot path an
+// array load.
+func (m *Metric) matrix(v *vocab.Vocabulary) []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mat, ok := m.matrices[v]; ok {
+		return mat
+	}
+	n := v.Len()
+	mat := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := m.concept(v, vocab.ConceptID(i), vocab.ConceptID(j))
+			mat[i*n+j] = d
+			mat[j*n+i] = d
+		}
+	}
+	m.matrices[v] = mat
+	return mat
+}
+
+func numericDistance(a, b string) float64 {
+	fa, errA := strconv.ParseFloat(a, 64)
+	fb, errB := strconv.ParseFloat(b, 64)
+	if errA != nil || errB != nil {
+		return NormalizedLevenshtein(a, b)
+	}
+	if fa == fb {
+		return 0
+	}
+	return clamp01(math.Abs(fa-fb) / (math.Abs(fa) + math.Abs(fb)))
+}

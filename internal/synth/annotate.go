@@ -1,0 +1,61 @@
+package synth
+
+import (
+	"math/rand"
+	"sort"
+
+	"semtree/internal/triple"
+)
+
+// Panel simulates the group of software engineers who provided the
+// ground truth in the paper's effectiveness study (§IV-B: 5 persons at
+// CIRA). Each simulated annotator independently reviews the exact
+// inconsistency set, missing true items with MissRate and flagging
+// plausible-but-wrong near misses with SpuriousRate; the panel's ground
+// truth is the majority vote.
+type Panel struct {
+	Annotators   int     // panel size (default 5)
+	MissRate     float64 // per-annotator false-negative probability
+	SpuriousRate float64 // per-annotator false-positive probability per near miss
+	rng          *rand.Rand
+}
+
+// NewPanel returns a deterministic annotator panel.
+func NewPanel(annotators int, missRate, spuriousRate float64, seed int64) *Panel {
+	if annotators <= 0 {
+		annotators = 5
+	}
+	return &Panel{
+		Annotators:   annotators,
+		MissRate:     missRate,
+		SpuriousRate: spuriousRate,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// GroundTruth returns the panel's majority-vote annotation given the
+// exact true inconsistency set and the near misses annotators might
+// wrongly flag. The result is sorted by ID.
+func (p *Panel) GroundTruth(trueSet, nearMisses []triple.ID) []triple.ID {
+	votes := make(map[triple.ID]int)
+	for a := 0; a < p.Annotators; a++ {
+		for _, id := range trueSet {
+			if p.rng.Float64() >= p.MissRate {
+				votes[id]++
+			}
+		}
+		for _, id := range nearMisses {
+			if p.rng.Float64() < p.SpuriousRate {
+				votes[id]++
+			}
+		}
+	}
+	var out []triple.ID
+	for id, v := range votes {
+		if v > p.Annotators/2 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

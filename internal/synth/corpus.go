@@ -1,0 +1,163 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"semtree/internal/docs"
+	"semtree/internal/nlp"
+	"semtree/internal/triple"
+)
+
+// Planted records one planted inconsistency: the requirement triple and
+// the conflicting triple (same subject and object, antinomic
+// predicates) hidden elsewhere in the corpus. These pairs are the exact
+// ground truth the effectiveness evaluation (Figure 8) is scored
+// against.
+type Planted struct {
+	Requirement triple.ID
+	Conflict    triple.ID
+}
+
+// CorpusBundle is a generated corpus with its ground truth.
+type CorpusBundle struct {
+	Corpus  *docs.Corpus
+	Planted []Planted
+	Skipped []string // sentences the extractor could not parse (should be empty)
+}
+
+// Corpus generates requirement documents as text, ingests them through
+// the NLP extractor, and resolves the planted-conflict ground truth to
+// stored triple IDs.
+func (g *Generator) Corpus() *CorpusBundle {
+	type pendingConflict struct {
+		reqDoc    string
+		targetDoc int
+		req       triple.Triple
+		conflict  triple.Triple
+	}
+
+	srcs := make([]docs.DocumentSource, g.cfg.Docs)
+	var pend []pendingConflict
+	for d := range srcs {
+		docID := fmt.Sprintf("DOC-%03d", d+1)
+		srcs[d] = docs.DocumentSource{
+			ID:    docID,
+			Title: fmt.Sprintf("On-board software requirements, volume %d", d+1),
+		}
+		for s := 0; s < g.cfg.SectionsPerDoc; s++ {
+			secID := fmt.Sprintf("REQ-%03d-%02d", d+1, s+1)
+			sentences, mains := g.planSection()
+			if len(sentences) == 0 {
+				continue
+			}
+			srcs[d].Sections = append(srcs[d].Sections, docs.SectionSource{
+				ID:   secID,
+				Text: strings.Join(sentences, " "),
+			})
+			if g.rng.Float64() >= g.cfg.InconsistencyRate {
+				continue
+			}
+			for _, mi := range g.rng.Perm(len(mains)) {
+				conflict, ok := g.ConflictOf(mains[mi])
+				if !ok {
+					continue
+				}
+				pend = append(pend, pendingConflict{
+					reqDoc:    docID,
+					targetDoc: g.rng.Intn(g.cfg.Docs),
+					req:       mains[mi],
+					conflict:  conflict,
+				})
+				break
+			}
+		}
+	}
+
+	// Plant each conflict as an extra requirement section of its
+	// target document.
+	for i, pc := range pend {
+		sentence, ok := g.renderActive(pc.conflict, false)
+		if !ok {
+			continue
+		}
+		srcs[pc.targetDoc].Sections = append(srcs[pc.targetDoc].Sections, docs.SectionSource{
+			ID:   fmt.Sprintf("REQ-%03d-C%02d", pc.targetDoc+1, i+1),
+			Text: sentence,
+		})
+	}
+
+	ex := nlp.NewExtractor(g.lex)
+	c := docs.NewCorpus()
+	var skipped []string
+	for _, src := range srcs {
+		skipped = append(skipped, c.Ingest(src, ex)...)
+	}
+
+	// Resolve planted pairs to stored IDs: key by (triple, document) and
+	// pop instances so duplicates pair up one-to-one.
+	index := make(map[string][]triple.ID)
+	key := func(t triple.Triple, doc string) string { return t.Key() + "\x02" + doc }
+	c.Store.Each(func(id triple.ID, e triple.Entry) bool {
+		k := key(e.Triple, e.Prov.Doc)
+		index[k] = append(index[k], id)
+		return true
+	})
+	pop := func(k string) (triple.ID, bool) {
+		ids := index[k]
+		if len(ids) == 0 {
+			return 0, false
+		}
+		index[k] = ids[1:]
+		return ids[0], true
+	}
+	var planted []Planted
+	for _, pc := range pend {
+		reqID, okR := pop(key(pc.req, pc.reqDoc))
+		conID, okC := pop(key(pc.conflict, srcs[pc.targetDoc].ID))
+		if okR && okC {
+			planted = append(planted, Planted{Requirement: reqID, Conflict: conID})
+		}
+	}
+	return &CorpusBundle{Corpus: c, Planted: planted, Skipped: skipped}
+}
+
+// planSection produces the sentences of one requirement section and the
+// main triples they encode (phase-prefix triples excluded: conflicts
+// are planted on the main assertions only).
+func (g *Generator) planSection() (sentences []string, mains []triple.Triple) {
+	for s := 0; s < g.cfg.SentencesPerSection; s++ {
+		t := g.RandomTriple()
+		roll := g.rng.Float64()
+		var sentence string
+		var ts []triple.Triple
+		switch {
+		case roll < g.cfg.PassiveRate:
+			if txt, ok := g.renderPassive(t); ok {
+				sentence, ts = txt, []triple.Triple{t}
+			}
+		case roll < g.cfg.PassiveRate+g.cfg.ConjunctionRate:
+			t2 := g.tripleWithPredicate(t.Subject.Value, g.funLeaves[g.rng.Intn(len(g.funLeaves))])
+			if txt, ok := g.renderConjunction(t, t2); ok {
+				sentence, ts = txt, []triple.Triple{t, t2}
+			}
+		case roll < g.cfg.PassiveRate+g.cfg.ConjunctionRate+g.cfg.NegationRate:
+			if txt, ok := g.renderActive(t, true); ok {
+				sentence, ts = txt, []triple.Triple{t}
+			}
+		}
+		if sentence == "" {
+			txt, ok := g.renderActive(t, false)
+			if !ok {
+				continue
+			}
+			sentence, ts = txt, []triple.Triple{t}
+		}
+		if g.rng.Float64() < g.cfg.PhaseRate {
+			sentence = renderWithPhase(g.PhaseTerm(), sentence)
+		}
+		sentences = append(sentences, sentence)
+		mains = append(mains, ts...)
+	}
+	return sentences, mains
+}

@@ -1,0 +1,304 @@
+// Package synth generates the synthetic workloads that substitute for
+// the paper's proprietary CIRA corpus: "several hundreds of documents
+// from which about 100,000 triples were extracted" (§IV). It produces
+//
+//   - requirement triples directly (the fast path feeding the index
+//     benchmarks at 100k-triple scale),
+//   - whole documents of requirement *text* that round-trip through the
+//     NLP extractor, with *planted inconsistencies* (pairs of
+//     requirements with the same actor and parameter but antinomic
+//     functions, §II) recorded as ground truth,
+//   - a simulated annotator panel that perturbs the exact ground truth
+//     the way a group of human software engineers would (§IV-B used 5
+//     CIRA engineers).
+//
+// Everything is deterministic under a seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"semtree/internal/nlp"
+	"semtree/internal/triple"
+	"semtree/internal/vocab"
+)
+
+// Config parameterizes generation. Zero values select the defaults.
+type Config struct {
+	Seed                int64
+	Actors              int     // distinct actor components (default 40)
+	Docs                int     // documents (default 50)
+	SectionsPerDoc      int     // requirements per document (default 10)
+	SentencesPerSection int     // sentences per requirement (default 2)
+	InconsistencyRate   float64 // sections planting a conflict (default 0.15)
+	PassiveRate         float64 // passive-voice sentences (default 0.2)
+	PhaseRate           float64 // phase-prefixed sentences (default 0.2)
+	ConjunctionRate     float64 // two-verb sentences (default 0.2)
+	NegationRate        float64 // negated renderings (default 0.1)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Actors <= 0 {
+		c.Actors = 40
+	}
+	if c.Docs <= 0 {
+		c.Docs = 50
+	}
+	if c.SectionsPerDoc <= 0 {
+		c.SectionsPerDoc = 10
+	}
+	if c.SentencesPerSection <= 0 {
+		c.SentencesPerSection = 2
+	}
+	if c.InconsistencyRate == 0 {
+		c.InconsistencyRate = 0.15
+	}
+	if c.PassiveRate == 0 {
+		c.PassiveRate = 0.2
+	}
+	if c.PhaseRate == 0 {
+		c.PhaseRate = 0.2
+	}
+	if c.ConjunctionRate == 0 {
+		c.ConjunctionRate = 0.2
+	}
+	if c.NegationRate == 0 {
+		c.NegationRate = 0.1
+	}
+	return c
+}
+
+// predFamily maps each Fun leaf to the kind of object it takes:
+// a parameter vocabulary prefix, or the literal pools "device"/"region".
+var predFamily = map[string]string{
+	"accept_cmd": "CmdType", "reject_cmd": "CmdType", "block_cmd": "CmdType",
+	"execute_cmd": "CmdType", "abort_cmd": "CmdType", "queue_cmd": "CmdType",
+	"discard_cmd": "CmdType",
+	"send_msg":    "MsgType", "receive_msg": "MsgType", "broadcast_msg": "MsgType",
+	"suppress_msg": "MsgType", "forward_msg": "MsgType", "drop_msg": "MsgType",
+	"report_status": "MsgType", "raise_alarm": "MsgType", "clear_alarm": "MsgType",
+	"acquire_in": "InType", "release_in": "InType", "sample_in": "InType",
+	"ignore_in": "InType", "monitor_param": "InType",
+	"power_on": "device", "power_off": "device", "open_valve": "device",
+	"close_valve": "device", "arm_device": "device", "disarm_device": "device",
+	"lock_device": "device", "unlock_device": "device", "start_unit": "device",
+	"stop_unit": "device", "enable_unit": "device", "disable_unit": "device",
+	"activate_unit": "device", "deactivate_unit": "device",
+	"store_data": "region", "erase_data": "region", "read_data": "region",
+	"write_data": "region", "checksum_data": "region",
+}
+
+var devicePool = []string{
+	"heater_1", "heater_2", "valve_A", "valve_B", "pump_1", "antenna_2",
+	"gyro_unit", "star_tracker", "battery_bank", "tank_pressurizer",
+}
+
+var regionPool = []string{
+	"log_area", "config_bank", "image_buffer", "telemetry_archive", "boot_sector",
+}
+
+var actorPrefixes = []string{"OBSW", "PDU", "TTC", "AOCS", "CDMU", "EPS", "RCS"}
+
+// Generator produces deterministic synthetic workloads.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	reg *vocab.Registry
+	lex *nlp.Lexicon
+
+	actors    []string
+	funLeaves []string            // Fun predicates with a known family
+	objLeaves map[string][]string // prefix → parameter leaf names
+}
+
+// New returns a generator over the given registry (nil selects the
+// built-in vocabularies).
+func New(cfg Config, reg *vocab.Registry) *Generator {
+	if reg == nil {
+		reg = vocab.DefaultRegistry()
+	}
+	cfg = cfg.withDefaults()
+	g := &Generator{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		reg:       reg,
+		lex:       nlp.NewLexicon(reg),
+		objLeaves: make(map[string][]string),
+	}
+	for i := 0; i < cfg.Actors; i++ {
+		prefix := actorPrefixes[i%len(actorPrefixes)]
+		g.actors = append(g.actors, fmt.Sprintf("%s%03d", prefix, i+1))
+	}
+	fun, _ := reg.Get("Fun")
+	for _, leaf := range fun.Leaves() {
+		if _, ok := predFamily[fun.Name(leaf)]; ok {
+			g.funLeaves = append(g.funLeaves, fun.Name(leaf))
+		}
+	}
+	for _, prefix := range []string{"CmdType", "MsgType", "InType"} {
+		v, _ := reg.Get(prefix)
+		for _, leaf := range v.Leaves() {
+			g.objLeaves[prefix] = append(g.objLeaves[prefix], v.Name(leaf))
+		}
+	}
+	return g
+}
+
+// Lexicon returns the lexicon the generator renders against.
+func (g *Generator) Lexicon() *nlp.Lexicon { return g.lex }
+
+// Actor returns a random actor identifier.
+func (g *Generator) Actor() string { return g.actors[g.rng.Intn(len(g.actors))] }
+
+// RandomTriple generates one requirement triple: an actor, a function
+// predicate, and an object of the predicate's family.
+func (g *Generator) RandomTriple() triple.Triple {
+	pred := g.funLeaves[g.rng.Intn(len(g.funLeaves))]
+	return g.tripleWithPredicate(g.Actor(), pred)
+}
+
+func (g *Generator) tripleWithPredicate(actor, pred string) triple.Triple {
+	var obj triple.Term
+	switch fam := predFamily[pred]; fam {
+	case "device":
+		obj = triple.NewLiteral(devicePool[g.rng.Intn(len(devicePool))])
+	case "region":
+		obj = triple.NewLiteral(regionPool[g.rng.Intn(len(regionPool))])
+	default:
+		leaves := g.objLeaves[fam]
+		obj = triple.NewConcept(fam, leaves[g.rng.Intn(len(leaves))])
+	}
+	return triple.New(triple.NewLiteral(actor), triple.NewConcept("Fun", pred), obj)
+}
+
+// Triples generates n requirement triples (the direct 100k-scale path).
+func (g *Generator) Triples(n int) []triple.Triple {
+	out := make([]triple.Triple, n)
+	for i := range out {
+		out[i] = g.RandomTriple()
+	}
+	return out
+}
+
+// ConflictOf returns a triple inconsistent with t per §II: same
+// subject, same object, predicate replaced by a vocabulary antonym. ok
+// is false when the predicate has no recorded antinomy.
+func (g *Generator) ConflictOf(t triple.Triple) (triple.Triple, bool) {
+	fun, _ := g.reg.Get("Fun")
+	id, ok := fun.Lookup(t.Predicate.Value)
+	if !ok {
+		return triple.Triple{}, false
+	}
+	ants := fun.Antonyms(id)
+	if len(ants) == 0 {
+		return triple.Triple{}, false
+	}
+	ant := ants[g.rng.Intn(len(ants))]
+	out := t
+	out.Predicate = triple.NewConcept("Fun", fun.Name(ant))
+	return out, true
+}
+
+// objectText renders a term the way a requirement author writes it.
+func objectText(o triple.Term) string {
+	if o.IsLiteral() {
+		return o.Value
+	}
+	name := strings.ReplaceAll(o.Value, "_", " ")
+	switch o.Prefix {
+	case "CmdType":
+		return name + " command"
+	case "MsgType":
+		return name + " message"
+	default:
+		return name
+	}
+}
+
+// renderActive renders "<Actor> shall <verb> the <object>". With
+// negate, it renders "shall not <verb'>" using a verb whose antonym
+// maps back to t's predicate, so extraction round-trips; ok is false
+// when no such verb exists.
+func (g *Generator) renderActive(t triple.Triple, negate bool) (string, bool) {
+	verb, ok := g.verbFor(t.Predicate.Value, negate)
+	if !ok {
+		return "", false
+	}
+	not := ""
+	if negate {
+		not = "not "
+	}
+	return fmt.Sprintf("%s shall %s%s the %s.", t.Subject.Value, not, verb, objectText(t.Object)), true
+}
+
+// renderPassive renders "The <object> shall be <participle> by <Actor>".
+func (g *Generator) renderPassive(t triple.Triple) (string, bool) {
+	lemma, ok := g.lex.Lemma(t.Predicate.Value)
+	if !ok {
+		return "", false
+	}
+	part, ok := g.lex.ParticipleOf(lemma)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("The %s shall be %s by %s.", objectText(t.Object), part, t.Subject.Value), true
+}
+
+// renderConjunction renders two same-subject triples as one sentence.
+func (g *Generator) renderConjunction(a, b triple.Triple) (string, bool) {
+	va, okA := g.verbFor(a.Predicate.Value, false)
+	vb, okB := g.verbFor(b.Predicate.Value, false)
+	if !okA || !okB {
+		return "", false
+	}
+	return fmt.Sprintf("%s shall %s the %s and %s the %s.",
+		a.Subject.Value, va, objectText(a.Object), vb, objectText(b.Object)), true
+}
+
+// renderWithPhase prefixes a sentence with a phase clause; the phase
+// triple (subject, acquire_in, phase) is implied and extracted first.
+func renderWithPhase(phase triple.Term, sentence string) string {
+	name := strings.TrimSuffix(phase.Value, "_phase")
+	name = strings.ReplaceAll(name, "_", " ")
+	return fmt.Sprintf("In the %s phase, %s", name, lowerFirst(sentence))
+}
+
+func lowerFirst(s string) string { return s } // actor names keep their case
+
+// verbFor picks a verb rendering predicate pred, honoring negation:
+// for negate, a verb whose first antonym is pred.
+func (g *Generator) verbFor(pred string, negate bool) (string, bool) {
+	if !negate {
+		return g.lex.Lemma(pred)
+	}
+	fun, _ := g.reg.Get("Fun")
+	id, ok := fun.Lookup(pred)
+	if !ok {
+		return "", false
+	}
+	for _, cand := range fun.Antonyms(id) {
+		name := fun.Name(cand)
+		// Extraction maps "not <verb>" to the verb's *first* antonym;
+		// require the round trip to land on pred.
+		if ant, ok := g.lex.Antonym(name); ok && ant == pred {
+			if lemma, ok := g.lex.Lemma(name); ok {
+				return lemma, true
+			}
+		}
+	}
+	return "", false
+}
+
+// PhaseTerm returns a random launch-phase concept.
+func (g *Generator) PhaseTerm() triple.Term {
+	in, _ := g.reg.Get("InType")
+	var phases []string
+	for _, leaf := range in.Leaves() {
+		if strings.HasSuffix(in.Name(leaf), "_phase") {
+			phases = append(phases, in.Name(leaf))
+		}
+	}
+	return triple.NewConcept("InType", phases[g.rng.Intn(len(phases))])
+}

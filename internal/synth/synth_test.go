@@ -1,0 +1,173 @@
+package synth
+
+import (
+	"testing"
+
+	"semtree/internal/triple"
+	"semtree/internal/vocab"
+)
+
+func TestTriplesSchemaAndDeterminism(t *testing.T) {
+	g1 := New(Config{Seed: 7}, nil)
+	g2 := New(Config{Seed: 7}, nil)
+	ts1 := g1.Triples(500)
+	ts2 := g2.Triples(500)
+	fun := vocab.Functions()
+	for i, tr := range ts1 {
+		if !tr.Subject.IsLiteral() {
+			t.Fatalf("triple %d: subject %v not a literal actor", i, tr.Subject)
+		}
+		if tr.Predicate.Prefix != "Fun" {
+			t.Fatalf("triple %d: predicate %v not a Fun concept", i, tr.Predicate)
+		}
+		if _, ok := fun.Lookup(tr.Predicate.Value); !ok {
+			t.Fatalf("triple %d: unknown predicate %q", i, tr.Predicate.Value)
+		}
+		if !tr.Equal(ts2[i]) {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, tr, ts2[i])
+		}
+	}
+	// Different seeds must diverge.
+	g3 := New(Config{Seed: 8}, nil)
+	same := 0
+	for i, tr := range g3.Triples(500) {
+		if tr.Equal(ts1[i]) {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("different seeds produced %d/500 identical triples", same)
+	}
+}
+
+func TestConflictOfDefinition(t *testing.T) {
+	g := New(Config{Seed: 3}, nil)
+	fun := vocab.Functions()
+	conflicts := 0
+	for i := 0; i < 300; i++ {
+		tr := g.RandomTriple()
+		c, ok := g.ConflictOf(tr)
+		if !ok {
+			continue
+		}
+		conflicts++
+		if !c.Subject.Equal(tr.Subject) || !c.Object.Equal(tr.Object) {
+			t.Fatalf("conflict changed subject/object: %v vs %v", c, tr)
+		}
+		a, _ := fun.Lookup(tr.Predicate.Value)
+		b, _ := fun.Lookup(c.Predicate.Value)
+		if !fun.IsAntonym(a, b) {
+			t.Fatalf("conflict predicates not antonyms: %v vs %v", tr.Predicate, c.Predicate)
+		}
+	}
+	if conflicts < 100 {
+		t.Fatalf("only %d/300 triples had conflicts — vocabulary antinomy too sparse", conflicts)
+	}
+}
+
+func TestCorpusRoundTripsThroughNLP(t *testing.T) {
+	g := New(Config{Seed: 11, Docs: 20, SectionsPerDoc: 6}, nil)
+	b := g.Corpus()
+	if len(b.Skipped) != 0 {
+		t.Fatalf("generated sentences failed to extract: %v", b.Skipped[:min(5, len(b.Skipped))])
+	}
+	if b.Corpus.NumTriples() < 150 {
+		t.Fatalf("suspiciously few triples: %d", b.Corpus.NumTriples())
+	}
+	if len(b.Corpus.Docs) != 20 {
+		t.Fatalf("docs = %d", len(b.Corpus.Docs))
+	}
+}
+
+func TestCorpusPlantedPairsAreInconsistent(t *testing.T) {
+	g := New(Config{Seed: 13, Docs: 30, SectionsPerDoc: 8, InconsistencyRate: 0.4}, nil)
+	b := g.Corpus()
+	if len(b.Planted) < 10 {
+		t.Fatalf("only %d planted pairs", len(b.Planted))
+	}
+	fun := vocab.Functions()
+	for _, p := range b.Planted {
+		req, ok1 := b.Corpus.Store.Get(p.Requirement)
+		con, ok2 := b.Corpus.Store.Get(p.Conflict)
+		if !ok1 || !ok2 {
+			t.Fatalf("planted pair references missing triples: %+v", p)
+		}
+		if !req.Triple.Subject.Equal(con.Triple.Subject) {
+			t.Fatalf("planted pair subjects differ: %v vs %v", req.Triple, con.Triple)
+		}
+		if !req.Triple.Object.Equal(con.Triple.Object) {
+			t.Fatalf("planted pair objects differ: %v vs %v", req.Triple, con.Triple)
+		}
+		a, _ := fun.Lookup(req.Triple.Predicate.Value)
+		c, _ := fun.Lookup(con.Triple.Predicate.Value)
+		if !fun.IsAntonym(a, c) {
+			t.Fatalf("planted pair predicates not antonyms: %v vs %v", req.Triple, con.Triple)
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	b1 := New(Config{Seed: 17}, nil).Corpus()
+	b2 := New(Config{Seed: 17}, nil).Corpus()
+	if b1.Corpus.NumTriples() != b2.Corpus.NumTriples() {
+		t.Fatalf("triple counts differ: %d vs %d", b1.Corpus.NumTriples(), b2.Corpus.NumTriples())
+	}
+	if len(b1.Planted) != len(b2.Planted) {
+		t.Fatalf("planted counts differ: %d vs %d", len(b1.Planted), len(b2.Planted))
+	}
+	for i := range b1.Planted {
+		if b1.Planted[i] != b2.Planted[i] {
+			t.Fatalf("planted[%d] differs", i)
+		}
+	}
+}
+
+func TestPanelExactWithoutNoise(t *testing.T) {
+	p := NewPanel(5, 0, 0, 1)
+	trueSet := []triple.ID{3, 1, 2}
+	got := p.GroundTruth(trueSet, []triple.ID{10, 11})
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("noise-free panel = %v", got)
+	}
+}
+
+func TestPanelMissesEverythingAtRateOne(t *testing.T) {
+	p := NewPanel(5, 1, 0, 1)
+	if got := p.GroundTruth([]triple.ID{1, 2, 3}, nil); len(got) != 0 {
+		t.Fatalf("full-miss panel = %v", got)
+	}
+}
+
+func TestPanelMajorityDampsNoise(t *testing.T) {
+	// With small miss and spurious rates, the majority vote should keep
+	// nearly all true items and nearly no spurious ones.
+	p := NewPanel(5, 0.1, 0.05, 42)
+	trueSet := make([]triple.ID, 100)
+	near := make([]triple.ID, 100)
+	for i := range trueSet {
+		trueSet[i] = triple.ID(i)
+		near[i] = triple.ID(1000 + i)
+	}
+	got := p.GroundTruth(trueSet, near)
+	kept, spurious := 0, 0
+	for _, id := range got {
+		if id < 1000 {
+			kept++
+		} else {
+			spurious++
+		}
+	}
+	if kept < 95 {
+		t.Fatalf("majority vote kept only %d/100 true items", kept)
+	}
+	if spurious > 5 {
+		t.Fatalf("majority vote admitted %d spurious items", spurious)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package triple
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseError describes a syntax error with its input position.
+type ParseError struct {
+	Line int    // 1-based line number, 0 when unknown
+	Pos  int    // 0-based byte offset within the line
+	Msg  string // human-readable description
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("triple: parse error at line %d, pos %d: %s", e.Line, e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("triple: parse error at pos %d: %s", e.Pos, e.Msg)
+}
+
+// ParseTerm parses a single term:
+//
+//	'quoted text'  → literal (type inferred)
+//	Prefix:name    → concept in vocabulary Prefix
+//	name           → concept in the standard vocabulary
+//	42, 3.14, true → literal (unquoted literals of non-string type)
+func ParseTerm(s string) (Term, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Term{}, &ParseError{Msg: "empty term"}
+	}
+	if s[0] == '\'' {
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return Term{}, &ParseError{Msg: "unterminated quoted literal"}
+		}
+		body := s[1 : len(s)-1]
+		body = strings.ReplaceAll(body, "\\'", "'")
+		return NewLiteral(body), nil
+	}
+	// Unquoted numeric and boolean tokens are literals.
+	if lt := InferLiteralType(s); lt != LitString {
+		return Term{Kind: Literal, Value: s, LitType: lt}, nil
+	}
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		prefix, name := s[:i], s[i+1:]
+		if prefix == "" {
+			return Term{}, &ParseError{Msg: "empty vocabulary prefix"}
+		}
+		if name == "" {
+			return Term{}, &ParseError{Msg: "empty concept name after prefix " + prefix}
+		}
+		return NewConcept(prefix, name), nil
+	}
+	return NewConcept("", s), nil
+}
+
+// ParseTriple parses one triple in the paper's Turtle-like notation:
+//
+//	('OBSW001', Fun:accept_cmd, CmdType:start-up)
+//
+// Surrounding parentheses are optional; a trailing period is accepted.
+func ParseTriple(s string) (Triple, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, ".")
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+		s = s[1 : len(s)-1]
+	}
+	parts, err := splitTerms(s)
+	if err != nil {
+		return Triple{}, err
+	}
+	if len(parts) != 3 {
+		return Triple{}, &ParseError{Msg: fmt.Sprintf("expected 3 terms, got %d", len(parts))}
+	}
+	var t Triple
+	if t.Subject, err = ParseTerm(parts[0]); err != nil {
+		return Triple{}, err
+	}
+	if t.Predicate, err = ParseTerm(parts[1]); err != nil {
+		return Triple{}, err
+	}
+	if t.Object, err = ParseTerm(parts[2]); err != nil {
+		return Triple{}, err
+	}
+	return t, nil
+}
+
+// splitTerms splits on commas that are outside single-quoted literals.
+func splitTerms(s string) ([]string, error) {
+	var parts []string
+	var b strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\' && inQuote && i+1 < len(s):
+			b.WriteByte(c)
+			i++
+			b.WriteByte(s[i])
+		case c == '\'':
+			inQuote = !inQuote
+			b.WriteByte(c)
+		case c == ',' && !inQuote:
+			parts = append(parts, b.String())
+			b.Reset()
+		default:
+			b.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, &ParseError{Pos: len(s), Msg: "unterminated quoted literal"}
+	}
+	parts = append(parts, b.String())
+	return parts, nil
+}
+
+// ReadAll parses a stream of triples, one per line. Blank lines and lines
+// starting with '#' are skipped. On error the returned slice contains the
+// triples parsed so far.
+func ReadAll(r io.Reader) ([]Triple, error) {
+	var out []Triple
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		t, err := ParseTriple(text)
+		if err != nil {
+			if pe, ok := err.(*ParseError); ok {
+				pe.Line = line
+			}
+			return out, err
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("triple: read: %w", err)
+	}
+	return out, nil
+}
+
+// WriteAll writes triples one per line in the canonical notation.
+func WriteAll(w io.Writer, ts []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range ts {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return fmt.Errorf("triple: write: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("triple: write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("triple: write: %w", err)
+	}
+	return nil
+}

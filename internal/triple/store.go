@@ -1,0 +1,124 @@
+package triple
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ID identifies a triple inside a Store. IDs are dense, starting at 0,
+// and double as the payload identifiers carried by index points.
+type ID uint64
+
+// Provenance records where a triple came from: the document, the section
+// (requirement) inside it, and the sequence number of the triple within
+// the section ("the order of the triples reflects the temporal sequence
+// of the requirement elements" — §III-A, footnote 1).
+type Provenance struct {
+	Doc     string // document identifier
+	Section string // section / requirement identifier
+	Seq     int    // position of the triple within the section
+}
+
+// Entry is a stored triple together with its provenance.
+type Entry struct {
+	Triple Triple
+	Prov   Provenance
+}
+
+// Store is an append-only collection of triples with provenance. It is
+// safe for concurrent use: writes take an exclusive lock, reads a shared
+// one. IDs are never reused.
+type Store struct {
+	mu      sync.RWMutex
+	entries []Entry
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Add appends a triple and returns its ID.
+func (s *Store) Add(t Triple, p Provenance) ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = append(s.entries, Entry{Triple: t, Prov: p})
+	return ID(len(s.entries) - 1)
+}
+
+// AddAll appends a batch of triples sharing one provenance, assigning
+// sequence numbers in order, and returns the ID of the first one.
+func (s *Store) AddAll(ts []Triple, p Provenance) ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	first := ID(len(s.entries))
+	for i, t := range ts {
+		pi := p
+		pi.Seq = p.Seq + i
+		s.entries = append(s.entries, Entry{Triple: t, Prov: pi})
+	}
+	return first
+}
+
+// Get returns the entry for id. The second result is false when the ID
+// is out of range.
+func (s *Store) Get(id ID) (Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) >= len(s.entries) {
+		return Entry{}, false
+	}
+	return s.entries[id], true
+}
+
+// MustGet returns the triple for id and panics if the ID is unknown.
+// It is intended for internal plumbing where IDs are known valid.
+func (s *Store) MustGet(id ID) Triple {
+	e, ok := s.Get(id)
+	if !ok {
+		panic(fmt.Sprintf("triple: unknown ID %d", id))
+	}
+	return e.Triple
+}
+
+// Len returns the number of stored triples.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Each calls fn for every entry in ID order until fn returns false.
+// The store must not be mutated from inside fn.
+func (s *Store) Each(fn func(ID, Entry) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, e := range s.entries {
+		if !fn(ID(i), e) {
+			return
+		}
+	}
+}
+
+// Triples returns a copy of all stored triples in ID order.
+func (s *Store) Triples() []Triple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Triple, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.Triple
+	}
+	return out
+}
+
+// ByDoc returns the IDs of all triples whose provenance names doc,
+// in ID order.
+func (s *Store) ByDoc(doc string) []ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ID
+	for i, e := range s.entries {
+		if e.Prov.Doc == doc {
+			out = append(out, ID(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package triple
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func testTriple(i int) Triple {
+	return New(
+		NewLiteral(fmt.Sprintf("OBSW%03d", i)),
+		NewConcept("Fun", "accept_cmd"),
+		NewConcept("CmdType", "start-up"),
+	)
+}
+
+func TestStoreAddGet(t *testing.T) {
+	s := NewStore()
+	id := s.Add(testTriple(1), Provenance{Doc: "D1", Section: "R1", Seq: 0})
+	if id != 0 {
+		t.Fatalf("first ID = %d, want 0", id)
+	}
+	e, ok := s.Get(id)
+	if !ok {
+		t.Fatalf("Get(%d) missing", id)
+	}
+	if !e.Triple.Equal(testTriple(1)) || e.Prov.Doc != "D1" {
+		t.Fatalf("entry mismatch: %+v", e)
+	}
+	if _, ok := s.Get(99); ok {
+		t.Fatalf("Get(99) should report missing")
+	}
+}
+
+func TestStoreAddAllAssignsSequence(t *testing.T) {
+	s := NewStore()
+	ts := []Triple{testTriple(1), testTriple(2), testTriple(3)}
+	first := s.AddAll(ts, Provenance{Doc: "D1", Section: "R7"})
+	if first != 0 {
+		t.Fatalf("first = %d, want 0", first)
+	}
+	for i := 0; i < 3; i++ {
+		e, _ := s.Get(ID(i))
+		if e.Prov.Seq != i {
+			t.Errorf("seq[%d] = %d, want %d", i, e.Prov.Seq, i)
+		}
+		if e.Prov.Section != "R7" {
+			t.Errorf("section[%d] = %q", i, e.Prov.Section)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestStoreMustGetPanicsOnUnknown(t *testing.T) {
+	s := NewStore()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustGet on empty store did not panic")
+		}
+	}()
+	s.MustGet(0)
+}
+
+func TestStoreEachStopsEarly(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		s.Add(testTriple(i), Provenance{})
+	}
+	n := 0
+	s.Each(func(id ID, e Entry) bool {
+		n++
+		return n < 4
+	})
+	if n != 4 {
+		t.Fatalf("visited %d entries, want 4", n)
+	}
+}
+
+func TestStoreByDoc(t *testing.T) {
+	s := NewStore()
+	s.Add(testTriple(0), Provenance{Doc: "A"})
+	s.Add(testTriple(1), Provenance{Doc: "B"})
+	s.Add(testTriple(2), Provenance{Doc: "A"})
+	ids := s.ByDoc("A")
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
+		t.Fatalf("ByDoc(A) = %v, want [0 2]", ids)
+	}
+	if got := s.ByDoc("missing"); len(got) != 0 {
+		t.Fatalf("ByDoc(missing) = %v, want empty", got)
+	}
+}
+
+func TestStoreTriplesCopy(t *testing.T) {
+	s := NewStore()
+	s.Add(testTriple(0), Provenance{})
+	ts := s.Triples()
+	ts[0] = testTriple(42)
+	if s.MustGet(0).Equal(testTriple(42)) {
+		t.Fatalf("Triples() aliases internal storage")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := s.Add(testTriple(i), Provenance{Doc: fmt.Sprintf("D%d", w)})
+				if _, ok := s.Get(id); !ok {
+					t.Errorf("Get after Add failed for %d", id)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 8*200 {
+		t.Fatalf("Len = %d, want %d", s.Len(), 8*200)
+	}
+}

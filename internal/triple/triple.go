@@ -1,0 +1,49 @@
+package triple
+
+// Triple is an RDF-style statement relating a subject to an object by
+// means of a predicate (§I). In the requirements case study the subject
+// is an Actor (software component or hardware device), the predicate a
+// unary "function" (accept a command, send a message, ...) and the
+// object the related Parameter (§III-A).
+type Triple struct {
+	Subject   Term
+	Predicate Term
+	Object    Term
+}
+
+// New builds a triple from three terms.
+func New(s, p, o Term) Triple { return Triple{Subject: s, Predicate: p, Object: o} }
+
+// Equal reports whether two triples are identical term by term.
+func (t Triple) Equal(u Triple) bool {
+	return t.Subject.Equal(u.Subject) &&
+		t.Predicate.Equal(u.Predicate) &&
+		t.Object.Equal(u.Object)
+}
+
+// String renders the triple in the paper's notation:
+// ('OBSW001', Fun:accept_cmd, CmdType:start-up).
+func (t Triple) String() string {
+	return "(" + t.Subject.String() + ", " + t.Predicate.String() + ", " + t.Object.String() + ")"
+}
+
+// Key returns a canonical map key for the triple.
+func (t Triple) Key() string {
+	return t.Subject.Key() + "\x01" + t.Predicate.Key() + "\x01" + t.Object.Key()
+}
+
+// Project returns the term at position i: 0 = subject, 1 = predicate,
+// 2 = object. It panics on any other index. The name follows the paper's
+// projection notation t^s, t^p, t^o.
+func (t Triple) Project(i int) Term {
+	switch i {
+	case 0:
+		return t.Subject
+	case 1:
+		return t.Predicate
+	case 2:
+		return t.Object
+	default:
+		panic("triple: Project index out of range")
+	}
+}

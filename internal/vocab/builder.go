@@ -1,0 +1,160 @@
+package vocab
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Builder constructs a Vocabulary incrementally. The first concept added
+// becomes the root; every later concept must name at least one parent.
+// Build validates the result (single root, acyclic, fully connected).
+type Builder struct {
+	v    *Vocabulary
+	errs []error
+}
+
+// NewBuilder returns a builder for a vocabulary with the given prefix.
+// rootName becomes the root concept.
+func NewBuilder(prefix, rootName string) *Builder {
+	b := &Builder{v: &Vocabulary{
+		prefix:   prefix,
+		byName:   make(map[string]ConceptID),
+		antonyms: make(map[ConceptID][]ConceptID),
+	}}
+	b.addConcept(rootName)
+	return b
+}
+
+func (b *Builder) addConcept(name string) ConceptID {
+	if name == "" {
+		b.errs = append(b.errs, errors.New("vocab: empty concept name"))
+		return NoConcept
+	}
+	if _, dup := b.v.byName[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("vocab: duplicate concept %q", name))
+		return NoConcept
+	}
+	id := ConceptID(len(b.v.names))
+	b.v.names = append(b.v.names, name)
+	b.v.byName[name] = id
+	b.v.parents = append(b.v.parents, nil)
+	b.v.children = append(b.v.children, nil)
+	b.v.freq = append(b.v.freq, 0)
+	return id
+}
+
+// Concept adds a concept under the given parents and returns its ID.
+// At least one parent is required.
+func (b *Builder) Concept(name string, parents ...ConceptID) ConceptID {
+	if len(parents) == 0 {
+		b.errs = append(b.errs, fmt.Errorf("vocab: concept %q has no parent", name))
+		return NoConcept
+	}
+	id := b.addConcept(name)
+	if id == NoConcept {
+		return id
+	}
+	for _, p := range parents {
+		if p < 0 || int(p) >= len(b.v.names) || p == id {
+			b.errs = append(b.errs, fmt.Errorf("vocab: concept %q: invalid parent %d", name, p))
+			continue
+		}
+		b.v.parents[id] = append(b.v.parents[id], p)
+		b.v.children[p] = append(b.v.children[p], id)
+	}
+	return id
+}
+
+// Synonym registers an alternative surface form resolving to id.
+func (b *Builder) Synonym(id ConceptID, form string) {
+	if id < 0 || int(id) >= len(b.v.names) {
+		b.errs = append(b.errs, fmt.Errorf("vocab: synonym %q: invalid concept %d", form, id))
+		return
+	}
+	if prev, dup := b.v.byName[form]; dup && prev != id {
+		b.errs = append(b.errs, fmt.Errorf("vocab: surface form %q already maps to %q", form, b.v.names[prev]))
+		return
+	}
+	b.v.byName[form] = id
+}
+
+// Antonym records a symmetric antinomy relation between a and b.
+func (b *Builder) Antonym(a, c ConceptID) {
+	if a < 0 || c < 0 || int(a) >= len(b.v.names) || int(c) >= len(b.v.names) || a == c {
+		b.errs = append(b.errs, fmt.Errorf("vocab: invalid antonym pair (%d, %d)", a, c))
+		return
+	}
+	if !b.v.IsAntonym(a, c) {
+		b.v.antonyms[a] = append(b.v.antonyms[a], c)
+		b.v.antonyms[c] = append(b.v.antonyms[c], a)
+	}
+}
+
+// Frequency sets the own corpus occurrence count of id (default 0; a
+// Laplace +1 smoothing is applied when information content is derived).
+func (b *Builder) Frequency(id ConceptID, count float64) {
+	if id < 0 || int(id) >= len(b.v.names) || count < 0 {
+		b.errs = append(b.errs, fmt.Errorf("vocab: invalid frequency (%d, %f)", id, count))
+		return
+	}
+	b.v.freq[id] = count
+}
+
+// Build validates and finalizes the vocabulary. After Build the builder
+// must not be reused.
+func (b *Builder) Build() (*Vocabulary, error) {
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	b.v.computeDerived()
+	return b.v, nil
+}
+
+// MustBuild is Build for static vocabulary definitions; it panics on error.
+func (b *Builder) MustBuild() *Vocabulary {
+	v, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func (b *Builder) validate() error {
+	v := b.v
+	n := len(v.names)
+	// Acyclicity via DFS coloring over parent→child edges.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, n)
+	var visit func(c ConceptID) error
+	visit = func(c ConceptID) error {
+		color[c] = gray
+		for _, ch := range v.children[c] {
+			switch color[ch] {
+			case gray:
+				return fmt.Errorf("vocab %q: cycle through %q", v.prefix, v.names[ch])
+			case white:
+				if err := visit(ch); err != nil {
+					return err
+				}
+			}
+		}
+		color[c] = black
+		return nil
+	}
+	if err := visit(0); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if color[i] != black {
+			return fmt.Errorf("vocab %q: concept %q unreachable from root", v.prefix, v.names[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+package vocab
+
+// This file defines the built-in vocabularies that substitute for the
+// paper's proprietary CIRA requirements vocabulary and the "standard
+// vocabulary" used for unprefixed concepts. The domain follows §III-A:
+// predicates are unary functions ('accept a command', 'send a message',
+// 'acquire an input', ...), objects are the related parameters (command
+// types, message types, input types), subjects are actors and stay
+// literals. Antonym ("antinomy") pairs are what the inconsistency case
+// study queries against (§II, §IV-B).
+
+// Functions returns the predicate vocabulary (prefix "Fun"): the unary
+// functions software requirements are expressed with, organized by
+// functional area, with the antinomy relation between contradictory
+// functions.
+func Functions() *Vocabulary {
+	b := NewBuilder("Fun", "function")
+	root := ConceptID(0)
+
+	// Command handling.
+	cmdH := b.Concept("command_handling", root)
+	acceptCmd := b.Concept("accept_cmd", cmdH)
+	rejectCmd := b.Concept("reject_cmd", cmdH)
+	blockCmd := b.Concept("block_cmd", cmdH)
+	executeCmd := b.Concept("execute_cmd", cmdH)
+	abortCmd := b.Concept("abort_cmd", cmdH)
+	queueCmd := b.Concept("queue_cmd", cmdH)
+	discardCmd := b.Concept("discard_cmd", cmdH)
+	b.Synonym(acceptCmd, "accept_command")
+	b.Synonym(blockCmd, "block_command")
+	b.Antonym(acceptCmd, blockCmd)
+	b.Antonym(acceptCmd, rejectCmd)
+	b.Antonym(executeCmd, abortCmd)
+	b.Antonym(queueCmd, discardCmd)
+
+	// Messaging.
+	msg := b.Concept("messaging", root)
+	sendMsg := b.Concept("send_msg", msg)
+	receiveMsg := b.Concept("receive_msg", msg)
+	broadcastMsg := b.Concept("broadcast_msg", msg)
+	suppressMsg := b.Concept("suppress_msg", msg)
+	forwardMsg := b.Concept("forward_msg", msg)
+	dropMsg := b.Concept("drop_msg", msg)
+	b.Synonym(sendMsg, "send_message")
+	b.Antonym(sendMsg, suppressMsg)
+	b.Antonym(broadcastMsg, suppressMsg)
+	b.Antonym(forwardMsg, dropMsg)
+
+	// Data acquisition.
+	acq := b.Concept("acquisition", root)
+	acquireIn := b.Concept("acquire_in", acq)
+	releaseIn := b.Concept("release_in", acq)
+	sampleIn := b.Concept("sample_in", acq)
+	ignoreIn := b.Concept("ignore_in", acq)
+	b.Synonym(acquireIn, "acquire_input")
+	b.Antonym(acquireIn, releaseIn)
+	b.Antonym(acquireIn, ignoreIn)
+	b.Antonym(sampleIn, ignoreIn)
+
+	// Actuation, split in sub-areas for taxonomy depth.
+	act := b.Concept("actuation", root)
+	power := b.Concept("power_control", act)
+	powerOn := b.Concept("power_on", power)
+	powerOff := b.Concept("power_off", power)
+	b.Antonym(powerOn, powerOff)
+	valve := b.Concept("valve_control", act)
+	openValve := b.Concept("open_valve", valve)
+	closeValve := b.Concept("close_valve", valve)
+	b.Antonym(openValve, closeValve)
+	safety := b.Concept("safety_control", act)
+	arm := b.Concept("arm_device", safety)
+	disarm := b.Concept("disarm_device", safety)
+	lock := b.Concept("lock_device", safety)
+	unlock := b.Concept("unlock_device", safety)
+	b.Antonym(arm, disarm)
+	b.Antonym(lock, unlock)
+	mode := b.Concept("mode_control", act)
+	start := b.Concept("start_unit", mode)
+	stop := b.Concept("stop_unit", mode)
+	enable := b.Concept("enable_unit", mode)
+	disable := b.Concept("disable_unit", mode)
+	activate := b.Concept("activate_unit", mode)
+	deactivate := b.Concept("deactivate_unit", mode)
+	b.Antonym(start, stop)
+	b.Antonym(enable, disable)
+	b.Antonym(activate, deactivate)
+
+	// Monitoring.
+	mon := b.Concept("monitoring", root)
+	monitor := b.Concept("monitor_param", mon)
+	report := b.Concept("report_status", mon)
+	raiseAlarm := b.Concept("raise_alarm", mon)
+	clearAlarm := b.Concept("clear_alarm", mon)
+	b.Antonym(raiseAlarm, clearAlarm)
+	_ = monitor
+	_ = report
+
+	// Data management.
+	data := b.Concept("data_management", root)
+	storeData := b.Concept("store_data", data)
+	eraseData := b.Concept("erase_data", data)
+	readData := b.Concept("read_data", data)
+	writeData := b.Concept("write_data", data)
+	checksum := b.Concept("checksum_data", data)
+	b.Antonym(storeData, eraseData)
+	_ = readData
+	_ = writeData
+	_ = checksum
+
+	// Corpus frequencies drive Resnik / Lin information content;
+	// command handling and messaging dominate real requirement corpora.
+	for id, n := range map[ConceptID]float64{
+		acceptCmd: 240, rejectCmd: 60, blockCmd: 45, executeCmd: 180,
+		abortCmd: 30, queueCmd: 50, discardCmd: 20,
+		sendMsg: 260, receiveMsg: 210, broadcastMsg: 40, suppressMsg: 15,
+		forwardMsg: 35, dropMsg: 18,
+		acquireIn: 150, releaseIn: 30, sampleIn: 90, ignoreIn: 12,
+		powerOn: 70, powerOff: 65, openValve: 25, closeValve: 25,
+		arm: 20, disarm: 20, lock: 15, unlock: 15,
+		start: 110, stop: 95, enable: 85, disable: 80,
+		activate: 60, deactivate: 55,
+		monitor: 130, report: 120, raiseAlarm: 45, clearAlarm: 25,
+		storeData: 75, eraseData: 22, readData: 95, writeData: 88, checksum: 28,
+	} {
+		b.Frequency(id, n)
+	}
+	return b.MustBuild()
+}
+
+// CommandTypes returns the vocabulary of command parameters
+// (prefix "CmdType").
+func CommandTypes() *Vocabulary {
+	b := NewBuilder("CmdType", "command")
+	root := ConceptID(0)
+
+	sys := b.Concept("system_cmd", root)
+	startUp := b.Concept("start-up", sys)
+	shutdown := b.Concept("shutdown", sys)
+	reboot := b.Concept("reboot", sys)
+	selfTest := b.Concept("self-test", sys)
+	b.Synonym(startUp, "startup")
+	b.Antonym(startUp, shutdown)
+
+	mode := b.Concept("mode_cmd", root)
+	safeMode := b.Concept("safe_mode", mode)
+	nominalMode := b.Concept("nominal_mode", mode)
+	standbyMode := b.Concept("standby_mode", mode)
+	maintenanceMode := b.Concept("maintenance_mode", mode)
+	b.Antonym(safeMode, nominalMode)
+
+	payload := b.Concept("payload_cmd", root)
+	capture := b.Concept("capture_image", payload)
+	downlink := b.Concept("downlink_data", payload)
+	calibrate := b.Concept("calibrate_sensor", payload)
+
+	prop := b.Concept("propulsion_cmd", root)
+	ignite := b.Concept("ignite_engine", prop)
+	cutoff := b.Concept("engine_cutoff", prop)
+	throttleUp := b.Concept("throttle_up", prop)
+	throttleDown := b.Concept("throttle_down", prop)
+	b.Antonym(ignite, cutoff)
+	b.Antonym(throttleUp, throttleDown)
+
+	for id, n := range map[ConceptID]float64{
+		startUp: 180, shutdown: 140, reboot: 40, selfTest: 95,
+		safeMode: 75, nominalMode: 80, standbyMode: 55, maintenanceMode: 25,
+		capture: 60, downlink: 110, calibrate: 45,
+		ignite: 30, cutoff: 28, throttleUp: 18, throttleDown: 18,
+	} {
+		b.Frequency(id, n)
+	}
+	return b.MustBuild()
+}
+
+// MessageTypes returns the vocabulary of message parameters
+// (prefix "MsgType").
+func MessageTypes() *Vocabulary {
+	b := NewBuilder("MsgType", "message")
+	root := ConceptID(0)
+
+	tm := b.Concept("telemetry", root)
+	housekeeping := b.Concept("housekeeping", tm)
+	powerAmp := b.Concept("power_amplifier", tm)
+	thermal := b.Concept("thermal_status", tm)
+	attitude := b.Concept("attitude_data", tm)
+	gps := b.Concept("gps_fix", tm)
+
+	alert := b.Concept("alert", root)
+	fault := b.Concept("fault_alert", alert)
+	overheat := b.Concept("overheat_alert", alert)
+	lowPower := b.Concept("low_power_alert", alert)
+	watchdog := b.Concept("watchdog_alert", alert)
+
+	ack := b.Concept("acknowledgement", root)
+	cmdAck := b.Concept("command_ack", ack)
+	cmdNack := b.Concept("command_nack", ack)
+	b.Antonym(cmdAck, cmdNack)
+
+	for id, n := range map[ConceptID]float64{
+		housekeeping: 210, powerAmp: 90, thermal: 130, attitude: 120, gps: 70,
+		fault: 85, overheat: 35, lowPower: 40, watchdog: 20,
+		cmdAck: 160, cmdNack: 45,
+	} {
+		b.Frequency(id, n)
+	}
+	return b.MustBuild()
+}
+
+// InputTypes returns the vocabulary of input parameters (prefix "InType").
+func InputTypes() *Vocabulary {
+	b := NewBuilder("InType", "input")
+	root := ConceptID(0)
+
+	phase := b.Concept("phase_input", root)
+	preLaunch := b.Concept("pre-launch_phase", phase)
+	launch := b.Concept("launch_phase", phase)
+	orbit := b.Concept("orbit_phase", phase)
+	reentry := b.Concept("reentry_phase", phase)
+
+	sensor := b.Concept("sensor_input", root)
+	temp := b.Concept("temperature_reading", sensor)
+	pressure := b.Concept("pressure_reading", sensor)
+	gyro := b.Concept("gyro_reading", sensor)
+	star := b.Concept("star_tracker_fix", sensor)
+	sun := b.Concept("sun_sensor_reading", sensor)
+
+	bus := b.Concept("bus_input", root)
+	mil1553 := b.Concept("mil_std_1553_frame", bus)
+	can := b.Concept("can_frame", bus)
+	spacewire := b.Concept("spacewire_packet", bus)
+
+	for id, n := range map[ConceptID]float64{
+		preLaunch: 80, launch: 95, orbit: 160, reentry: 40,
+		temp: 140, pressure: 110, gyro: 90, star: 55, sun: 45,
+		mil1553: 75, can: 60, spacewire: 85,
+	} {
+		b.Frequency(id, n)
+	}
+	return b.MustBuild()
+}
+
+// General returns the small general-purpose vocabulary used for concepts
+// written without a prefix ("If X is not specified, we use a standard
+// vocabulary" — §III-A). Its shape mimics the upper levels of a
+// WordNet-like noun hierarchy.
+func General() *Vocabulary {
+	b := NewBuilder("std", "entity")
+	root := ConceptID(0)
+
+	phys := b.Concept("physical_entity", root)
+	object := b.Concept("object", phys)
+	device := b.Concept("device", object)
+	computer := b.Concept("computer", device)
+	sensorDev := b.Concept("sensor", device)
+	actuatorDev := b.Concept("actuator", device)
+	substance := b.Concept("substance", phys)
+	fuel := b.Concept("fuel", substance)
+	gas := b.Concept("gas", substance)
+
+	abstract := b.Concept("abstract_entity", root)
+	attribute := b.Concept("attribute", abstract)
+	state := b.Concept("state", attribute)
+	onState := b.Concept("on_state", state)
+	offState := b.Concept("off_state", state)
+	b.Antonym(onState, offState)
+	event := b.Concept("event", abstract)
+	failure := b.Concept("failure", event)
+	success := b.Concept("success", event)
+	b.Antonym(failure, success)
+	process := b.Concept("process", abstract)
+	communication := b.Concept("communication", process)
+	computation := b.Concept("computation", process)
+
+	for id, n := range map[ConceptID]float64{
+		computer: 120, sensorDev: 90, actuatorDev: 60, fuel: 25, gas: 20,
+		onState: 70, offState: 65, failure: 55, success: 50,
+		communication: 85, computation: 75,
+	} {
+		b.Frequency(id, n)
+	}
+	return b.MustBuild()
+}
+
+// DefaultRegistry returns a registry holding all built-in vocabularies:
+// Fun, CmdType, MsgType, InType and the standard vocabulary.
+func DefaultRegistry() *Registry {
+	return NewRegistry(Functions(), CommandTypes(), MessageTypes(), InputTypes(), General())
+}

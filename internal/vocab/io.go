@@ -1,0 +1,153 @@
+package vocab
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The textual vocabulary format lets users supply their own domain
+// taxonomies (the paper's "ad-hoc requirements vocabulary") without
+// writing Go. One directive per line, '#' comments:
+//
+//	vocab Fun function            # prefix and root concept (first line)
+//	concept command_handling function
+//	concept accept_cmd command_handling
+//	concept amphib moving fixed   # multiple parents allowed (DAG)
+//	synonym accept_cmd accept_command
+//	antonym accept_cmd block_cmd
+//	freq accept_cmd 240
+//
+// Parents must be declared before their children, mirroring Builder.
+
+// ParseVocabulary reads one vocabulary in the textual format.
+func ParseVocabulary(r io.Reader) (*Vocabulary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		fields := strings.Fields(text)
+		if b == nil {
+			if fields[0] != "vocab" || len(fields) != 3 {
+				return nil, fmt.Errorf("vocab: line %d: expected 'vocab <prefix> <root>', got %q", line, text)
+			}
+			b = NewBuilder(fields[1], fields[2])
+			continue
+		}
+		switch fields[0] {
+		case "concept":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("vocab: line %d: concept needs a name and at least one parent", line)
+			}
+			parents := make([]ConceptID, 0, len(fields)-2)
+			for _, p := range fields[2:] {
+				id, ok := b.v.byName[p]
+				if !ok {
+					return nil, fmt.Errorf("vocab: line %d: unknown parent %q", line, p)
+				}
+				parents = append(parents, id)
+			}
+			b.Concept(fields[1], parents...)
+		case "synonym":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("vocab: line %d: synonym needs a concept and a surface form", line)
+			}
+			id, ok := b.v.byName[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("vocab: line %d: unknown concept %q", line, fields[1])
+			}
+			b.Synonym(id, fields[2])
+		case "antonym":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("vocab: line %d: antonym needs two concepts", line)
+			}
+			a, okA := b.v.byName[fields[1]]
+			c, okC := b.v.byName[fields[2]]
+			if !okA || !okC {
+				return nil, fmt.Errorf("vocab: line %d: unknown concept in antonym %q", line, text)
+			}
+			b.Antonym(a, c)
+		case "freq":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("vocab: line %d: freq needs a concept and a count", line)
+			}
+			id, ok := b.v.byName[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("vocab: line %d: unknown concept %q", line, fields[1])
+			}
+			n, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("vocab: line %d: bad count %q", line, fields[2])
+			}
+			b.Frequency(id, n)
+		case "vocab":
+			return nil, fmt.Errorf("vocab: line %d: duplicate 'vocab' directive", line)
+		default:
+			return nil, fmt.Errorf("vocab: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("vocab: read: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("vocab: empty input")
+	}
+	return b.Build()
+}
+
+// WriteVocabulary renders v in the textual format; parsing the output
+// reconstructs an equivalent vocabulary.
+func WriteVocabulary(w io.Writer, v *Vocabulary) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "vocab %s %s\n", v.prefix, v.names[0])
+	// Concepts in ID order: the builder assigned IDs parents-first, so
+	// the declaration order is always valid.
+	for id := 1; id < len(v.names); id++ {
+		fmt.Fprintf(bw, "concept %s", v.names[id])
+		for _, p := range v.parents[id] {
+			fmt.Fprintf(bw, " %s", v.names[p])
+		}
+		fmt.Fprintln(bw)
+	}
+	// Synonyms: every surface form that is not a canonical name.
+	forms := make([]string, 0, len(v.byName))
+	for form := range v.byName {
+		forms = append(forms, form)
+	}
+	sort.Strings(forms)
+	for _, form := range forms {
+		id := v.byName[form]
+		if v.names[id] != form {
+			fmt.Fprintf(bw, "synonym %s %s\n", v.names[id], form)
+		}
+	}
+	// Antonyms once per unordered pair.
+	for id := ConceptID(0); int(id) < len(v.names); id++ {
+		for _, a := range v.antonyms[id] {
+			if id < a {
+				fmt.Fprintf(bw, "antonym %s %s\n", v.names[id], v.names[a])
+			}
+		}
+	}
+	for id, f := range v.freq {
+		if f != 0 {
+			fmt.Fprintf(bw, "freq %s %g\n", v.names[id], f)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("vocab: write: %w", err)
+	}
+	return nil
+}

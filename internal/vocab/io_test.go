@@ -1,0 +1,96 @@
+package vocab
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleVocab = `# test vocabulary
+vocab T entity
+concept moving entity
+concept fixed entity
+concept car moving
+concept amphib moving fixed   # diamond
+synonym car automobile
+antonym car amphib
+freq car 42
+`
+
+func TestParseVocabulary(t *testing.T) {
+	v, err := ParseVocabulary(strings.NewReader(sampleVocab))
+	if err != nil {
+		t.Fatalf("ParseVocabulary: %v", err)
+	}
+	if v.Prefix() != "T" || v.Len() != 5 {
+		t.Fatalf("prefix %q len %d", v.Prefix(), v.Len())
+	}
+	car, ok := v.Lookup("automobile")
+	if !ok || v.Name(car) != "car" {
+		t.Fatalf("synonym lookup failed: %v %v", car, ok)
+	}
+	amphib, _ := v.Lookup("amphib")
+	if !v.IsAntonym(car, amphib) {
+		t.Fatal("antonym not recorded")
+	}
+	if len(v.Parents(amphib)) != 2 {
+		t.Fatalf("amphib parents = %v", v.Parents(amphib))
+	}
+	if v.Frequency(car) != 42 {
+		t.Fatalf("freq = %f", v.Frequency(car))
+	}
+}
+
+func TestParseVocabularyErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"missing header":    "concept a b\n",
+		"bad header":        "vocab OnlyPrefix\n",
+		"unknown parent":    "vocab T root\nconcept a nope\n",
+		"orphan concept":    "vocab T root\nconcept a\n",
+		"unknown directive": "vocab T root\nfrobnicate x\n",
+		"bad freq":          "vocab T root\nconcept a root\nfreq a lots\n",
+		"freq unknown":      "vocab T root\nfreq nope 3\n",
+		"synonym unknown":   "vocab T root\nsynonym nope alias\n",
+		"antonym unknown":   "vocab T root\nconcept a root\nantonym a nope\n",
+		"duplicate header":  "vocab T root\nvocab U root2\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseVocabulary(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error for %q", name, in)
+		}
+	}
+}
+
+func TestVocabularyRoundTrip(t *testing.T) {
+	for _, orig := range []*Vocabulary{Functions(), CommandTypes(), MessageTypes(), InputTypes(), General()} {
+		var buf bytes.Buffer
+		if err := WriteVocabulary(&buf, orig); err != nil {
+			t.Fatalf("%s: write: %v", orig.Prefix(), err)
+		}
+		back, err := ParseVocabulary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", orig.Prefix(), err)
+		}
+		if back.Prefix() != orig.Prefix() || back.Len() != orig.Len() {
+			t.Fatalf("%s: prefix/len changed: %s/%d", orig.Prefix(), back.Prefix(), back.Len())
+		}
+		for id := ConceptID(0); int(id) < orig.Len(); id++ {
+			name := orig.Name(id)
+			bid, ok := back.Lookup(name)
+			if !ok {
+				t.Fatalf("%s: concept %q lost", orig.Prefix(), name)
+			}
+			if back.Depth(bid) != orig.Depth(id) {
+				t.Fatalf("%s: depth of %q changed: %d vs %d",
+					orig.Prefix(), name, back.Depth(bid), orig.Depth(id))
+			}
+			if back.IC(bid) != orig.IC(id) {
+				t.Fatalf("%s: IC of %q changed", orig.Prefix(), name)
+			}
+			if len(back.Antonyms(bid)) != len(orig.Antonyms(id)) {
+				t.Fatalf("%s: antonyms of %q changed", orig.Prefix(), name)
+			}
+		}
+	}
+}

@@ -1,0 +1,290 @@
+// Package vocab implements the taxonomy substrate SemTree's semantic
+// distance is computed against: vocabularies of concepts organized in an
+// IS-A hierarchy (a rooted DAG), with synonym surface forms, antonym
+// ("antinomy" in the paper) relations between concepts, and corpus
+// frequencies from which information content is derived.
+//
+// The paper relies on "domain specific and/or general vocabularies"
+// (§III-A) both to compute concept distances (Wu & Palmer, Resnik, ...)
+// and to retrieve the antinomic predicate used to build inconsistency
+// target triples (§IV-B). This package provides the data structure; the
+// built-in avionics requirements vocabularies live in builtin.go and the
+// measures themselves in package semdist.
+package vocab
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConceptID identifies a concept within one Vocabulary. IDs are dense,
+// starting at 0 (the root).
+type ConceptID int32
+
+// NoConcept is returned by lookups that fail.
+const NoConcept ConceptID = -1
+
+// Vocabulary is an immutable taxonomy built by a Builder. All methods
+// are safe for concurrent use once built.
+type Vocabulary struct {
+	prefix   string
+	names    []string
+	byName   map[string]ConceptID // canonical names and synonyms
+	parents  [][]ConceptID
+	children [][]ConceptID
+	antonyms map[ConceptID][]ConceptID
+
+	depth    []int32 // min edges from root + 1 (root has depth 1)
+	maxDepth int
+
+	freq    []float64 // own occurrence count per concept
+	cumFreq []float64 // own + all descendants (each counted once)
+	total   float64
+	ic      []float64 // information content, -log p(c)
+	maxIC   float64
+}
+
+// Prefix returns the vocabulary prefix concepts of this vocabulary are
+// written with (e.g. "Fun" in Fun:accept_cmd).
+func (v *Vocabulary) Prefix() string { return v.prefix }
+
+// Len returns the number of concepts.
+func (v *Vocabulary) Len() int { return len(v.names) }
+
+// Root returns the root concept (always ID 0).
+func (v *Vocabulary) Root() ConceptID { return 0 }
+
+// Lookup resolves a surface form (canonical name or synonym) to its
+// concept. The second result is false when the form is unknown.
+func (v *Vocabulary) Lookup(name string) (ConceptID, bool) {
+	id, ok := v.byName[name]
+	return id, ok
+}
+
+// Name returns the canonical name of id. It panics if id is out of range.
+func (v *Vocabulary) Name(id ConceptID) string { return v.names[id] }
+
+// Parents returns the direct hypernyms of id. The returned slice must
+// not be modified.
+func (v *Vocabulary) Parents(id ConceptID) []ConceptID { return v.parents[id] }
+
+// Children returns the direct hyponyms of id. The returned slice must
+// not be modified.
+func (v *Vocabulary) Children(id ConceptID) []ConceptID { return v.children[id] }
+
+// IsLeaf reports whether id has no children.
+func (v *Vocabulary) IsLeaf(id ConceptID) bool { return len(v.children[id]) == 0 }
+
+// Leaves returns all leaf concepts in ID order.
+func (v *Vocabulary) Leaves() []ConceptID {
+	var out []ConceptID
+	for id := range v.names {
+		if v.IsLeaf(ConceptID(id)) {
+			out = append(out, ConceptID(id))
+		}
+	}
+	return out
+}
+
+// Depth returns the taxonomy depth of id: the minimum number of IS-A
+// edges from the root plus one, so the root has depth 1. This is the
+// node-counting convention Wu & Palmer uses.
+func (v *Vocabulary) Depth(id ConceptID) int { return int(v.depth[id]) }
+
+// MaxDepth returns the maximum depth over all concepts.
+func (v *Vocabulary) MaxDepth() int { return v.maxDepth }
+
+// Antonyms returns the concepts linked to id by an antinomy relation.
+// The returned slice must not be modified.
+func (v *Vocabulary) Antonyms(id ConceptID) []ConceptID { return v.antonyms[id] }
+
+// IsAntonym reports whether a and b are linked by an antinomy relation.
+func (v *Vocabulary) IsAntonym(a, b ConceptID) bool {
+	for _, x := range v.antonyms[a] {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Ancestors returns the set of ancestors of id including id itself.
+func (v *Vocabulary) Ancestors(id ConceptID) map[ConceptID]bool {
+	seen := map[ConceptID]bool{id: true}
+	stack := []ConceptID{id}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range v.parents[c] {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return seen
+}
+
+// IsAncestor reports whether anc is an ancestor of desc (or equal to it).
+func (v *Vocabulary) IsAncestor(anc, desc ConceptID) bool {
+	if anc == desc {
+		return true
+	}
+	stack := []ConceptID{desc}
+	seen := map[ConceptID]bool{desc: true}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range v.parents[c] {
+			if p == anc {
+				return true
+			}
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}
+
+// LCS returns the least common subsumer of a and b: the common ancestor
+// with the greatest depth. Since every concept descends from the root,
+// an LCS always exists.
+func (v *Vocabulary) LCS(a, b ConceptID) ConceptID {
+	ancA := v.Ancestors(a)
+	best := ConceptID(0)
+	bestDepth := int32(0)
+	stack := []ConceptID{b}
+	seen := map[ConceptID]bool{b: true}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if ancA[c] && v.depth[c] > bestDepth {
+			best, bestDepth = c, v.depth[c]
+		}
+		for _, p := range v.parents[c] {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return best
+}
+
+// ShortestPath returns the number of IS-A edges on the shortest path
+// between a and b, treating edges as undirected (the path-length used by
+// Rada/Leacock-Chodorow style measures). It returns 0 when a == b.
+func (v *Vocabulary) ShortestPath(a, b ConceptID) int {
+	if a == b {
+		return 0
+	}
+	// BFS over undirected hierarchy edges.
+	dist := map[ConceptID]int{a: 0}
+	queue := []ConceptID{a}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		d := dist[c]
+		neigh := make([]ConceptID, 0, len(v.parents[c])+len(v.children[c]))
+		neigh = append(neigh, v.parents[c]...)
+		neigh = append(neigh, v.children[c]...)
+		for _, n := range neigh {
+			if _, ok := dist[n]; ok {
+				continue
+			}
+			if n == b {
+				return d + 1
+			}
+			dist[n] = d + 1
+			queue = append(queue, n)
+		}
+	}
+	return -1 // unreachable; cannot happen in a rooted taxonomy
+}
+
+// Frequency returns the own occurrence count of id.
+func (v *Vocabulary) Frequency(id ConceptID) float64 { return v.freq[id] }
+
+// IC returns the information content of id: -log p(c), where p(c) is
+// the smoothed probability of observing c or any of its descendants.
+// The root has IC 0.
+func (v *Vocabulary) IC(id ConceptID) float64 { return v.ic[id] }
+
+// MaxIC returns the maximum information content over all concepts, used
+// to normalize Resnik similarity into [0,1].
+func (v *Vocabulary) MaxIC() float64 { return v.maxIC }
+
+// computeDerived fills depth, cumulative frequencies and IC. Called by
+// the builder after validation.
+func (v *Vocabulary) computeDerived() {
+	n := len(v.names)
+	// Depth: BFS from root over child edges.
+	v.depth = make([]int32, n)
+	for i := range v.depth {
+		v.depth[i] = -1
+	}
+	v.depth[0] = 1
+	queue := []ConceptID{0}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, ch := range v.children[c] {
+			if v.depth[ch] < 0 {
+				v.depth[ch] = v.depth[c] + 1
+				queue = append(queue, ch)
+			}
+		}
+	}
+	v.maxDepth = 0
+	for _, d := range v.depth {
+		if int(d) > v.maxDepth {
+			v.maxDepth = int(d)
+		}
+	}
+
+	// Cumulative frequency: own + descendants, each counted once
+	// (the hierarchy may be a DAG).
+	v.cumFreq = make([]float64, n)
+	v.total = 0
+	for i := 0; i < n; i++ {
+		// Laplace smoothing: every concept observed at least once, so
+		// IC is finite everywhere.
+		v.total += v.freq[i] + 1
+	}
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		stack := []ConceptID{ConceptID(i)}
+		seen := map[ConceptID]bool{ConceptID(i): true}
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			sum += v.freq[c] + 1
+			for _, ch := range v.children[c] {
+				if !seen[ch] {
+					seen[ch] = true
+					stack = append(stack, ch)
+				}
+			}
+		}
+		v.cumFreq[i] = sum
+	}
+
+	v.ic = make([]float64, n)
+	v.maxIC = 0
+	for i := 0; i < n; i++ {
+		v.ic[i] = -math.Log(v.cumFreq[i] / v.total)
+		if v.ic[i] < 0 {
+			v.ic[i] = 0 // the root: p == 1 up to float error
+		}
+		if v.ic[i] > v.maxIC {
+			v.maxIC = v.ic[i]
+		}
+	}
+}
+
+// String summarizes the vocabulary for debugging.
+func (v *Vocabulary) String() string {
+	return fmt.Sprintf("vocab %q: %d concepts, max depth %d", v.prefix, len(v.names), v.maxDepth)
+}

@@ -1,0 +1,141 @@
+package semtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semtree/internal/triple"
+)
+
+// Pattern is a triple template with optional positions: nil terms are
+// wildcards. Pattern queries are translated into multi-dimensional
+// range queries over the index (the strategy the paper cites from
+// Tsatsanifos et al. [7]): bound positions constrain the semantic
+// distance, wildcard positions contribute their full Eq. 1 weight as
+// slack, and candidates are verified exactly on the bound positions.
+type Pattern struct {
+	Subject   *triple.Term
+	Predicate *triple.Term
+	Object    *triple.Term
+}
+
+// ParsePattern parses a Turtle-like pattern where '?' marks a wildcard:
+//
+//	(?, Fun:accept_cmd, ?)
+//	('OBSW001', ?, CmdType:start-up)
+func ParsePattern(s string) (Pattern, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+		s = s[1 : len(s)-1]
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return Pattern{}, fmt.Errorf("semtree: pattern needs 3 positions, got %d", len(parts))
+	}
+	var out [3]*triple.Term
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "?" {
+			continue
+		}
+		term, err := triple.ParseTerm(part)
+		if err != nil {
+			return Pattern{}, err
+		}
+		out[i] = &term
+	}
+	return Pattern{Subject: out[0], Predicate: out[1], Object: out[2]}, nil
+}
+
+// String renders the pattern with '?' wildcards.
+func (p Pattern) String() string {
+	pos := func(t *triple.Term) string {
+		if t == nil {
+			return "?"
+		}
+		return t.String()
+	}
+	return "(" + pos(p.Subject) + ", " + pos(p.Predicate) + ", " + pos(p.Object) + ")"
+}
+
+// Bound reports how many positions are bound.
+func (p Pattern) Bound() int {
+	n := 0
+	for _, t := range []*triple.Term{p.Subject, p.Predicate, p.Object} {
+		if t != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// embeddingSlack absorbs FastMap distortion when translating the
+// semantic radius into the embedded space.
+const embeddingSlack = 0.05
+
+// MatchPattern returns stored triples whose *bound-position* semantic
+// distance to the pattern is at most d, ranked ascending, at most limit
+// results (0 = unlimited). Wildcards are free: a pattern with only the
+// predicate bound, d=0, returns every triple using exactly that
+// predicate (up to embedding approximation, see below).
+//
+// Internally the wildcards are filled with an empty-literal placeholder
+// whose term distance to anything is maximal, so a range query with
+// radius d + Σ(wildcard weights) + slack over-approximates the
+// candidate set; candidates are then verified exactly per position.
+// Like every SemTree retrieval, completeness is bounded by the FastMap
+// embedding quality.
+func (ix *Index) MatchPattern(p Pattern, d float64, limit int) ([]Match, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("semtree: negative pattern radius %g", d)
+	}
+	if p.Bound() == 0 {
+		return nil, fmt.Errorf("semtree: pattern with no bound positions")
+	}
+	w := ix.metric.Weights()
+	weights := [3]float64{w.Alpha, w.Beta, w.Gamma}
+	terms := [3]*triple.Term{p.Subject, p.Predicate, p.Object}
+
+	placeholder := triple.NewString("")
+	var qTerms [3]triple.Term
+	slack := 0.0
+	for i, t := range terms {
+		if t == nil {
+			qTerms[i] = placeholder
+			slack += weights[i]
+		} else {
+			qTerms[i] = *t
+		}
+	}
+	q := triple.New(qTerms[0], qTerms[1], qTerms[2])
+
+	cands, err := ix.Range(q, d+slack+embeddingSlack)
+	if err != nil {
+		return nil, err
+	}
+	var out []Match
+	for _, c := range cands {
+		boundDist := 0.0
+		for i, t := range terms {
+			if t == nil {
+				continue
+			}
+			boundDist += weights[i] * ix.metric.TermDistance(*t, c.Triple.Project(i))
+		}
+		if boundDist <= d+1e-12 {
+			c.Dist = boundDist
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package semtree
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"semtree/internal/core"
+	"semtree/internal/fastmap"
+	"semtree/internal/kdtree"
+	"semtree/internal/semdist"
+	"semtree/internal/triple"
+	"semtree/internal/vocab"
+)
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// indexSnapshot is the gob payload of a persisted index: the triples
+// with provenance, the embedding geometry (FastMap pivots plus the
+// exact coordinates of every stored triple, so reloaded answers are
+// bit-identical), and the metric parameters the embedding was built
+// under. The tree itself is *not* persisted — KD-trees bulk-load
+// cheaply (§III-B), and reloading may target a different partition
+// layout.
+type indexSnapshot struct {
+	Version int
+	Options persistedOptions
+	Entries []triple.Entry
+	Mapper  fastmap.Snapshot[triple.Triple]
+	Coords  [][]float64
+}
+
+// Save writes a snapshot of the index to w. The index must not be
+// mutated concurrently.
+func Save(w io.Writer, ix *Index) error {
+	ix.mu.Lock()
+	coords := append([][]float64(nil), ix.coords...)
+	ix.mu.Unlock()
+	entries := make([]triple.Entry, 0, ix.store.Len())
+	ix.store.Each(func(id triple.ID, e triple.Entry) bool {
+		entries = append(entries, e)
+		return true
+	})
+	if len(entries) != len(coords) {
+		return fmt.Errorf("semtree: store holds %d triples but %d embeddings are tracked "+
+			"(triples added to the store outside the index?)", len(entries), len(coords))
+	}
+	snap := indexSnapshot{
+		Version: snapshotVersion,
+		Options: ix.opts,
+		Entries: entries,
+		Mapper:  ix.mapper.Snapshot(),
+		Coords:  coords,
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("semtree: save: %w", err)
+	}
+	return nil
+}
+
+// encodeSnapshot and decodeSnapshot isolate the gob round trip for
+// Save/Load and the format tests.
+func encodeSnapshot(w io.Writer, snap *indexSnapshot) error {
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+func decodeSnapshot(r io.Reader, snap *indexSnapshot) error {
+	return gob.NewDecoder(r).Decode(snap)
+}
+
+// Load reconstructs an index from a snapshot written by Save. The
+// embedding parameters are taken from the snapshot; tree-layout options
+// (bucket size, partitions, fabric) come from opts — their embedding
+// fields (Weights, Measure, NumericLiterals, Dims, Seed) are ignored.
+func Load(r io.Reader, opts Options) (*Index, error) {
+	var snap indexSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("semtree: load: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("semtree: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if len(snap.Entries) != len(snap.Coords) {
+		return nil, fmt.Errorf("semtree: snapshot has %d entries but %d embeddings",
+			len(snap.Entries), len(snap.Coords))
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = vocab.DefaultRegistry()
+	}
+	measure := semdist.ConceptMeasure(nil)
+	if snap.Options.Measure != "" {
+		m, err := semdist.MeasureByName(snap.Options.Measure)
+		if err != nil {
+			return nil, err
+		}
+		measure = m
+	}
+	metric, err := semdist.New(reg, semdist.Options{
+		Weights:         snap.Options.Weights,
+		Concept:         measure,
+		NumericLiterals: snap.Options.NumericLiterals,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mapper, err := fastmap.FromSnapshot(snap.Mapper, metric.Distance)
+	if err != nil {
+		return nil, err
+	}
+
+	store := triple.NewStore()
+	for _, e := range snap.Entries {
+		store.Add(e.Triple, e.Prov)
+	}
+
+	tree, err := core.New(core.Config{
+		Dim:               snap.Options.Dims,
+		BucketSize:        opts.BucketSize,
+		PartitionCapacity: opts.PartitionCapacity,
+		MaxPartitions:     opts.MaxPartitions,
+		Fabric:            opts.Fabric,
+		Unbalanced:        opts.Unbalanced,
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]kdtree.Point, len(snap.Coords))
+	for i, c := range snap.Coords {
+		if len(c) != snap.Options.Dims {
+			tree.Close()
+			return nil, fmt.Errorf("semtree: snapshot coordinate %d has %d dims, want %d",
+				i, len(c), snap.Options.Dims)
+		}
+		points[i] = kdtree.Point{Coords: c, ID: uint64(i)}
+	}
+	if err := tree.InsertBatchAsync(points, opts.BatchSize); err != nil {
+		tree.Close()
+		return nil, err
+	}
+	tree.Flush()
+
+	return &Index{
+		store: store, metric: metric, mapper: mapper, tree: tree,
+		dims: snap.Options.Dims, opts: snap.Options, coords: snap.Coords,
+	}, nil
+}

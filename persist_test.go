@@ -1,0 +1,185 @@
+package semtree
+
+import (
+	"bytes"
+	"testing"
+
+	"semtree/internal/synth"
+	"semtree/internal/triple"
+)
+
+func TestSaveLoadRoundTripIdenticalAnswers(t *testing.T) {
+	g := synth.New(synth.Config{Seed: 61}, nil)
+	store := triple.NewStore()
+	for _, tp := range g.Triples(600) {
+		store.Add(tp, triple.Provenance{Doc: "D", Section: "S"})
+	}
+	orig, err := Build(store, Options{Seed: 5, Measure: "lin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf, Options{})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	defer loaded.Close()
+
+	if loaded.Len() != orig.Len() || loaded.Dims() != orig.Dims() {
+		t.Fatalf("loaded len/dims = %d/%d, want %d/%d",
+			loaded.Len(), loaded.Dims(), orig.Len(), orig.Dims())
+	}
+	qGen := synth.New(synth.Config{Seed: 62}, nil)
+	for q := 0; q < 30; q++ {
+		query := qGen.RandomTriple()
+		a, err := orig.KNearest(query, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.KNearest(query, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("result sizes differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Dist != b[i].Dist {
+				t.Fatalf("query %d rank %d: distance %v vs %v (answers must be bit-identical)",
+					q, i, a[i].Dist, b[i].Dist)
+			}
+		}
+	}
+	// Provenance survives.
+	m, err := loaded.KNearest(store.MustGet(0), 1)
+	if err != nil || len(m) != 1 {
+		t.Fatalf("lookup after load: %v %v", m, err)
+	}
+	if m[0].Prov.Doc != "D" || m[0].Prov.Section != "S" {
+		t.Fatalf("provenance lost: %+v", m[0].Prov)
+	}
+}
+
+func TestLoadWithDifferentPartitionLayout(t *testing.T) {
+	g := synth.New(synth.Config{Seed: 63}, nil)
+	store := triple.NewStore()
+	for _, tp := range g.Triples(800) {
+		store.Add(tp, triple.Provenance{})
+	}
+	orig, err := Build(store, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, Options{PartitionCapacity: 100, MaxPartitions: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if loaded.PartitionCount() < 2 {
+		t.Fatalf("partition layout not applied at load: %d partitions", loaded.PartitionCount())
+	}
+	qGen := synth.New(synth.Config{Seed: 64}, nil)
+	for q := 0; q < 15; q++ {
+		query := qGen.RandomTriple()
+		a, _ := orig.KNearest(query, 5)
+		b, _ := loaded.KNearest(query, 5)
+		for i := range a {
+			if a[i].Dist != b[i].Dist {
+				t.Fatalf("repartitioned load changed answers")
+			}
+		}
+	}
+}
+
+func TestSaveAfterInsert(t *testing.T) {
+	store := triple.NewStore()
+	g := synth.New(synth.Config{Seed: 65}, nil)
+	for _, tp := range g.Triples(100) {
+		store.Add(tp, triple.Provenance{})
+	}
+	ix, err := Build(store, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	probe := g.RandomTriple()
+	if _, err := ix.Insert(probe, triple.Provenance{Doc: "late"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, ix); err != nil {
+		t.Fatalf("Save after Insert: %v", err)
+	}
+	loaded, err := Load(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if loaded.Len() != 101 {
+		t.Fatalf("loaded %d triples, want 101", loaded.Len())
+	}
+	m, err := loaded.KNearest(probe, 1)
+	if err != nil || len(m) != 1 || m[0].Dist != 0 {
+		t.Fatalf("late insert not found after reload: %v %v", m, err)
+	}
+}
+
+func TestSaveDetectsOutOfBandStoreWrites(t *testing.T) {
+	store := triple.NewStore()
+	g := synth.New(synth.Config{Seed: 66}, nil)
+	for _, tp := range g.Triples(50) {
+		store.Add(tp, triple.Provenance{})
+	}
+	ix, err := Build(store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	store.Add(g.RandomTriple(), triple.Provenance{}) // bypasses the index
+	var buf bytes.Buffer
+	if err := Save(&buf, ix); err == nil {
+		t.Fatal("Save should refuse a store with unindexed triples")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot")), Options{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	store := triple.NewStore()
+	ix, err := Build(store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	var buf bytes.Buffer
+	if err := Save(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the version by re-encoding a tampered snapshot.
+	var snap indexSnapshot
+	if err := decodeSnapshot(&buf, &snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Version = 99
+	var buf2 bytes.Buffer
+	if err := encodeSnapshot(&buf2, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf2, Options{}); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
