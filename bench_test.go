@@ -134,6 +134,81 @@ func BenchmarkFig5DistKNN(b *testing.B) {
 	}
 }
 
+// BenchmarkKNearestBatch measures the batched query surface of the
+// concurrent query engine on a 5-partition tree (4 data partitions +
+// root): "loop" issues the queries one synchronous KNearest at a time,
+// "batch" pushes the same workload through KNearestBatch's bounded
+// worker pool. On a multi-core runner the batch should sustain well
+// over 1.5× the loop's throughput.
+func BenchmarkKNearestBatch(b *testing.B) {
+	pts := benchPoints(b, 20000)
+	queries := benchPoints(b, 256)
+	qs := make([][]float64, len(queries))
+	for i, q := range queries {
+		qs[i] = q.Coords
+	}
+	tr, err := core.New(core.Config{
+		Dim: 8, BucketSize: 16,
+		PartitionCapacity: 4 * 16, MaxPartitions: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.InsertBatchAsync(pts, 64); err != nil {
+		b.Fatal(err)
+	}
+	tr.Flush()
+	if tr.PartitionCount() < 4 {
+		b.Fatalf("partitions = %d, want >= 4", tr.PartitionCount())
+	}
+	b.Run("loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				if _, err := tr.KNearest(q, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.KNearestBatch(qs, 3, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSearcherBatch measures the facade-level batched search: the
+// FastMap embedding, the tree fan-out and the triple resolution all run
+// under the Searcher's worker pool.
+func BenchmarkSearcherBatch(b *testing.B) {
+	g := synth.New(synth.Config{Seed: 1}, nil)
+	store := triple.NewStore()
+	for _, t := range g.Triples(10000) {
+		store.Add(t, triple.Provenance{})
+	}
+	idx, err := semtree.Build(store, semtree.Options{
+		Seed: 1, PartitionCapacity: 1000, MaxPartitions: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer idx.Close()
+	qs := make([]triple.Triple, 64)
+	for i := range qs {
+		qs[i] = g.RandomTriple()
+	}
+	s := idx.Searcher(semtree.SearchOptions{K: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SearchBatch(qs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig6SeqRange measures the sequential range query (Figure 6
 // at 20k points, D=0.2).
 func BenchmarkFig6SeqRange(b *testing.B) {

@@ -1,11 +1,14 @@
-// Command semtree-bench regenerates the paper's evaluation: every
-// figure (3–8), the §III-C complexity check, and the design ablations.
+// Command semtree-bench regenerates the paper's evaluation — every
+// figure (3–8), the §III-C complexity check, the design ablations —
+// plus the batched-query throughput experiment of the concurrent query
+// engine.
 //
 // Usage:
 //
 //	semtree-bench -fig all
 //	semtree-bench -fig fig3 -sizes 10000,20000,50000,100000 -partitions 1,3,5,9
 //	semtree-bench -fig fig8 -csv out/
+//	semtree-bench -fig throughput -parallel 8 -batch 64
 package main
 
 import (
@@ -29,17 +32,21 @@ func main() {
 		k          = flag.Int("k", 0, "k-nearest K (default 3)")
 		rangeD     = flag.Float64("d", 0, "range query radius (default 0.2)")
 		latency    = flag.Duration("latency", 0, "simulated per-hop latency (default 200µs)")
+		parallel   = flag.Int("parallel", 0, "batched-query workers for the throughput experiment (default GOMAXPROCS)")
+		batch      = flag.Int("batch", 0, "queries per batched call in the throughput experiment (default: whole workload)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		csvDir     = flag.String("csv", "", "also write <dir>/<fig>.csv")
 	)
 	flag.Parse()
 
 	params := bench.Params{
-		Queries: *queries,
-		K:       *k,
-		RangeD:  *rangeD,
-		Latency: *latency,
-		Seed:    *seed,
+		Queries:  *queries,
+		K:        *k,
+		RangeD:   *rangeD,
+		Latency:  *latency,
+		Parallel: *parallel,
+		Batch:    *batch,
+		Seed:     *seed,
 	}
 	var err error
 	if params.Sizes, err = parseInts(*sizes); err != nil {

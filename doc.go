@@ -7,17 +7,35 @@
 // concepts).
 //
 // The public API is the Index facade: build it over a triple store,
-// then ask for the k nearest triples — or all triples within a semantic
-// range — of an example triple, and map results back to the documents
-// they came from. The distributed machinery (partitions, build
-// partition, cross-partition search), the substrates (vocabularies,
-// distance measures, FastMap, KD-tree, message fabric, NLP extraction,
-// synthetic corpora) and the benchmark harness regenerating every
-// figure of the paper's evaluation live under internal/.
+// then query it through a Searcher — the concurrent query engine. A
+// Searcher fixes the per-query options once (k, range radius, exact
+// re-rank factor, parallelism) and answers single queries or whole
+// batches; batches amortize the FastMap embedding of the query triples
+// and fan out over the distributed tree with a bounded worker pool,
+// while single queries overlap cross-partition hops with the
+// probe-then-fan-out k-NN protocol. The one-shot helpers KNearest,
+// Range, KNearestExact and KNearestIDs are thin wrappers over a
+// Searcher.
 //
 // Quick start:
 //
 //	store := triple.NewStore()            // fill with triples …
 //	idx, err := semtree.Build(store, semtree.Options{})
 //	matches, err := idx.KNearest(queryTriple, 3)
+//
+// Serving a query stream:
+//
+//	s := idx.Searcher(semtree.SearchOptions{K: 3, Parallelism: 8})
+//	results, err := s.SearchBatch(queryTriples) // results[i] answers queryTriples[i]
+//
+// Range retrieval and exact re-ranking hang off the same options:
+//
+//	near := idx.Searcher(semtree.SearchOptions{Radius: 0.35})
+//	exact := idx.Searcher(semtree.SearchOptions{K: 5, ExactFactor: 4})
+//
+// The distributed machinery (partitions, build partition,
+// cross-partition search), the substrates (vocabularies, distance
+// measures, FastMap, KD-tree, message fabric, NLP extraction, synthetic
+// corpora) and the benchmark harness regenerating every figure of the
+// paper's evaluation live under internal/.
 package semtree

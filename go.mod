@@ -1,0 +1,3 @@
+module semtree
+
+go 1.24

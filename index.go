@@ -182,47 +182,30 @@ func (ix *Index) Insert(t triple.Triple, prov triple.Provenance) (triple.ID, err
 }
 
 // KNearest returns the k stored triples closest to q, ascending by
-// embedded distance.
+// embedded distance. Thin wrapper over Searcher; k <= 0 returns nil.
 func (ix *Index) KNearest(q triple.Triple, k int) ([]Match, error) {
-	neighbors, err := ix.tree.KNearest(ix.mapper.Map(q), k)
-	if err != nil {
-		return nil, err
-	}
-	return ix.matches(neighbors)
+	return ix.Searcher(SearchOptions{K: k}).Search(q)
 }
 
 // Range returns every stored triple within embedded distance d of q,
 // ascending by distance. Since the embedding approximates the semantic
-// distance, d is on the Eq. 1 scale ([0, 1]-ish).
+// distance, d is on the Eq. 1 scale ([0, 1]-ish). Thin wrapper over
+// Searcher.
 func (ix *Index) Range(q triple.Triple, d float64) ([]Match, error) {
-	neighbors, err := ix.tree.RangeSearch(ix.mapper.Map(q), d)
-	if err != nil {
-		return nil, err
-	}
-	return ix.matches(neighbors)
+	// ModeRange keeps d == 0 meaning "exact embedded matches only".
+	return ix.Searcher(SearchOptions{Mode: ModeRange, Radius: d}).Search(q)
 }
 
 // KNearestExact returns the k stored triples closest to q under the
 // *exact* Eq. 1 distance: it fetches factor·k candidates from the
-// embedded index (factor < 2 is raised to 2) and re-ranks them with the
-// true metric. This trades extra distance evaluations for accuracy —
-// the re-ranking ablation quantifies the gain over plain KNearest.
+// embedded index (factor < 2 is raised to 2, and the candidate count is
+// clamped to Len so a huge factor cannot overflow or over-request) and
+// re-ranks them with the true metric. This trades extra distance
+// evaluations for accuracy — the re-ranking ablation quantifies the
+// gain over plain KNearest. k <= 0 returns nil, like KNearest. Thin
+// wrapper over Searcher.
 func (ix *Index) KNearestExact(q triple.Triple, k, factor int) ([]Match, error) {
-	if factor < 2 {
-		factor = 2
-	}
-	cands, err := ix.KNearest(q, k*factor)
-	if err != nil {
-		return nil, err
-	}
-	for i := range cands {
-		cands[i].Dist = ix.metric.Distance(q, cands[i].Triple)
-	}
-	sortMatches(cands)
-	if len(cands) > k {
-		cands = cands[:k]
-	}
-	return cands, nil
+	return ix.Searcher(SearchOptions{K: k, ExactFactor: factor}).Search(q)
 }
 
 // KNearestIDs implements the reqcheck.Index interface: ranked result

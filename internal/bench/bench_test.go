@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"semtree/internal/kdtree"
 )
 
 // tinyParams keep the smoke tests fast; the real sweeps run in
@@ -45,7 +47,8 @@ func TestFigureTableAndCSV(t *testing.T) {
 func TestRunnersRegistryComplete(t *testing.T) {
 	ids := RunnerIDs()
 	want := []string{"ablation-bucket", "ablation-dims", "ablation-measure",
-		"ablation-weights", "complexity", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"}
+		"ablation-weights", "complexity", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"throughput"}
 	if len(ids) != len(want) {
 		t.Fatalf("runner ids = %v", ids)
 	}
@@ -82,6 +85,31 @@ func TestFig3Shape(t *testing.T) {
 	}
 }
 
+// chainVsBalancedWork compares traversal work (nodes visited + points
+// scanned) on chain vs balanced trees — a deterministic proxy for the
+// wall-clock curves, immune to the load of parallel test packages.
+func chainVsBalancedWork(t *testing.T, n int, run func(tr *kdtree.Tree, q []float64, st *kdtree.Stats)) (balanced, chain int) {
+	t.Helper()
+	data, err := makeSweep(n, 25, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := kdtree.BulkLoad(data.prefix(n), 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := kdtree.BuildChain(data.prefixChainWorkload(n), 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bs, cs kdtree.Stats
+	for _, q := range data.queries {
+		run(bt, q, &bs)
+		run(ct, q, &cs)
+	}
+	return bs.NodesVisited + bs.PointsScanned, cs.NodesVisited + cs.PointsScanned
+}
+
 func TestFig4ChainWorse(t *testing.T) {
 	fig, err := Fig4(tinyParams())
 	if err != nil {
@@ -90,9 +118,13 @@ func TestFig4ChainWorse(t *testing.T) {
 	if len(fig.Series) != 2 {
 		t.Fatalf("series = %d", len(fig.Series))
 	}
-	balanced, chain := fig.Series[0], fig.Series[1]
-	if chain.Y[len(chain.Y)-1] <= balanced.Y[len(balanced.Y)-1] {
-		t.Errorf("chain (%v) not slower than balanced (%v)", chain.Y, balanced.Y)
+	// The paper's shape — chain k-NN costs more — asserted on
+	// deterministic traversal work rather than wall time.
+	balanced, chain := chainVsBalancedWork(t, 6000, func(tr *kdtree.Tree, q []float64, st *kdtree.Stats) {
+		tr.KNearestWithStats(q, 3, st)
+	})
+	if chain <= balanced {
+		t.Errorf("chain work (%d) not worse than balanced (%d)", chain, balanced)
 	}
 }
 
@@ -114,13 +146,16 @@ func TestFig5Runs(t *testing.T) {
 }
 
 func TestFig6ChainWorse(t *testing.T) {
-	fig, err := Fig6(tinyParams())
-	if err != nil {
+	if _, err := Fig6(tinyParams()); err != nil {
 		t.Fatal(err)
 	}
-	balanced, chain := fig.Series[0], fig.Series[1]
-	if chain.Y[len(chain.Y)-1] <= balanced.Y[len(balanced.Y)-1] {
-		t.Errorf("chain (%v) not slower than balanced (%v)", chain.Y, balanced.Y)
+	// As in TestFig4ChainWorse: assert the paper's shape on
+	// deterministic traversal work.
+	balanced, chain := chainVsBalancedWork(t, 6000, func(tr *kdtree.Tree, q []float64, st *kdtree.Stats) {
+		tr.RangeSearchWithStats(q, 0.2, st)
+	})
+	if chain <= balanced {
+		t.Errorf("chain work (%d) not worse than balanced (%d)", chain, balanced)
 	}
 }
 
@@ -191,5 +226,25 @@ func TestAblationBucketRuns(t *testing.T) {
 	}
 	if len(fig.Series) != 2 {
 		t.Fatalf("series = %d", len(fig.Series))
+	}
+}
+
+func TestThroughputShape(t *testing.T) {
+	fig, err := Throughput(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 { // (loop, batch) per partition count
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 2 {
+			t.Fatalf("series %q has %d points", s.Name, len(s.Y))
+		}
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("series %q has non-positive throughput %f", s.Name, y)
+			}
+		}
 	}
 }

@@ -143,6 +143,8 @@ type Params struct {
 	K          int           // k-nearest K (default 3, the paper's)
 	RangeD     float64       // range-query radius on the Eq. 1 scale (default 0.2)
 	Latency    time.Duration // simulated per-hop latency (default 200µs)
+	Parallel   int           // batched-query worker pool (default GOMAXPROCS)
+	Batch      int           // queries per batched call (default: whole workload)
 	Seed       int64
 }
 
@@ -187,6 +189,7 @@ func Runners() map[string]Runner {
 		"fig6":             Fig6,
 		"fig7":             Fig7,
 		"fig8":             Fig8,
+		"throughput":       Throughput,
 		"complexity":       Complexity,
 		"ablation-weights": AblationWeights,
 		"ablation-dims":    AblationDims,

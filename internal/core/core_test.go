@@ -180,12 +180,18 @@ func TestPartitionedMatchesOracleProperty(t *testing.T) {
 	}
 }
 
+// euclidean is the oracle distance: the engine itself works on
+// euclideanSq and defers the sqrt to the client boundary.
+func euclidean(q, p []float64) float64 {
+	return math.Sqrt(euclideanSq(q, p))
+}
+
 func bruteKNN(pts []kdtree.Point, q []float64, k int) []kdtree.Neighbor {
 	rs := newResultSet(k, nil)
 	for _, p := range pts {
-		rs.offer(kdtree.Neighbor{Point: p, Dist: euclidean(q, p.Coords)})
+		rs.Offer(kdtree.Neighbor{Point: p, Dist: euclidean(q, p.Coords)})
 	}
-	return rs.items
+	return rs.Items
 }
 
 func bruteRange(pts []kdtree.Point, q []float64, d float64) []kdtree.Neighbor {

@@ -61,31 +61,65 @@ type insertBatchReq struct {
 	Entries []batchEntry
 }
 
-// knnReq asks a partition to continue a k-nearest search in the subtree
-// rooted at Node. Rs carries the current result set (Table I), so the
-// remote side prunes with the same bound the caller had; the response
-// returns the merged set.
-type knnReq struct {
-	Node  int32
-	Query []float64
-	K     int
-	Rs    []kdtree.Neighbor
+// knnEntry is one guarded subtree of a fanned-out k-nearest
+// continuation: the node index in the receiving partition, plus the
+// squared distance from the query to the splitting plane the subtree
+// lies behind (< 0: unconditional). The receiver re-checks the guard
+// against its evolving result set, so a subtree another entry already
+// ruled out costs nothing.
+type knnEntry struct {
+	Node    int32
+	PlaneSq float64
 }
 
-// knnResp carries the merged result set back.
+// knnReq asks a partition to continue a k-nearest search. Rs carries
+// the current result set (Table I), so the remote side prunes with the
+// same bound the caller had; the response returns the merged set.
+// Neighbor distances are *squared* Euclidean distances everywhere on
+// the wire — the single deferred sqrt is applied once at the client
+// boundary (Tree.KNearest).
+//
+// Seq selects the paper's strictly sequential protocol rooted at Node:
+// the caller blocks on each cross-partition hop and adopts the merged
+// set before continuing. When Seq is false (the default), the caller
+// finishes its local traversal first, groups the surviving remote
+// subtrees by hosting partition, and sends each partition ONE request
+// carrying all its Entries (Node is ignored when Entries is set) — at
+// most M−1 parallel messages per wave, the paper's §III-C bound. Rs is
+// then a snapshot: a pruning hint only, so both modes return identical
+// result sets.
+type knnReq struct {
+	Node    int32
+	Query   []float64
+	K       int
+	Rs      []kdtree.Neighbor
+	Seq     bool
+	Entries []knnEntry
+}
+
+// knnResp carries the merged result set back: the top K of the request
+// seed plus the visited subtrees, sorted ascending by (squared
+// distance, point ID). In parallel mode it may repeat seed points; the
+// caller's merge deduplicates by point ID.
 type knnResp struct {
 	Rs []kdtree.Neighbor
 }
 
 // rangeReq asks a partition for all points within D of Query in the
-// subtree rooted at Node.
+// subtree rooted at Node. D is on the (un-squared) distance scale.
 type rangeReq struct {
 	Node  int32
 	Query []float64
 	D     float64
 }
 
-// rangeResp carries the subtree's matches back.
+// rangeResp carries the subtree's matches back. Ordering contract:
+// Neighbors is an *unsorted* concatenation of partial result sets in
+// traversal/arrival order, with squared distances; matches are sorted
+// (ascending distance, ties by point ID) and square-rooted exactly
+// once, at the client boundary in Tree.RangeSearch. Intermediate
+// partitions must not sort — that work would be thrown away by the
+// merge at the next hop up.
 type rangeResp struct {
 	Neighbors []kdtree.Neighbor
 }

@@ -1,0 +1,300 @@
+package core
+
+// Tests for the concurrent query engine: the parallel k-NN fan-out must
+// be indistinguishable from the paper's sequential Rs-forwarding
+// protocol, and the batched surfaces must agree with looped single
+// calls.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"semtree/internal/cluster"
+	"semtree/internal/kdtree"
+)
+
+// sameNeighbor compares result entries exactly (Point.Coords is a
+// slice, so Neighbor is not ==-comparable).
+func sameNeighbor(a, b kdtree.Neighbor) bool {
+	return a.Point.ID == b.Point.ID && a.Dist == b.Dist
+}
+
+// multiPartitionTree builds a tree guaranteed to spread data across
+// several partitions, so k-NN traversals cross partition boundaries.
+func multiPartitionTree(t *testing.T, r *rand.Rand, n, dim int) (*Tree, []kdtree.Point) {
+	t.Helper()
+	pts := randomPoints(r, n, dim)
+	tr := mustTree(t, Config{
+		Dim: dim, BucketSize: 8,
+		PartitionCapacity: 64, MaxPartitions: 9,
+	})
+	if err := tr.InsertAll(pts, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.PartitionCount(); got < 4 {
+		t.Fatalf("partitions = %d, want >= 4 for a meaningful fan-out", got)
+	}
+	return tr, pts
+}
+
+// TestKNNParallelMatchesSequential: the parallel fan-out must return
+// byte-identical results — same points, same order, same distance
+// bits — as the sequential protocol, across ks and queries.
+func TestKNNParallelMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	tr, pts := multiPartitionTree(t, r, 3000, 4)
+	for trial := 0; trial < 60; trial++ {
+		q := randomPoints(r, 1, 4)[0].Coords
+		for _, k := range []int{1, 3, 10, 40} {
+			seq, err := tr.knn(q, k, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := tr.knn(q, k, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seq) != len(par) {
+				t.Fatalf("trial %d k=%d: len seq=%d par=%d", trial, k, len(seq), len(par))
+			}
+			for i := range seq {
+				if seq[i].Point.ID != par[i].Point.ID || seq[i].Dist != par[i].Dist {
+					t.Fatalf("trial %d k=%d item %d: seq=(%d,%v) par=(%d,%v)",
+						trial, k, i, seq[i].Point.ID, seq[i].Dist, par[i].Point.ID, par[i].Dist)
+				}
+			}
+		}
+	}
+	// Sanity: the parallel path matches the brute-force oracle too.
+	q := randomPoints(r, 1, 4)[0].Coords
+	got, err := tr.KNearest(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bruteKNN(pts, q, 5); !sameIDSets(got, want) {
+		t.Fatalf("parallel kNN disagrees with oracle")
+	}
+}
+
+// TestKNearestBatchMatchesLoop: the batched surface must agree with a
+// loop of single calls, for every worker-pool width.
+func TestKNearestBatchMatchesLoop(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	tr, _ := multiPartitionTree(t, r, 2000, 3)
+	qs := make([][]float64, 32)
+	for i := range qs {
+		qs[i] = randomPoints(r, 1, 3)[0].Coords
+	}
+	want := make([][]kdtree.Neighbor, len(qs))
+	for i, q := range qs {
+		ns, err := tr.KNearest(q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ns
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		got, err := tr.KNearestBatch(qs, 4, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range qs {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("workers=%d query %d: len %d != %d", workers, i, len(got[i]), len(want[i]))
+			}
+			for j := range got[i] {
+				if !sameNeighbor(got[i][j], want[i][j]) {
+					t.Fatalf("workers=%d query %d item %d: %+v != %+v",
+						workers, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestRangeBatchMatchesLoop: ditto for range queries, which also pins
+// the single-sort ordering contract (ascending distance, ID ties).
+func TestRangeBatchMatchesLoop(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	tr, pts := multiPartitionTree(t, r, 2000, 3)
+	qs := make([][]float64, 16)
+	for i := range qs {
+		qs[i] = randomPoints(r, 1, 3)[0].Coords
+	}
+	const d = 25.0
+	got, err := tr.RangeBatch(qs, d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, err := tr.RangeSearch(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got[i]) != len(want) {
+			t.Fatalf("query %d: len %d != %d", i, len(got[i]), len(want))
+		}
+		for j := range want {
+			if !sameNeighbor(got[i][j], want[j]) {
+				t.Fatalf("query %d item %d differs", i, j)
+			}
+			if j > 0 && !neighborLess(want[j-1], want[j]) && !sameNeighbor(want[j-1], want[j]) {
+				t.Fatalf("query %d: result not in (Dist, ID) order at %d", i, j)
+			}
+		}
+		if bf := bruteRange(pts, q, d); !sameIDSets(got[i], bf) {
+			t.Fatalf("query %d: range disagrees with oracle", i)
+		}
+	}
+}
+
+// TestBatchEmptyAndErrors: degenerate batch inputs and the
+// first-error contract.
+func TestBatchEmptyAndErrors(t *testing.T) {
+	tr := mustTree(t, Config{Dim: 2})
+	if out, err := tr.KNearestBatch(nil, 3, 4); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: out=%v err=%v", out, err)
+	}
+	// A query with the wrong dimensionality errors without poisoning
+	// the rest of the batch.
+	if err := tr.Insert(kdtree.Point{Coords: []float64{1, 2}, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	qs := [][]float64{{1, 2}, {3}, {4, 5}}
+	out, err := tr.KNearestBatch(qs, 1, 2)
+	if err == nil {
+		t.Fatal("dimension mismatch not reported")
+	}
+	if len(out[0]) != 1 || out[1] != nil || len(out[2]) != 1 {
+		t.Fatalf("batch results around the error wrong: %v", out)
+	}
+}
+
+// TestKNNParallelSurvivesConcurrentInserts: batched queries racing
+// inserts must neither crash nor corrupt results (run with -race).
+func TestKNNParallelSurvivesConcurrentInserts(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	tr := mustTree(t, Config{
+		Dim: 3, BucketSize: 8,
+		PartitionCapacity: 64, MaxPartitions: 9,
+	})
+	seedPts := randomPoints(r, 500, 3)
+	if err := tr.InsertAll(seedPts, 1); err != nil {
+		t.Fatal(err)
+	}
+	extra := randomPoints(r, 500, 3)
+	for i := range extra {
+		extra[i].ID += 500
+	}
+	qs := make([][]float64, 64)
+	for i := range qs {
+		qs[i] = randomPoints(r, 1, 3)[0].Coords
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, p := range extra {
+			if err := tr.Insert(p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for round := 0; round < 8; round++ {
+		res, err := tr.KNearestBatch(qs, 3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ns := range res {
+			if len(ns) != 3 {
+				t.Fatalf("round %d query %d: %d results", round, i, len(ns))
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// TestKNNParallelPropagatesFabricErrors: on a lossy fabric, the
+// parallel fan-out must either answer exactly (retries absorbed the
+// failures) or surface an error — never return a silent partial set.
+func TestKNNParallelPropagatesFabricErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	pts := randomPoints(r, 1000, 3)
+	fabric := cluster.NewInProc(cluster.InProcOptions{FailureRate: 0.05, Seed: 1})
+	defer fabric.Close()
+	tr, err := New(Config{
+		Dim: 3, BucketSize: 8,
+		PartitionCapacity: 64, MaxPartitions: 9,
+		Fabric: fabric, RetryAttempts: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.InsertAll(pts, 1); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := randomPoints(r, 1, 3)[0].Coords
+		got, err := tr.KNearest(q, 5)
+		if err != nil {
+			continue // surfaced, not swallowed: acceptable on a lossy fabric
+		}
+		if want := bruteKNN(pts, q, 5); !sameIDSets(got, want) {
+			t.Fatalf("trial %d: lossy fabric produced a silent partial answer", trial)
+		}
+	}
+}
+
+// TestKNNEquivalenceOnTies stresses the tie handling the random-float
+// equivalence test cannot reach: integer grid coordinates put many
+// points at exactly equal distances and exactly on splitting planes,
+// where an over-eager prune (skip at guard == worst) would let the two
+// protocols keep different tied winners.
+func TestKNNEquivalenceOnTies(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	pts := make([]kdtree.Point, 1500)
+	for i := range pts {
+		pts[i] = kdtree.Point{
+			Coords: []float64{float64(r.Intn(6)), float64(r.Intn(6)), float64(r.Intn(6))},
+			ID:     uint64(i),
+		}
+	}
+	tr := mustTree(t, Config{
+		Dim: 3, BucketSize: 8,
+		PartitionCapacity: 64, MaxPartitions: 9,
+	})
+	if err := tr.InsertAll(pts, 1); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 40; trial++ {
+		q := []float64{float64(r.Intn(6)), float64(r.Intn(6)), float64(r.Intn(6))}
+		for _, k := range []int{1, 3, 8} {
+			seq, err := tr.knn(q, k, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := tr.knn(q, k, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteKNN(pts, q, k)
+			if len(seq) != len(par) || len(seq) != len(want) {
+				t.Fatalf("trial %d k=%d: lens seq=%d par=%d brute=%d",
+					trial, k, len(seq), len(par), len(want))
+			}
+			for i := range seq {
+				if seq[i].Point.ID != par[i].Point.ID || seq[i].Dist != par[i].Dist {
+					t.Fatalf("trial %d k=%d item %d: seq=(%d,%v) par=(%d,%v)",
+						trial, k, i, seq[i].Point.ID, seq[i].Dist, par[i].Point.ID, par[i].Dist)
+				}
+				if seq[i].Point.ID != want[i].Point.ID {
+					t.Fatalf("trial %d k=%d item %d: tie-break disagrees with oracle: got %d want %d",
+						trial, k, i, seq[i].Point.ID, want[i].Point.ID)
+				}
+			}
+		}
+	}
+}

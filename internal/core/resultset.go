@@ -1,66 +1,81 @@
 package core
 
 import (
-	"math"
-
 	"semtree/internal/kdtree"
 )
 
-// resultSet is the paper's Rs (Table I): the best k candidates seen so
-// far, kept sorted ascending by distance (ties broken by point ID for
-// determinism). K is small in practice, so ordered insertion beats a
-// heap and keeps the serialized form canonical for the wire protocol.
+// resultSet wraps kdtree.ResultSet — the single implementation of the
+// Rs ordering contract (Table I: best k, ascending squared distance,
+// point-ID tie-breaks) — with the operations the distributed protocol
+// needs on top: wholesale replacement (sequential hops), deduplicating
+// merges (parallel fan-outs) and detached export (the wire must not
+// alias the pooled scratch buffer).
+//
+// While a query is in flight, Dist holds the *squared* Euclidean
+// distance: the whole search — leaf scans, the backtracking bound, the
+// cross-partition merges — runs on squared distances, and the single
+// deferred sqrt is applied per result at the client boundary
+// (Tree.KNearest / Tree.RangeSearch).
 type resultSet struct {
-	k     int
-	items []kdtree.Neighbor
+	kdtree.ResultSet
 }
 
+// neighborLess is the shared total result order.
+func neighborLess(a, b kdtree.Neighbor) bool { return kdtree.NeighborLess(a, b) }
+
 func newResultSet(k int, seed []kdtree.Neighbor) *resultSet {
-	rs := &resultSet{k: k, items: make([]kdtree.Neighbor, 0, k)}
-	for _, n := range seed {
-		rs.offer(n)
-	}
+	rs := &resultSet{}
+	rs.reset(k, seed)
 	return rs
 }
 
-func (r *resultSet) full() bool { return len(r.items) >= r.k }
-
-// worst returns the distance D of Table I: the distance between the
-// query point and the most distant member of the result set (infinite
-// while the set is not full).
-func (r *resultSet) worst() float64 {
-	if !r.full() {
-		return math.Inf(1)
+// reset re-arms the set for a new query, retaining the backing array so
+// pooled query contexts do not allocate per search.
+func (r *resultSet) reset(k int, seed []kdtree.Neighbor) {
+	r.K = k
+	r.Items = r.Items[:0]
+	for _, n := range seed {
+		r.Offer(n)
 	}
-	return r.items[len(r.items)-1].Dist
 }
 
-func neighborLess(a, b kdtree.Neighbor) bool {
-	if a.Dist != b.Dist {
-		return a.Dist < b.Dist
-	}
-	return a.Point.ID < b.Point.ID
-}
-
-// offer inserts a candidate in order, evicting the worst when full.
-func (r *resultSet) offer(n kdtree.Neighbor) {
-	if r.full() {
-		if !neighborLess(n, r.items[len(r.items)-1]) {
-			return
-		}
-	} else {
-		r.items = append(r.items, kdtree.Neighbor{})
-	}
-	i := len(r.items) - 1
-	for i > 0 && neighborLess(n, r.items[i-1]) {
-		r.items[i] = r.items[i-1]
-		i--
-	}
-	r.items[i] = n
-}
-
-// replace swaps in a merged set returned by a remote partition (which
-// was seeded with our items, so it is already the union's top k).
+// replace swaps in a merged set returned by a remote partition during
+// the sequential protocol (which was seeded with our items, so it is
+// already the union's top k).
 func (r *resultSet) replace(items []kdtree.Neighbor) {
-	r.items = items
+	r.Items = items
+}
+
+// contains reports whether a point with the given ID is already kept.
+func (r *resultSet) contains(id uint64) bool {
+	for i := range r.Items {
+		if r.Items[i].Point.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// merge folds a partial result set returned by a parallel remote
+// fan-out into this one. Partials are seeded with a snapshot of our
+// items, so they may repeat points we already keep (or that another
+// partial re-introduced); offers are deduplicated by point ID. The
+// merged outcome is order-independent because Offer uses the total
+// (Dist, ID) order.
+func (r *resultSet) merge(items []kdtree.Neighbor) {
+	for _, n := range items {
+		if !r.contains(n.Point.ID) {
+			r.Offer(n)
+		}
+	}
+}
+
+// export copies the set for the wire: responses must not alias the
+// pooled scratch buffer, which is recycled when the query context is
+// released.
+func (r *resultSet) export() []kdtree.Neighbor {
+	if len(r.Items) == 0 {
+		return nil
+	}
+	return append([]kdtree.Neighbor(nil), r.Items...)
 }

@@ -25,18 +25,18 @@ func TestResultSetMatchesSortOracle(t *testing.T) {
 				Dist:  float64(r.Intn(8)), // coarse values force ties
 			}
 			all = append(all, nb)
-			rs.offer(nb)
+			rs.Offer(nb)
 		}
 		sort.Slice(all, func(i, j int) bool { return neighborLess(all[i], all[j]) })
 		want := all
 		if len(want) > k {
 			want = want[:k]
 		}
-		if len(rs.items) != len(want) {
+		if len(rs.Items) != len(want) {
 			return false
 		}
 		for i := range want {
-			if rs.items[i].Dist != want[i].Dist {
+			if rs.Items[i].Dist != want[i].Dist {
 				return false
 			}
 		}
@@ -54,21 +54,115 @@ func TestResultSetSeedRespectsK(t *testing.T) {
 		{Point: kdtree.Point{ID: 3}, Dist: 2},
 	}
 	rs := newResultSet(2, seed)
-	if len(rs.items) != 2 || rs.items[0].Dist != 1 || rs.items[1].Dist != 2 {
-		t.Fatalf("seeded set = %v", rs.items)
+	if len(rs.Items) != 2 || rs.Items[0].Dist != 1 || rs.Items[1].Dist != 2 {
+		t.Fatalf("seeded set = %v", rs.Items)
 	}
-	if rs.worst() != 2 {
-		t.Fatalf("worst = %f", rs.worst())
+	if rs.Worst() != 2 {
+		t.Fatalf("worst = %f", rs.Worst())
 	}
 }
 
 func TestResultSetWorstWhenNotFull(t *testing.T) {
 	rs := newResultSet(3, nil)
-	if !math.IsInf(rs.worst(), 1) {
-		t.Fatalf("worst of empty set = %f, want +Inf", rs.worst())
+	if !math.IsInf(rs.Worst(), 1) {
+		t.Fatalf("worst of empty set = %f, want +Inf", rs.Worst())
 	}
-	rs.offer(kdtree.Neighbor{Dist: 5})
-	if !math.IsInf(rs.worst(), 1) {
+	rs.Offer(kdtree.Neighbor{Dist: 5})
+	if !math.IsInf(rs.Worst(), 1) {
 		t.Fatalf("worst of non-full set must stay +Inf (Rs.length() < K)")
+	}
+}
+
+func TestResultSetKZero(t *testing.T) {
+	for _, k := range []int{0, -3} {
+		rs := newResultSet(k, []kdtree.Neighbor{{Point: kdtree.Point{ID: 1}, Dist: 1}})
+		rs.Offer(kdtree.Neighbor{Point: kdtree.Point{ID: 2}, Dist: 2})
+		if len(rs.Items) != 0 {
+			t.Fatalf("k=%d kept %d items", k, len(rs.Items))
+		}
+		if rs.export() != nil {
+			t.Fatalf("k=%d export not nil", k)
+		}
+	}
+}
+
+// TestResultSetExactTiesBrokenByID: candidates at identical distances
+// must be kept and ordered by ascending point ID, independent of offer
+// order — the property that makes parallel merges deterministic.
+func TestResultSetExactTiesBrokenByID(t *testing.T) {
+	mk := func(id uint64) kdtree.Neighbor {
+		return kdtree.Neighbor{Point: kdtree.Point{ID: id}, Dist: 7}
+	}
+	for _, order := range [][]uint64{{5, 1, 9, 3}, {9, 5, 3, 1}, {1, 3, 5, 9}} {
+		rs := newResultSet(3, nil)
+		for _, id := range order {
+			rs.Offer(mk(id))
+		}
+		want := []uint64{1, 3, 5}
+		if len(rs.Items) != 3 {
+			t.Fatalf("order %v: kept %d", order, len(rs.Items))
+		}
+		for i, id := range want {
+			if rs.Items[i].Point.ID != id {
+				t.Fatalf("order %v: items[%d].ID = %d, want %d", order, i, rs.Items[i].Point.ID, id)
+			}
+		}
+	}
+}
+
+// TestResultSetReplaceThenMerge: after a sequential replace, merging a
+// parallel partial that repeats kept points must deduplicate by ID and
+// still admit genuinely better candidates.
+func TestResultSetReplaceThenMerge(t *testing.T) {
+	rs := newResultSet(3, nil)
+	rs.Offer(kdtree.Neighbor{Point: kdtree.Point{ID: 10}, Dist: 5})
+	rs.replace([]kdtree.Neighbor{
+		{Point: kdtree.Point{ID: 1}, Dist: 1},
+		{Point: kdtree.Point{ID: 2}, Dist: 4},
+		{Point: kdtree.Point{ID: 3}, Dist: 6},
+	})
+	rs.merge([]kdtree.Neighbor{
+		{Point: kdtree.Point{ID: 2}, Dist: 4}, // duplicate of a kept point
+		{Point: kdtree.Point{ID: 4}, Dist: 2}, // beats ID 3
+	})
+	ids := make([]uint64, len(rs.Items))
+	for i, n := range rs.Items {
+		ids[i] = n.Point.ID
+	}
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 4 || ids[2] != 2 {
+		t.Fatalf("merged ids = %v, want [1 4 2]", ids)
+	}
+}
+
+// TestResultSetMergeOrderIndependent: folding partial sets in any order
+// must converge on the same set (the guarantee the parallel k-NN
+// fan-out's final merge relies on).
+func TestResultSetMergeOrderIndependent(t *testing.T) {
+	partials := [][]kdtree.Neighbor{
+		{{Point: kdtree.Point{ID: 1}, Dist: 1}, {Point: kdtree.Point{ID: 2}, Dist: 3}},
+		{{Point: kdtree.Point{ID: 3}, Dist: 2}, {Point: kdtree.Point{ID: 1}, Dist: 1}},
+		{{Point: kdtree.Point{ID: 4}, Dist: 3}, {Point: kdtree.Point{ID: 2}, Dist: 3}},
+	}
+	var got [][]uint64
+	for _, perm := range [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}} {
+		rs := newResultSet(3, nil)
+		for _, pi := range perm {
+			rs.merge(partials[pi])
+		}
+		ids := make([]uint64, len(rs.Items))
+		for i, n := range rs.Items {
+			ids[i] = n.Point.ID
+		}
+		got = append(got, ids)
+	}
+	for _, ids := range got[1:] {
+		if len(ids) != len(got[0]) {
+			t.Fatalf("merge orders disagree: %v", got)
+		}
+		for i := range ids {
+			if ids[i] != got[0][i] {
+				t.Fatalf("merge orders disagree: %v", got)
+			}
+		}
 	}
 }

@@ -4,72 +4,283 @@ import (
 	"math"
 	"sync"
 
+	"semtree/internal/cluster"
 	"semtree/internal/kdtree"
 )
 
+// queryCtx is the per-query execution context of the k-nearest engine:
+// the scratch result set, the explicit visit stack, the remote subtrees
+// the local traversal ran into, and the collector state for parallel
+// fan-outs. Contexts are pooled — a query borrows one, traverses,
+// copies its result onto the wire and releases it — so steady-state
+// searches allocate only the response slice and the fan-out messages.
+type queryCtx struct {
+	rs      resultSet
+	stack   []knnFrame
+	pending []knnFrame // remote subtrees deferred until the local bound is final
+
+	mu       sync.Mutex
+	wg       sync.WaitGroup
+	partials [][]kdtree.Neighbor
+	err      error
+}
+
+// knnFrame is one pending subtree visit. planeSq >= 0 guards the visit:
+// the subtree lies beyond a splitting plane at that squared distance,
+// and is skipped when the result ball no longer crosses the plane. The
+// guard is evaluated at pop time — after the nearer sibling's subtree
+// has been fully explored — which is the backtracking condition of
+// §III-B.3 (visit the unexplored side when Rs.length() < K or the
+// worst kept distance still crosses the splitting plane). We skip only
+// when the plane is *strictly* beyond the worst kept candidate: at
+// exact equality a point on the far side could tie the k-th best with
+// a smaller ID, and both protocols must keep the same winner for the
+// parallel mode to stay bit-identical to the sequential one. planeSq
+// < 0 marks an unconditional visit.
+type knnFrame struct {
+	ref     childRef
+	planeSq float64
+}
+
+var queryCtxPool = sync.Pool{New: func() any { return new(queryCtx) }}
+
+func getQueryCtx(k int, seed []kdtree.Neighbor) *queryCtx {
+	c := queryCtxPool.Get().(*queryCtx)
+	c.rs.reset(k, seed)
+	c.stack = c.stack[:0]
+	c.pending = c.pending[:0]
+	c.err = nil
+	return c
+}
+
+func putQueryCtx(c *queryCtx) {
+	for i := range c.partials {
+		c.partials[i] = nil // drop wire slices; only the scratch is pooled
+	}
+	c.partials = c.partials[:0]
+	queryCtxPool.Put(c)
+}
+
+func (c *queryCtx) push(ref childRef, planeSq float64) {
+	c.stack = append(c.stack, knnFrame{ref: ref, planeSq: planeSq})
+}
+
+func (c *queryCtx) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+func (c *queryCtx) collect(items []kdtree.Neighbor) {
+	c.mu.Lock()
+	c.partials = append(c.partials, items)
+	c.mu.Unlock()
+}
+
 // handleKNN implements the distributed k-nearest search (§III-B.3).
-// The request carries the caller's current result set Rs; the local
-// traversal continues the sequential backtracking algorithm, forwarding
-// Rs across partition boundaries and returning the merged set. The
-// read lock is held for the whole local traversal, so references cannot
-// go stale mid-search; nested calls only ever go downstream in the
-// partition DAG, so locking cannot cycle.
+// The request carries the caller's current result set Rs (squared
+// distances, see knnReq); the local traversal continues the
+// backtracking algorithm over an explicit visit stack. Remote subtrees
+// are handled two ways:
+//
+//   - Seq mode: the paper's sequential protocol — a synchronous fabric
+//     call forwards Rs and adopts the merged set before continuing, so
+//     later pruning uses the tightest possible bound.
+//   - Default (parallel): remote subtrees whose guard still crosses the
+//     search ball are deferred until the local traversal finishes, then
+//     re-checked against the now-final local bound, grouped by hosting
+//     partition, and dispatched as one goroutine-backed fabric call per
+//     partition (at most M−1 per wave), mirroring the range search's
+//     border-node navigation (§III-B.4). The returned partial sets are
+//     merged under the (Dist, ID) tie-break ordering.
+//
+// Both modes return identical result sets: the snapshot seed and the
+// deferred guard re-check only change how much work pruning saves (a
+// remote may examine more candidates, never fewer), and every
+// candidate either beats the final k-th best or is discarded on merge.
+//
+// The read lock is held for the whole local traversal, so references
+// cannot go stale mid-search; nested calls only ever go downstream in
+// the partition DAG, so locking cannot cycle. The fan-out runs after
+// the lock is released, exactly like handleRange's collector.
 func (p *partition) handleKNN(r knnReq) (any, error) {
 	if r.K <= 0 {
 		return knnResp{}, nil
 	}
-	rs := newResultSet(r.K, r.Rs)
+	ctx := getQueryCtx(r.K, r.Rs)
+	defer putQueryCtx(ctx)
 	p.mu.RLock()
-	err := p.knnVisit(r.Node, r.Query, rs)
+	err := p.knnTraverse(r, ctx)
 	p.mu.RUnlock()
+	if err == nil {
+		p.dispatchPending(r, ctx)
+	}
+	ctx.wg.Wait()
+	if err == nil {
+		err = ctx.err
+	}
 	if err != nil {
 		return nil, err
 	}
-	return knnResp{Rs: rs.items}, nil
+	for _, partial := range ctx.partials {
+		ctx.rs.merge(partial)
+	}
+	return knnResp{Rs: ctx.rs.export()}, nil
 }
 
-func (p *partition) knnVisit(idx int32, q []float64, rs *resultSet) error {
-	n := &p.nodes[idx]
-	if n.moved {
-		return p.remoteKNN(n.fwd, q, rs)
-	}
-	if n.leaf {
-		for _, pt := range n.bucket {
-			rs.offer(kdtree.Neighbor{Point: pt, Dist: euclidean(q, pt.Coords)})
+func (p *partition) knnTraverse(r knnReq, ctx *queryCtx) error {
+	if len(r.Entries) > 0 {
+		// Fan-out continuation: seed the stack with every guarded
+		// entry, reversed so the first entry pops first.
+		for i := len(r.Entries) - 1; i >= 0; i-- {
+			ctx.push(childRef{Part: p.id, Node: r.Entries[i].Node}, r.Entries[i].PlaneSq)
 		}
+	} else {
+		ctx.push(childRef{Part: p.id, Node: r.Node}, -1)
+	}
+	for len(ctx.stack) > 0 {
+		f := ctx.stack[len(ctx.stack)-1]
+		ctx.stack = ctx.stack[:len(ctx.stack)-1]
+		if f.planeSq >= 0 && ctx.rs.Full() && ctx.rs.Worst() < f.planeSq {
+			continue // backtracking prune: the result ball stays inside the plane
+		}
+		if !p.local(f.ref) {
+			if err := p.remoteKNN(f.ref, f.planeSq, r, ctx); err != nil {
+				return err
+			}
+			continue
+		}
+		n := &p.nodes[f.ref.Node]
+		switch {
+		case n.moved:
+			if err := p.remoteKNN(n.fwd, f.planeSq, r, ctx); err != nil {
+				return err
+			}
+		case n.leaf:
+			for _, pt := range n.bucket {
+				ctx.rs.Offer(kdtree.Neighbor{Point: pt, Dist: euclideanSq(r.Query, pt.Coords)})
+			}
+		default:
+			near, far := n.left, n.right
+			if r.Query[n.splitDim] > n.splitVal {
+				near, far = far, near
+			}
+			plane := r.Query[n.splitDim] - n.splitVal
+			// LIFO: far is guarded and pops only after near's whole
+			// subtree has been explored.
+			ctx.push(far, plane*plane)
+			ctx.push(near, -1)
+		}
+	}
+	return nil
+}
+
+// remoteKNN hands a remote subtree off. In Seq mode the call is
+// synchronous and Rs travels with the request; the merged set replaces
+// ours and tightens all later pruning, the paper's protocol. Otherwise
+// the subtree joins the pending list — with the guard it already
+// passed, so the final local bound can still rule it out — for the
+// per-partition fan-out after the local traversal.
+func (p *partition) remoteKNN(ref childRef, planeSq float64, r knnReq, ctx *queryCtx) error {
+	if r.Seq {
+		resp, err := p.t.call(p.id, ref.Part,
+			knnReq{Node: ref.Node, Query: r.Query, K: r.K, Rs: ctx.rs.Items, Seq: true})
+		if err != nil {
+			return err
+		}
+		ctx.rs.replace(resp.(knnResp).Rs)
 		return nil
 	}
-	near, far := n.left, n.right
-	if q[n.splitDim] > n.splitVal {
-		near, far = far, near
-	}
-	if err := p.knnChild(near, q, rs); err != nil {
-		return err
-	}
-	// Backtracking condition (§III-B.3): visit the unexplored subtree
-	// when the result set is not full (Rs.length() < K) or the worst
-	// kept distance still crosses the splitting plane.
-	planeDist := math.Abs(q[n.splitDim] - n.splitVal)
-	if !rs.full() || rs.worst() > planeDist {
-		return p.knnChild(far, q, rs)
-	}
+	ctx.pending = append(ctx.pending, knnFrame{ref: ref, planeSq: planeSq})
 	return nil
 }
 
-func (p *partition) knnChild(ref childRef, q []float64, rs *resultSet) error {
-	if p.local(ref) {
-		return p.knnVisit(ref.Node, q, rs)
+// dispatchPending resolves the remote subtrees the local traversal ran
+// into, in three steps:
+//
+//  1. Re-check every deferred subtree against the now-final local bound
+//     and group the survivors by hosting partition (one message per
+//     partition — each wave stays within the paper's M−1 parallel
+//     operations, and the remote side prunes across its entries with
+//     its own evolving bound).
+//  2. Probe the most promising partition — the one holding the subtree
+//     with the smallest plane-distance guard — *synchronously*, exactly
+//     like the sequential protocol's first hop. Its merged set tightens
+//     the search ball, which usually rules most other partitions out;
+//     when only one partition qualifies this degrades to the sequential
+//     protocol and costs nothing extra.
+//  3. Fan the remaining partitions out on goroutines against a snapshot
+//     of the tightened Rs, and let handleKNN merge the partials.
+//
+// Returning a dispatch error is handled by the caller via ctx.err.
+func (p *partition) dispatchPending(r knnReq, ctx *queryCtx) {
+	if len(ctx.pending) == 0 {
+		return
 	}
-	return p.remoteKNN(ref, q, rs)
-}
-
-func (p *partition) remoteKNN(ref childRef, q []float64, rs *resultSet) error {
-	resp, err := p.t.call(p.id, ref.Part, knnReq{Node: ref.Node, Query: q, K: rs.k, Rs: rs.items})
+	groups := make(map[cluster.NodeID][]knnEntry)
+	minGuard := make(map[cluster.NodeID]float64)
+	for _, f := range ctx.pending {
+		if f.planeSq >= 0 && ctx.rs.Full() && ctx.rs.Worst() < f.planeSq {
+			continue
+		}
+		guard := f.planeSq
+		if guard < 0 {
+			guard = math.Inf(-1) // unconditional: the query's own region lives there
+		}
+		if cur, ok := minGuard[f.ref.Part]; !ok || guard < cur {
+			minGuard[f.ref.Part] = guard
+		}
+		groups[f.ref.Part] = append(groups[f.ref.Part],
+			knnEntry{Node: f.ref.Node, PlaneSq: f.planeSq})
+	}
+	if len(groups) == 0 {
+		return
+	}
+	probe := cluster.NodeID(-1)
+	for part, guard := range minGuard {
+		if probe < 0 || guard < minGuard[probe] ||
+			(guard == minGuard[probe] && part < probe) {
+			probe = part
+		}
+	}
+	resp, err := p.t.call(p.id, probe,
+		knnReq{Query: r.Query, K: r.K, Rs: ctx.rs.Items, Entries: groups[probe]})
 	if err != nil {
-		return err
+		ctx.fail(err)
+		return
 	}
-	rs.replace(resp.(knnResp).Rs)
-	return nil
+	ctx.rs.replace(resp.(knnResp).Rs)
+	delete(groups, probe)
+
+	var seed []kdtree.Neighbor
+	for part, entries := range groups {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.PlaneSq >= 0 && ctx.rs.Full() && ctx.rs.Worst() < e.PlaneSq {
+				continue // the probe's tightened ball rules it out
+			}
+			kept = append(kept, e)
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		if seed == nil {
+			seed = ctx.rs.export()
+		}
+		ctx.wg.Add(1)
+		go func(part cluster.NodeID, entries []knnEntry) {
+			defer ctx.wg.Done()
+			resp, err := p.t.call(p.id, part,
+				knnReq{Query: r.Query, K: r.K, Rs: seed, Entries: entries})
+			if err != nil {
+				ctx.fail(err)
+				return
+			}
+			ctx.collect(resp.(knnResp).Rs)
+		}(part, kept)
+	}
 }
 
 // handleRange implements the distributed range search (§III-B.4).
@@ -77,7 +288,8 @@ func (p *partition) remoteKNN(ref childRef, q []float64, rs *resultSet) error {
 // current node is a border node, the navigation is performed in a
 // parallel way": remote subtrees are queried on their own goroutines
 // while the local side proceeds, and the partial result sets are merged
-// on the way back.
+// on the way back. Matches carry squared distances and arrive unsorted;
+// Tree.RangeSearch applies the single sort and sqrt (see rangeResp).
 func (p *partition) handleRange(r rangeReq) (any, error) {
 	if r.D < 0 {
 		return rangeResp{}, nil
@@ -124,9 +336,10 @@ func (p *partition) rangeVisit(idx int32, q []float64, d float64, col *rangeColl
 	}
 	if n.leaf {
 		var local []kdtree.Neighbor
+		dd := d * d
 		for _, pt := range n.bucket {
-			if dist := euclidean(q, pt.Coords); dist <= d {
-				local = append(local, kdtree.Neighbor{Point: pt, Dist: dist})
+			if sq := euclideanSq(q, pt.Coords); sq <= dd {
+				local = append(local, kdtree.Neighbor{Point: pt, Dist: sq})
 			}
 		}
 		if local != nil {
@@ -177,11 +390,15 @@ func (p *partition) remoteRange(ref childRef, q []float64, d float64, col *range
 	}()
 }
 
-func euclidean(q, p []float64) float64 {
+// euclideanSq returns the squared Euclidean distance between q and p.
+// Search runs entirely on squared distances — ordering and the
+// backtracking bound are unchanged because squaring is monotone — and
+// the single sqrt per result is deferred to the client boundary.
+func euclideanSq(q, p []float64) float64 {
 	s := 0.0
 	for i := range q {
 		d := q[i] - p[i]
 		s += d * d
 	}
-	return math.Sqrt(s)
+	return s
 }

@@ -1,0 +1,68 @@
+package core
+
+// Benchmarks for the two cross-partition k-nearest protocols. The
+// sequential protocol minimizes total work (each hop carries the
+// tightest bound); the probe-then-fan-out protocol trades extra
+// examined candidates for overlapped message waves, which wins once
+// per-hop latency or idle cores dominate. KNearestBatch therefore runs
+// seq per query under its worker pool, while single KNearest fans out.
+
+import (
+	"math/rand"
+	"testing"
+
+	"semtree/internal/kdtree"
+)
+
+func benchQueryTree(b *testing.B, m int) (*Tree, [][]float64) {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	pts := make([]kdtree.Point, 20000)
+	for i := range pts {
+		c := make([]float64, 8)
+		for d := range c {
+			c[d] = r.Float64() * 100
+		}
+		pts[i] = kdtree.Point{Coords: c, ID: uint64(i)}
+	}
+	capacity := 0
+	if m > 1 {
+		capacity = (m - 1) * 16
+	}
+	tr, err := New(Config{Dim: 8, BucketSize: 16, PartitionCapacity: capacity, MaxPartitions: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { tr.Close() })
+	if err := tr.InsertBatchAsync(pts, 256); err != nil {
+		b.Fatal(err)
+	}
+	tr.Flush()
+	qs := make([][]float64, 256)
+	for i := range qs {
+		c := make([]float64, 8)
+		for d := range c {
+			c[d] = r.Float64() * 100
+		}
+		qs[i] = c
+	}
+	return tr, qs
+}
+
+func BenchmarkKNNProtocols(b *testing.B) {
+	tr, qs := benchQueryTree(b, 5)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.knn(qs[i%len(qs)], 3, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fanout", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.knn(qs[i%len(qs)], 3, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -281,8 +283,22 @@ func (t *Tree) InsertAll(pts []kdtree.Point, workers int) error {
 	return nil
 }
 
-// KNearest returns the k points closest to q, ascending by distance.
+// KNearest returns the k points closest to q, ascending by distance
+// (ties broken by point ID). Remote subtrees are searched with the
+// probe-then-fan-out protocol of the query engine, which overlaps
+// cross-partition hops: single-query latency is bounded by two message
+// waves instead of one hop per visited partition. For bulk workloads
+// prefer KNearestBatch, which minimizes total work instead.
 func (t *Tree) KNearest(q []float64, k int) ([]kdtree.Neighbor, error) {
+	return t.knn(q, k, false)
+}
+
+// knn runs one k-nearest query. seq selects the paper's sequential
+// Rs-forwarding protocol (§III-B.3) instead of the parallel fan-out;
+// both return identical results, which the equivalence tests assert.
+// The wire protocol carries squared distances (see knnReq); the single
+// deferred sqrt happens here, at the client boundary.
+func (t *Tree) knn(q []float64, k int, seq bool) ([]kdtree.Neighbor, error) {
 	if len(q) != t.cfg.Dim {
 		return nil, fmt.Errorf("core: query has %d coords, tree dimension is %d", len(q), t.cfg.Dim)
 	}
@@ -290,15 +306,21 @@ func (t *Tree) KNearest(q []float64, k int) ([]kdtree.Neighbor, error) {
 		return nil, nil
 	}
 	root := t.rootPartition()
-	resp, err := t.call(cluster.ClientID, root.id, knnReq{Node: 0, Query: q, K: k})
+	resp, err := t.call(cluster.ClientID, root.id, knnReq{Node: 0, Query: q, K: k, Seq: seq})
 	if err != nil {
 		return nil, err
 	}
-	return resp.(knnResp).Rs, nil
+	out := resp.(knnResp).Rs
+	for i := range out {
+		out[i].Dist = math.Sqrt(out[i].Dist)
+	}
+	return out, nil
 }
 
 // RangeSearch returns every point within distance d of q, ascending by
-// distance.
+// distance (ties broken by point ID). Partitions return unsorted
+// squared-distance partial sets (the rangeResp ordering contract); the
+// merged result is sorted and square-rooted exactly once, here.
 func (t *Tree) RangeSearch(q []float64, d float64) ([]kdtree.Neighbor, error) {
 	if len(q) != t.cfg.Dim {
 		return nil, fmt.Errorf("core: query has %d coords, tree dimension is %d", len(q), t.cfg.Dim)
@@ -313,7 +335,101 @@ func (t *Tree) RangeSearch(q []float64, d float64) ([]kdtree.Neighbor, error) {
 	}
 	out := resp.(rangeResp).Neighbors
 	sort.Slice(out, func(i, j int) bool { return neighborLess(out[i], out[j]) })
+	for i := range out {
+		out[i].Dist = math.Sqrt(out[i].Dist)
+	}
 	return out, nil
+}
+
+// KNearestBatch answers one k-nearest query per element of qs, running
+// a bounded worker pool over the fabric ("using M−1 data partitions, we
+// can perform in the best case M−1 parallel operations maximizing our
+// throughput" — §III-C, applied to the query path). Each query uses the
+// sequential cross-partition protocol: the pool already saturates the
+// partitions, so the per-query fan-out would only inflate total work —
+// the tightest pruning bound per query maximizes batch throughput, and
+// both protocols return identical results. workers <= 0 selects
+// GOMAXPROCS. results[i] answers qs[i]; every query is attempted and
+// the first error encountered is returned.
+func (t *Tree) KNearestBatch(qs [][]float64, k, workers int) ([][]kdtree.Neighbor, error) {
+	out := make([][]kdtree.Neighbor, len(qs))
+	err := RunBatch(len(qs), workers, func(i int) error {
+		ns, err := t.knn(qs[i], k, true)
+		out[i] = ns
+		return err
+	})
+	return out, err
+}
+
+// RangeBatch answers one range query per element of qs with a bounded
+// worker pool; see KNearestBatch for the pooling and error contract.
+func (t *Tree) RangeBatch(qs [][]float64, d float64, workers int) ([][]kdtree.Neighbor, error) {
+	out := make([][]kdtree.Neighbor, len(qs))
+	err := RunBatch(len(qs), workers, func(i int) error {
+		ns, err := t.RangeSearch(qs[i], d)
+		out[i] = ns
+		return err
+	})
+	return out, err
+}
+
+// RunBatch runs fn(0..n-1) on a bounded worker pool, returning the
+// first error after every call has finished. Workers pull indices from
+// a shared counter, so skewed per-item costs balance out. workers <= 0
+// selects GOMAXPROCS. It is the one choke point every batched surface
+// (tree batches, the facade Searcher) funnels through — admission
+// control and quotas belong here.
+func RunBatch(n, workers int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Inline: single-query facade calls and 1-worker pools should
+		// not pay goroutine spawn + WaitGroup sync.
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	var (
+		wg    sync.WaitGroup
+		next  atomic.Int64
+		errMu sync.Mutex
+		first error
+	)
+	record := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
 }
 
 // Len returns the number of indexed points.

@@ -1,69 +1,127 @@
 package kdtree
 
 import (
-	"container/heap"
 	"math"
 	"sort"
+	"sync"
 )
 
-// resultSet is a bounded max-heap of neighbors: the worst (most
-// distant) candidate sits at the top so it can be evicted in O(log k).
-// It implements the paper's Rs structure (Table I).
-type resultSet struct {
-	items []Neighbor
-	k     int
+// ResultSet is the paper's Rs structure (Table I): the best K
+// candidates seen so far, kept sorted ascending by squared distance
+// with point-ID tie-breaks. K is small in practice, so ordered
+// insertion beats a heap and makes draining a straight copy. This is
+// the single implementation of the result-set ordering contract —
+// internal/core wraps it for the distributed protocol, so the
+// tie-break rule the parallel/sequential equivalence depends on lives
+// in exactly one place.
+//
+// Distances are accumulated *squared* for the whole traversal —
+// ordering and the backtracking bound are unchanged because squaring is
+// monotone — and the single sqrt per result is deferred to the client
+// boundary (drain here, Tree.KNearest in core).
+type ResultSet struct {
+	Items []Neighbor
+	K     int
 }
 
-func (r *resultSet) Len() int           { return len(r.items) }
-func (r *resultSet) Less(i, j int) bool { return r.items[i].Dist > r.items[j].Dist }
-func (r *resultSet) Swap(i, j int)      { r.items[i], r.items[j] = r.items[j], r.items[i] }
-func (r *resultSet) Push(x interface{}) { r.items = append(r.items, x.(Neighbor)) }
-func (r *resultSet) Pop() interface{} {
-	x := r.items[len(r.items)-1]
-	r.items = r.items[:len(r.items)-1]
-	return x
-}
-func (r *resultSet) full() bool { return len(r.items) >= r.k }
-func (r *resultSet) worst() float64 {
-	if len(r.items) == 0 {
+// Full reports whether the set holds K candidates.
+func (r *ResultSet) Full() bool { return len(r.Items) >= r.K }
+
+// Worst returns the squared distance of the most distant kept candidate
+// (infinite while the set is not full) — the D of Table I.
+func (r *ResultSet) Worst() float64 {
+	if !r.Full() {
 		return math.Inf(1)
 	}
-	return r.items[0].Dist
+	return r.Items[len(r.Items)-1].Dist
 }
 
-// offer inserts a candidate, evicting the current worst when full.
-func (r *resultSet) offer(n Neighbor) {
-	if !r.full() {
-		heap.Push(r, n)
+// NeighborLess is the total result order: ascending distance, ties
+// broken by point ID for determinism.
+func NeighborLess(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.Point.ID < b.Point.ID
+}
+
+// Offer inserts a candidate in order, evicting the current worst when
+// full. A set with K <= 0 keeps nothing.
+func (r *ResultSet) Offer(n Neighbor) {
+	if r.K <= 0 {
 		return
 	}
-	if n.Dist < r.worst() {
-		r.items[0] = n
-		heap.Fix(r, 0)
+	if r.Full() {
+		if !NeighborLess(n, r.Items[len(r.Items)-1]) {
+			return
+		}
+	} else {
+		r.Items = append(r.Items, Neighbor{})
 	}
+	i := len(r.Items) - 1
+	for i > 0 && NeighborLess(n, r.Items[i-1]) {
+		r.Items[i] = r.Items[i-1]
+		i--
+	}
+	r.Items[i] = n
 }
 
-// sorted drains the set into ascending-distance order, breaking ties by
-// point ID so results are deterministic.
-func (r *resultSet) sorted() []Neighbor {
-	out := append([]Neighbor(nil), r.items...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].Point.ID < out[j].Point.ID
-	})
+// drain copies the set — already ascending with deterministic
+// tie-breaks — applying the deferred sqrt. The copy detaches the result
+// from the pooled scratch buffer.
+func (r *ResultSet) drain() []Neighbor {
+	if len(r.Items) == 0 {
+		return nil
+	}
+	out := append([]Neighbor(nil), r.Items...)
+	for i := range out {
+		out[i].Dist = math.Sqrt(out[i].Dist)
+	}
 	return out
+}
+
+// visit is one pending subtree on the explicit traversal stack.
+// planeSq >= 0 guards the visit: the subtree lies beyond a splitting
+// plane at that squared distance and is skipped when the result ball no
+// longer crosses it. The guard is evaluated at pop time — after the
+// nearer sibling's subtree has been fully explored — which is exactly
+// the backtracking condition of §III-B.3. planeSq < 0 is unconditional.
+type visit struct {
+	n       *node
+	planeSq float64
+}
+
+// searchCtx is the pooled per-query execution context: the scratch
+// result set and the visit stack. Searches borrow one, so steady-state
+// queries allocate only the returned slice.
+type searchCtx struct {
+	rs    ResultSet
+	stack []visit
+}
+
+var searchCtxPool = sync.Pool{New: func() any { return new(searchCtx) }}
+
+func getSearchCtx(k int) *searchCtx {
+	c := searchCtxPool.Get().(*searchCtx)
+	c.rs.K = k
+	c.rs.Items = c.rs.Items[:0]
+	c.stack = c.stack[:0]
+	return c
 }
 
 // euclidean returns the Euclidean distance between q and p.
 func euclidean(q, p []float64) float64 {
+	return math.Sqrt(euclideanSq(q, p))
+}
+
+// euclideanSq returns the squared Euclidean distance between q and p.
+func euclideanSq(q, p []float64) float64 {
 	s := 0.0
 	for i := range q {
 		d := q[i] - p[i]
 		s += d * d
 	}
-	return math.Sqrt(s)
+	return s
 }
 
 // KNearest returns the k points closest to q in ascending distance
@@ -78,41 +136,49 @@ func (t *Tree) KNearest(q []float64, k int) []Neighbor {
 // back up; at each node the unexplored subtree is visited when
 // |max(Rs) − P[SI]| > |P[SI] − Sv| — i.e. the hypersphere of the
 // current worst result crosses the splitting hyperplane — or when Rs is
-// not yet full (Rs.length() < K).
+// not yet full (Rs.length() < K). The recursion is run as an explicit
+// stack so the whole traversal state lives in one pooled context.
 func (t *Tree) KNearestWithStats(q []float64, k int, stats *Stats) []Neighbor {
 	if k <= 0 || t.size == 0 {
 		return nil
 	}
-	rs := &resultSet{k: k}
-	t.knnVisit(t.root, q, rs, stats)
-	return rs.sorted()
-}
-
-func (t *Tree) knnVisit(n *node, q []float64, rs *resultSet, stats *Stats) {
-	if stats != nil {
-		stats.NodesVisited++
-	}
-	if n.leaf {
+	ctx := getSearchCtx(k)
+	defer searchCtxPool.Put(ctx)
+	ctx.stack = append(ctx.stack, visit{n: t.root, planeSq: -1})
+	for len(ctx.stack) > 0 {
+		v := ctx.stack[len(ctx.stack)-1]
+		ctx.stack = ctx.stack[:len(ctx.stack)-1]
+		// Skip only when the plane is strictly beyond the worst kept
+		// candidate: at exact equality a far-side point could tie the
+		// k-th best with a smaller ID, and tie-breaks are part of the
+		// result contract.
+		if v.planeSq >= 0 && ctx.rs.Full() && ctx.rs.Worst() < v.planeSq {
+			continue // backtracking prune: the result ball stays inside the plane
+		}
+		n := v.n
 		if stats != nil {
-			stats.LeavesVisited++
-			stats.PointsScanned += len(n.bucket)
+			stats.NodesVisited++
 		}
-		for _, p := range n.bucket {
-			rs.offer(Neighbor{Point: p, Dist: euclidean(q, p.Coords)})
+		if n.leaf {
+			if stats != nil {
+				stats.LeavesVisited++
+				stats.PointsScanned += len(n.bucket)
+			}
+			for _, p := range n.bucket {
+				ctx.rs.Offer(Neighbor{Point: p, Dist: euclideanSq(q, p.Coords)})
+			}
+			continue
 		}
-		return
+		near, far := n.left, n.right
+		if q[n.splitDim] > n.splitVal {
+			near, far = far, near
+		}
+		plane := q[n.splitDim] - n.splitVal
+		// LIFO: far is guarded and pops only after near's whole subtree
+		// has been explored.
+		ctx.stack = append(ctx.stack, visit{n: far, planeSq: plane * plane}, visit{n: near, planeSq: -1})
 	}
-	near, far := n.left, n.right
-	if q[n.splitDim] > n.splitVal {
-		near, far = far, near
-	}
-	t.knnVisit(near, q, rs, stats)
-	// Backtracking condition (logical disjunction of the two
-	// sub-conditions in §III-B.3).
-	planeDist := math.Abs(q[n.splitDim] - n.splitVal)
-	if !rs.full() || rs.worst() > planeDist {
-		t.knnVisit(far, q, rs, stats)
-	}
+	return ctx.rs.drain()
 }
 
 // RangeSearch returns every point within distance d of q, in ascending
@@ -125,23 +191,22 @@ func (t *Tree) RangeSearch(q []float64, d float64) []Neighbor {
 // stats (which may be nil). Per §III-B.4: while descending, when
 // |P[SI] − Sv| < D both children are visited, otherwise navigation
 // proceeds on one side as in the insertion algorithm; results are
-// gathered on the way back.
+// gathered on the way back, compared on squared distances, and sorted
+// plus square-rooted exactly once at the end.
 func (t *Tree) RangeSearchWithStats(q []float64, d float64, stats *Stats) []Neighbor {
 	if d < 0 || t.size == 0 {
 		return nil
 	}
 	var out []Neighbor
-	t.rangeVisit(t.root, q, d, &out, stats)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].Point.ID < out[j].Point.ID
-	})
+	t.rangeVisit(t.root, q, d, d*d, &out, stats)
+	sort.Slice(out, func(i, j int) bool { return NeighborLess(out[i], out[j]) })
+	for i := range out {
+		out[i].Dist = math.Sqrt(out[i].Dist)
+	}
 	return out
 }
 
-func (t *Tree) rangeVisit(n *node, q []float64, d float64, out *[]Neighbor, stats *Stats) {
+func (t *Tree) rangeVisit(n *node, q []float64, d, dd float64, out *[]Neighbor, stats *Stats) {
 	if stats != nil {
 		stats.NodesVisited++
 	}
@@ -151,8 +216,8 @@ func (t *Tree) rangeVisit(n *node, q []float64, d float64, out *[]Neighbor, stat
 			stats.PointsScanned += len(n.bucket)
 		}
 		for _, p := range n.bucket {
-			if dist := euclidean(q, p.Coords); dist <= d {
-				*out = append(*out, Neighbor{Point: p, Dist: dist})
+			if sq := euclideanSq(q, p.Coords); sq <= dd {
+				*out = append(*out, Neighbor{Point: p, Dist: sq})
 			}
 		}
 		return
@@ -161,13 +226,13 @@ func (t *Tree) rangeVisit(n *node, q []float64, d float64, out *[]Neighbor, stat
 	// <= so that points lying at distance exactly D across the
 	// splitting plane are not missed (results use dist <= D).
 	if math.Abs(q[n.splitDim]-n.splitVal) <= d {
-		t.rangeVisit(n.left, q, d, out, stats)
-		t.rangeVisit(n.right, q, d, out, stats)
+		t.rangeVisit(n.left, q, d, dd, out, stats)
+		t.rangeVisit(n.right, q, d, dd, out, stats)
 		return
 	}
 	if q[n.splitDim] <= n.splitVal {
-		t.rangeVisit(n.left, q, d, out, stats)
+		t.rangeVisit(n.left, q, d, dd, out, stats)
 	} else {
-		t.rangeVisit(n.right, q, d, out, stats)
+		t.rangeVisit(n.right, q, d, dd, out, stats)
 	}
 }

@@ -1,0 +1,179 @@
+package semtree
+
+import (
+	"math"
+
+	"semtree/internal/core"
+	"semtree/internal/kdtree"
+	"semtree/internal/triple"
+)
+
+// SearchMode selects how a Searcher interprets its options.
+type SearchMode int
+
+const (
+	// ModeAuto infers the mode: range retrieval when Radius > 0,
+	// k-nearest otherwise.
+	ModeAuto SearchMode = iota
+	// ModeKNN forces k-nearest retrieval.
+	ModeKNN
+	// ModeRange forces range retrieval — including Radius == 0, which
+	// returns only exact embedded matches.
+	ModeRange
+)
+
+// SearchOptions configure a Searcher, the facade of the concurrent
+// query engine. The zero value of each field selects a default; set K
+// for k-nearest retrieval and Radius (or ModeRange) for range
+// retrieval. In range mode K > 0 truncates the ranked result.
+type SearchOptions struct {
+	// Mode selects k-nearest vs range retrieval; ModeAuto (the zero
+	// value) infers it from Radius.
+	Mode SearchMode
+	// K is the number of neighbors returned per query. K <= 0 in
+	// k-nearest mode returns nil (nothing was asked for); in range
+	// mode it leaves the result untruncated.
+	K int
+	// Radius is the range-retrieval distance: every triple within
+	// embedded distance Radius of the query, ascending. Since the
+	// embedding approximates the semantic distance, Radius is on the
+	// Eq. 1 scale.
+	Radius float64
+	// ExactFactor > 0 re-ranks k-nearest results under the *exact*
+	// Eq. 1 distance: ExactFactor·K candidates are fetched from the
+	// embedded index and re-ordered with the true metric. Values below
+	// 2 are raised to 2, and the candidate count is clamped to the
+	// index size, so degenerate factors can neither overflow nor
+	// over-allocate. Ignored in range mode.
+	ExactFactor int
+	// Parallelism bounds the workers that embed and execute a batch
+	// (default GOMAXPROCS). Single-query Search calls are unaffected.
+	Parallelism int
+}
+
+// Searcher executes queries against the index under one fixed set of
+// options. It is stateless apart from the options and safe for
+// concurrent use; SearchBatch amortizes the FastMap embedding of the
+// query triples and fans the embedded queries out over the distributed
+// tree with a bounded worker pool, on top of the per-query parallel
+// k-NN fan-out inside the tree itself.
+type Searcher struct {
+	ix        *Index
+	opts      SearchOptions
+	rangeMode bool
+}
+
+// Searcher returns a reusable query engine over the index. The
+// ad-hoc query methods (KNearest, Range, KNearestExact, KNearestIDs)
+// are thin wrappers around one of these.
+func (ix *Index) Searcher(opts SearchOptions) *Searcher {
+	rangeMode := opts.Mode == ModeRange || (opts.Mode == ModeAuto && opts.Radius > 0)
+	return &Searcher{ix: ix, opts: opts, rangeMode: rangeMode}
+}
+
+// Search answers a single query under the searcher's options.
+func (s *Searcher) Search(q triple.Triple) ([]Match, error) {
+	res, err := s.SearchBatch([]triple.Triple{q})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// SearchBatch answers one query per element of qs; results[i] answers
+// qs[i]. The batch runs in three pooled phases — embed, tree fan-out,
+// resolve/re-rank — so per-query setup cost is amortized across the
+// whole batch. Every query is attempted; the first error encountered
+// is returned alongside the results gathered so far.
+func (s *Searcher) SearchBatch(qs []triple.Triple) ([][]Match, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	out := make([][]Match, len(qs))
+	want := s.candidateK()
+	if !s.rangeMode && want <= 0 {
+		return out, nil // k-nearest of nothing: nil per query
+	}
+	workers := s.opts.Parallelism
+
+	// Phase 1: amortize the FastMap embedding across the batch. Map is
+	// immutable after Build, so the pool needs no coordination.
+	coords := make([][]float64, len(qs))
+	core.RunBatch(len(qs), workers, func(i int) error {
+		coords[i] = s.ix.mapper.Map(qs[i])
+		return nil
+	})
+
+	// Phase 2: bounded fan-out over the distributed tree.
+	var (
+		neighbors [][]kdtree.Neighbor
+		err       error
+	)
+	switch {
+	case s.rangeMode:
+		neighbors, err = s.ix.tree.RangeBatch(coords, s.opts.Radius, workers)
+	case len(qs) == 1:
+		// A single query is a latency problem, not a throughput one:
+		// use the probe-then-fan-out protocol, which overlaps
+		// cross-partition hops.
+		var ns []kdtree.Neighbor
+		ns, err = s.ix.tree.KNearest(coords[0], want)
+		neighbors = [][]kdtree.Neighbor{ns}
+	default:
+		neighbors, err = s.ix.tree.KNearestBatch(coords, want, workers)
+	}
+	if err != nil {
+		return out, err
+	}
+
+	// Phase 3: resolve points back to stored triples and, in exact
+	// mode, re-rank with the true Eq. 1 distance.
+	err = core.RunBatch(len(qs), workers, func(i int) error {
+		ms, err := s.ix.matches(neighbors[i])
+		if err != nil {
+			return err
+		}
+		if !s.rangeMode && s.opts.ExactFactor > 0 {
+			for j := range ms {
+				ms[j].Dist = s.ix.metric.Distance(qs[i], ms[j].Triple)
+			}
+			sortMatches(ms)
+		}
+		if s.opts.K > 0 && len(ms) > s.opts.K {
+			ms = ms[:s.opts.K]
+		}
+		out[i] = ms
+		return nil
+	})
+	return out, err
+}
+
+// candidateK is the per-query candidate count fetched from the embedded
+// index: K itself, or factor·K in exact re-rank mode — clamped so a
+// degenerate factor can neither overflow the multiplication nor request
+// more candidates than the index holds.
+func (s *Searcher) candidateK() int {
+	k := s.opts.K
+	if k <= 0 {
+		return 0
+	}
+	if s.opts.ExactFactor <= 0 {
+		return k
+	}
+	factor := s.opts.ExactFactor
+	if factor < 2 {
+		factor = 2
+	}
+	n := s.ix.Len()
+	want := n
+	if k <= math.MaxInt/factor {
+		want = k * factor
+	}
+	if want > n {
+		want = n
+	}
+	if want < k {
+		want = k // the tree caps at its size anyway
+	}
+	return want
+}

@@ -1,0 +1,178 @@
+package semtree
+
+// Tests for the Searcher facade of the concurrent query engine: batch
+// answers must agree with the single-query wrappers, degenerate inputs
+// must be guarded, and batches must be safe against concurrent inserts
+// (run with -race).
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"semtree/internal/synth"
+	"semtree/internal/triple"
+)
+
+func sameMatches(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Dist != b[i].Dist {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSearcherBatchMatchesSingle(t *testing.T) {
+	ix, g := buildTestIndex(t, 800, Options{
+		Seed: 3, PartitionCapacity: 100, MaxPartitions: 9, BucketSize: 8,
+	})
+	if ix.PartitionCount() < 4 {
+		t.Fatalf("partitions = %d, want a distributed tree", ix.PartitionCount())
+	}
+	qs := make([]triple.Triple, 24)
+	for i := range qs {
+		qs[i] = g.RandomTriple()
+	}
+
+	t.Run("knn", func(t *testing.T) {
+		s := ix.Searcher(SearchOptions{K: 5, Parallelism: 4})
+		batch, err := s.SearchBatch(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range qs {
+			single, err := ix.KNearest(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameMatches(batch[i], single) {
+				t.Fatalf("query %d: batch and single disagree", i)
+			}
+		}
+	})
+	t.Run("range", func(t *testing.T) {
+		s := ix.Searcher(SearchOptions{Radius: 0.4, Parallelism: 4})
+		batch, err := s.SearchBatch(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range qs {
+			single, err := ix.Range(q, 0.4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameMatches(batch[i], single) {
+				t.Fatalf("query %d: batch and single disagree", i)
+			}
+		}
+	})
+	t.Run("range-truncated", func(t *testing.T) {
+		s := ix.Searcher(SearchOptions{Radius: 0.5, K: 3})
+		res, err := s.Search(qs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) > 3 {
+			t.Fatalf("K did not truncate the ranged result: %d", len(res))
+		}
+	})
+	t.Run("exact", func(t *testing.T) {
+		s := ix.Searcher(SearchOptions{K: 4, ExactFactor: 3, Parallelism: 2})
+		batch, err := s.SearchBatch(qs[:8])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range qs[:8] {
+			single, err := ix.KNearestExact(q, 4, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameMatches(batch[i], single) {
+				t.Fatalf("query %d: exact batch and single disagree", i)
+			}
+		}
+	})
+}
+
+func TestSearcherEmptyBatch(t *testing.T) {
+	ix, _ := buildTestIndex(t, 50, Options{Seed: 3})
+	res, err := ix.Searcher(SearchOptions{K: 3}).SearchBatch(nil)
+	if err != nil || res != nil {
+		t.Fatalf("empty batch = %v, %v", res, err)
+	}
+}
+
+// TestKNearestExactGuards pins the satellite fix: k <= 0 returns nil
+// like KNearest, and degenerate factors can neither overflow k*factor
+// nor request more candidates than the index holds.
+func TestKNearestExactGuards(t *testing.T) {
+	ix, g := buildTestIndex(t, 100, Options{Seed: 3})
+	q := g.RandomTriple()
+	for _, k := range []int{0, -4} {
+		got, err := ix.KNearestExact(q, k, 3)
+		if err != nil || got != nil {
+			t.Fatalf("k=%d: got %v, %v, want nil", k, got, err)
+		}
+	}
+	// A factor near MaxInt must not overflow or allocate wildly.
+	huge, err := ix.KNearestExact(q, 3, math.MaxInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(huge) != 3 {
+		t.Fatalf("huge factor returned %d results", len(huge))
+	}
+	// With the candidate set clamped to Len, a huge factor degenerates
+	// to exact brute-force ranking: it must agree with factor = Len.
+	all, err := ix.KNearestExact(q, 3, ix.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMatches(huge, all) {
+		t.Fatalf("huge-factor ranking diverges from full re-rank")
+	}
+	if got, err := ix.KNearest(q, 0); err != nil || got != nil {
+		t.Fatalf("KNearest k=0 = %v, %v, want nil", got, err)
+	}
+}
+
+// TestSearcherConcurrentWithInsert races batched searches against
+// Insert; meaningful under -race (the CI test mode).
+func TestSearcherConcurrentWithInsert(t *testing.T) {
+	ix, g := buildTestIndex(t, 400, Options{
+		Seed: 5, PartitionCapacity: 80, MaxPartitions: 9, BucketSize: 8,
+	})
+	extra := synth.New(synth.Config{Seed: 99}, nil)
+	qs := make([]triple.Triple, 32)
+	for i := range qs {
+		qs[i] = g.RandomTriple()
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, tp := range extra.Triples(300) {
+			if _, err := ix.Insert(tp, triple.Provenance{Doc: "W"}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	s := ix.Searcher(SearchOptions{K: 3, Parallelism: 4})
+	for round := 0; round < 6; round++ {
+		res, err := s.SearchBatch(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ms := range res {
+			if len(ms) != 3 {
+				t.Fatalf("round %d query %d: %d matches", round, i, len(ms))
+			}
+		}
+	}
+	wg.Wait()
+}
