@@ -8,6 +8,7 @@ package semtree_test
 // regressions in every experimental code path.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -126,7 +127,7 @@ func BenchmarkFig5DistKNN(b *testing.B) {
 			tr.Flush()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := tr.KNearest(queries[i%len(queries)].Coords, 3); err != nil {
+				if _, err := tr.KNearest(context.Background(), queries[i%len(queries)].Coords, 3); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -165,7 +166,7 @@ func BenchmarkKNearestBatch(b *testing.B) {
 	b.Run("loop", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, q := range qs {
-				if _, err := tr.KNearest(q, 3); err != nil {
+				if _, err := tr.KNearest(context.Background(), q, 3); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -173,7 +174,7 @@ func BenchmarkKNearestBatch(b *testing.B) {
 	})
 	b.Run("batch", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := tr.KNearestBatch(qs, 3, 0); err != nil {
+			if _, err := tr.KNearestBatch(context.Background(), qs, 3, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -203,8 +204,14 @@ func BenchmarkSearcherBatch(b *testing.B) {
 	s := idx.Searcher(semtree.SearchOptions{K: 3})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.SearchBatch(qs); err != nil {
+		res, err := s.SearchBatch(context.Background(), qs)
+		if err != nil {
 			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Err != nil {
+				b.Fatal(r.Err) // per-query errors no longer surface batch-level
+			}
 		}
 	}
 }
@@ -259,7 +266,7 @@ func BenchmarkFig7DistRange(b *testing.B) {
 			tr.Flush()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := tr.RangeSearch(queries[i%len(queries)].Coords, 0.2); err != nil {
+				if _, err := tr.RangeSearch(context.Background(), queries[i%len(queries)].Coords, 0.2); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -287,7 +294,7 @@ func BenchmarkFig8Effectiveness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p := bundle.Planted[i%len(bundle.Planted)]
 		req := bundle.Corpus.Store.MustGet(p.Requirement)
-		cands, _, err := checker.Candidates(req, 10)
+		cands, _, err := checker.Candidates(context.Background(), req, 10)
 		if err != nil {
 			b.Fatal(err)
 		}

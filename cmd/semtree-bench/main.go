@@ -9,6 +9,7 @@
 //	semtree-bench -fig fig3 -sizes 10000,20000,50000,100000 -partitions 1,3,5,9
 //	semtree-bench -fig fig8 -csv out/
 //	semtree-bench -fig throughput -parallel 8 -batch 64
+//	semtree-bench -fig deadline -deadline 1ms -latency 200µs
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		latency    = flag.Duration("latency", 0, "simulated per-hop latency (default 200µs)")
 		parallel   = flag.Int("parallel", 0, "batched-query workers for the throughput experiment (default GOMAXPROCS)")
 		batch      = flag.Int("batch", 0, "queries per batched call in the throughput experiment (default: whole workload)")
+		deadline   = flag.Duration("deadline", 0, "per-query deadline for the deadline experiment: reports p50/p99 latency and the fraction of queries cut off (default 8x latency)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		csvDir     = flag.String("csv", "", "also write <dir>/<fig>.csv")
 	)
@@ -46,6 +48,7 @@ func main() {
 		Latency:  *latency,
 		Parallel: *parallel,
 		Batch:    *batch,
+		Deadline: *deadline,
 		Seed:     *seed,
 	}
 	var err error

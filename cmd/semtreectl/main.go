@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -93,7 +94,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		matches, err := idx.MatchPattern(pat, *rangeD, *k)
+		matches, err := idx.MatchPattern(context.Background(), pat, *rangeD, *k)
 		if err != nil {
 			fatal(err)
 		}
@@ -107,7 +108,7 @@ func main() {
 			fatal(err)
 		}
 		checker := reqcheck.NewChecker(idx, reg)
-		cands, ok, err := checker.Candidates(req, *k)
+		cands, ok, err := checker.Candidates(context.Background(), req, *k)
 		if err != nil {
 			fatal(err)
 		}
@@ -128,9 +129,9 @@ func main() {
 		}
 		var matches []semtree.Match
 		if *rangeD > 0 {
-			matches, err = idx.Range(q, *rangeD)
+			matches, err = idx.Range(context.Background(), q, *rangeD)
 		} else {
-			matches, err = idx.KNearest(q, *k)
+			matches, err = idx.KNearest(context.Background(), q, *k)
 		}
 		if err != nil {
 			fatal(err)

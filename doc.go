@@ -7,31 +7,50 @@
 // concepts).
 //
 // The public API is the Index facade: build it over a triple store,
-// then query it through a Searcher — the concurrent query engine. A
-// Searcher fixes the per-query options once (k, range radius, exact
-// re-rank factor, parallelism) and answers single queries or whole
-// batches; batches amortize the FastMap embedding of the query triples
-// and fan out over the distributed tree with a bounded worker pool,
-// while single queries overlap cross-partition hops with the
-// probe-then-fan-out k-NN protocol. The one-shot helpers KNearest,
-// Range, KNearestExact and KNearestIDs are thin wrappers over a
-// Searcher.
+// then query it through a Searcher — the concurrent query engine. The
+// query surface is context-first: every entry point takes a
+// context.Context, and cancellation is real — an expired deadline
+// aborts the cross-partition fan-out and abandons outstanding
+// partition replies at the message fabric, so a query never costs more
+// than its budget. A Searcher fixes the per-query options once (k,
+// range radius, exact re-rank factor, parallelism) and answers single
+// queries or whole batches; batches amortize the FastMap embedding of
+// the query triples and fan out over the distributed tree with a
+// bounded worker pool, while single queries overlap cross-partition
+// hops with the probe-then-fan-out k-NN protocol.
+//
+// Every query returns a Result: the ranked Matches, an ExecStats with
+// the query's true execution cost (nodes visited, buckets scanned,
+// distance evaluations, partitions contacted, fabric messages, wall
+// time, protocol used — the paper's §V cost model surfaced per
+// request), and the query's own error. Batch errors are attributed per
+// query: one failed query never poisons the healthy queries of its
+// batch, and the batch-level error is reserved for the context.
 //
 // Quick start:
 //
 //	store := triple.NewStore()            // fill with triples …
 //	idx, err := semtree.Build(store, semtree.Options{})
-//	matches, err := idx.KNearest(queryTriple, 3)
+//	matches, err := idx.KNearest(ctx, queryTriple, 3)
 //
-// Serving a query stream:
+// Serving a query stream with deadlines and per-query stats:
 //
 //	s := idx.Searcher(semtree.SearchOptions{K: 3, Parallelism: 8})
-//	results, err := s.SearchBatch(queryTriples) // results[i] answers queryTriples[i]
+//	ctx, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
+//	defer cancel()
+//	results, err := s.SearchBatch(ctx, queryTriples) // results[i] answers queryTriples[i]
+//	for _, r := range results {
+//		if r.Err != nil { … }                 // this query failed or was cut off
+//		_ = r.Stats.FabricMessages            // what the query actually cost
+//	}
 //
 // Range retrieval and exact re-ranking hang off the same options:
 //
 //	near := idx.Searcher(semtree.SearchOptions{Radius: 0.35})
 //	exact := idx.Searcher(semtree.SearchOptions{K: 5, ExactFactor: 4})
+//
+// The one-shot helpers KNearest, Range, KNearestExact and KNearestIDs
+// are thin wrappers over a Searcher.
 //
 // The distributed machinery (partitions, build partition,
 // cross-partition search), the substrates (vocabularies, distance

@@ -1,8 +1,10 @@
 package semtree_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	semtree "semtree"
 	"semtree/internal/reqcheck"
@@ -33,7 +35,7 @@ func ExampleBuild() {
 	defer idx.Close()
 
 	query, _ := triple.ParseTriple("('OBSW001', Fun:block_cmd, CmdType:start-up)")
-	matches, err := idx.KNearest(query, 1)
+	matches, err := idx.KNearest(context.Background(), query, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +62,7 @@ func ExampleIndex_MatchPattern() {
 	defer idx.Close()
 
 	pat, _ := semtree.ParsePattern("(?, Fun:accept_cmd, ?)")
-	matches, err := idx.MatchPattern(pat, 0, 0)
+	matches, err := idx.MatchPattern(context.Background(), pat, 0, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,11 +87,54 @@ func ExampleIndex_KNearestIDs() {
 
 	reg := vocab.DefaultRegistry()
 	checker := reqcheck.NewChecker(idx, reg)
-	cands, _, err := checker.Candidates(req, 2)
+	cands, _, err := checker.Candidates(context.Background(), req, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	confirmed := checker.Confirmed(req, cands, store)
 	fmt.Println(len(confirmed), "confirmed inconsistency")
 	// Output: 1 confirmed inconsistency
+}
+
+// ExampleSearcher_SearchBatch runs a batch under a deadline and reads
+// the per-query outcome: matches, execution stats, per-query error.
+func ExampleSearcher_SearchBatch() {
+	store := triple.NewStore()
+	for _, line := range []string{
+		"('OBSW001', Fun:acquire_in, InType:pre-launch_phase)",
+		"('OBSW001', Fun:accept_cmd, CmdType:start-up)",
+		"('OBSW001', Fun:send_msg, MsgType:power_amplifier)",
+	} {
+		t, err := triple.ParseTriple(line)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store.Add(t, triple.Provenance{Doc: "OBSW-SRS"})
+	}
+	idx, err := semtree.Build(store, semtree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	q1, _ := triple.ParseTriple("('OBSW001', Fun:block_cmd, CmdType:start-up)")
+	q2, _ := triple.ParseTriple("('OBSW001', Fun:send_msg, MsgType:housekeeping)")
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	s := idx.Searcher(semtree.SearchOptions{K: 1})
+	results, err := s.SearchBatch(ctx, []triple.Triple{q1, q2})
+	if err != nil {
+		log.Fatal(err) // batch-level: the context expired
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err) // per-query: this query failed or was cut off
+		}
+		fmt.Printf("%s (protocol %s, %d partitions)\n",
+			r.Matches[0].Triple, r.Stats.Protocol, r.Stats.Partitions)
+	}
+	// Output:
+	// ('OBSW001', Fun:accept_cmd, CmdType:start-up) (protocol sequential, 1 partitions)
+	// ('OBSW001', Fun:send_msg, MsgType:power_amplifier) (protocol sequential, 1 partitions)
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -100,7 +101,7 @@ func main() {
 	checker := reqcheck.NewChecker(idx, reg)
 	fmt.Println("contradiction scan:")
 	store.Each(func(id triple.ID, e triple.Entry) bool {
-		cands, ok, err := checker.Candidates(e.Triple, 3)
+		cands, ok, err := checker.Candidates(context.Background(), e.Triple, 3)
 		if err != nil {
 			log.Fatal(err)
 		}

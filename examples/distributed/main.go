@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	semtree "semtree"
 	"semtree/internal/cluster"
@@ -43,16 +45,25 @@ func main() {
 	fmt.Printf("points per partition: %v\n", st.PartitionPoints)
 	fmt.Printf("tree nodes: %d (%d leaves)\n\n", st.Nodes, st.Leaves)
 
+	// Query under a deadline, as a serving system would: the deadline
+	// crosses the TCP fabric in the message envelope, so an expired
+	// query stops on the remote partitions too, and the Result reports
+	// what the query actually cost.
 	query, _ := triple.ParseTriple("('OBSW001', Fun:block_cmd, CmdType:start-up)")
-	matches, err := idx.KNearest(query, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	res, err := idx.Searcher(semtree.SearchOptions{K: 5}).Search(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("k-nearest to %s:\n", query)
-	for _, m := range matches {
+	for _, m := range res.Matches {
 		fmt.Printf("  %.4f  %s\n", m.Dist, m.Triple)
 	}
+	qs := res.Stats
+	fmt.Printf("\nquery cost: %d nodes, %d buckets, %d distance evals on %d partitions, %d messages in %v (%s protocol)\n",
+		qs.NodesVisited, qs.BucketsScanned, qs.DistanceEvals, qs.Partitions, qs.FabricMessages, qs.Wall.Round(time.Microsecond), qs.Protocol)
 
 	fs := fabric.Stats()
-	fmt.Printf("\nfabric traffic: %d messages, %d bytes over TCP\n", fs.Messages, fs.Bytes)
+	fmt.Printf("fabric traffic: %d messages, %d bytes over TCP\n", fs.Messages, fs.Bytes)
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func main() {
 	query, _ := triple.ParseTriple("('OBSW001', Fun:execute_cmd, CmdType:start-up)")
 	fmt.Printf("query by example: %s\n\n", query)
 
-	matches, err := idx.KNearest(query, 25)
+	matches, err := idx.KNearest(context.Background(), query, 25)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 	found := 0
 	for i, p := range bundle.Planted {
 		req := store.MustGet(p.Requirement)
-		cands, ok, err := checker.Candidates(req, k)
+		cands, ok, err := checker.Candidates(context.Background(), req, k)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func main() {
 			queries = append(queries, reqcheck.Query{Requirement: p.Requirement, GroundTruth: gt})
 		}
 	}
-	points, err := reqcheck.Evaluate(idx, store, reg, queries, []int{1, 3, 5, 10, 20})
+	points, err := reqcheck.Evaluate(context.Background(), idx, store, reg, queries, []int{1, 3, 5, 10, 20})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 	// with (OBSW001, accept_cmd, start-up).
 	query, _ := triple.ParseTriple("('OBSW001', Fun:block_cmd, CmdType:start-up)")
 	fmt.Printf("k-nearest to target %s:\n", query)
-	matches, err := idx.KNearest(query, 3)
+	matches, err := idx.KNearest(context.Background(), query, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func main() {
 	}
 
 	fmt.Printf("\nrange query within 0.35 of %s:\n", query)
-	inRange, err := idx.Range(query, 0.35)
+	inRange, err := idx.Range(context.Background(), query, 0.35)
 	if err != nil {
 		log.Fatal(err)
 	}

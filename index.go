@@ -1,6 +1,7 @@
 package semtree
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -164,7 +165,25 @@ func Build(store *triple.Store, opts Options) (*Index, error) {
 	}, nil
 }
 
+// ErrUnindexedID reports a tree point whose ID has no entry in the
+// triple store: the point was indexed out of band — typically a direct
+// store write that left a nil placeholder behind (see Insert) — so a
+// query that retrieves it cannot resolve a stored triple. The error
+// names the offending ID; it is attached to the failing query's Result
+// and matched with errors.As.
+type ErrUnindexedID struct {
+	ID triple.ID
+}
+
+func (e ErrUnindexedID) Error() string {
+	return fmt.Sprintf("semtree: point ID %d has no stored triple (indexed out of band?)", e.ID)
+}
+
 // Insert adds a triple to the store and the index, returning its ID.
+// When other writers added triples to the store directly (out of band),
+// the skipped IDs get nil embedding placeholders: those triples are in
+// the store but not in the index, and a query that somehow retrieves
+// such an ID fails with ErrUnindexedID naming it.
 func (ix *Index) Insert(t triple.Triple, prov triple.Provenance) (triple.ID, error) {
 	id := ix.store.Add(t, prov)
 	c := ix.mapper.Map(t)
@@ -183,17 +202,18 @@ func (ix *Index) Insert(t triple.Triple, prov triple.Provenance) (triple.ID, err
 
 // KNearest returns the k stored triples closest to q, ascending by
 // embedded distance. Thin wrapper over Searcher; k <= 0 returns nil.
-func (ix *Index) KNearest(q triple.Triple, k int) ([]Match, error) {
-	return ix.Searcher(SearchOptions{K: k}).Search(q)
+// The context bounds the query (cancellation and deadline).
+func (ix *Index) KNearest(ctx context.Context, q triple.Triple, k int) ([]Match, error) {
+	return matchesOf(ix.Searcher(SearchOptions{K: k}).Search(ctx, q))
 }
 
 // Range returns every stored triple within embedded distance d of q,
 // ascending by distance. Since the embedding approximates the semantic
 // distance, d is on the Eq. 1 scale ([0, 1]-ish). Thin wrapper over
 // Searcher.
-func (ix *Index) Range(q triple.Triple, d float64) ([]Match, error) {
+func (ix *Index) Range(ctx context.Context, q triple.Triple, d float64) ([]Match, error) {
 	// ModeRange keeps d == 0 meaning "exact embedded matches only".
-	return ix.Searcher(SearchOptions{Mode: ModeRange, Radius: d}).Search(q)
+	return matchesOf(ix.Searcher(SearchOptions{Mode: ModeRange, Radius: d}).Search(ctx, q))
 }
 
 // KNearestExact returns the k stored triples closest to q under the
@@ -204,14 +224,14 @@ func (ix *Index) Range(q triple.Triple, d float64) ([]Match, error) {
 // evaluations for accuracy — the re-ranking ablation quantifies the
 // gain over plain KNearest. k <= 0 returns nil, like KNearest. Thin
 // wrapper over Searcher.
-func (ix *Index) KNearestExact(q triple.Triple, k, factor int) ([]Match, error) {
-	return ix.Searcher(SearchOptions{K: k, ExactFactor: factor}).Search(q)
+func (ix *Index) KNearestExact(ctx context.Context, q triple.Triple, k, factor int) ([]Match, error) {
+	return matchesOf(ix.Searcher(SearchOptions{K: k, ExactFactor: factor}).Search(ctx, q))
 }
 
 // KNearestIDs implements the reqcheck.Index interface: ranked result
 // IDs only.
-func (ix *Index) KNearestIDs(q triple.Triple, k int) ([]triple.ID, error) {
-	ms, err := ix.KNearest(q, k)
+func (ix *Index) KNearestIDs(ctx context.Context, q triple.Triple, k int) ([]triple.ID, error) {
+	ms, err := ix.KNearest(ctx, q, k)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +247,7 @@ func (ix *Index) matches(neighbors []kdtree.Neighbor) ([]Match, error) {
 	for _, n := range neighbors {
 		e, ok := ix.store.Get(triple.ID(n.Point.ID))
 		if !ok {
-			return nil, fmt.Errorf("semtree: dangling point ID %d", n.Point.ID)
+			return nil, ErrUnindexedID{ID: triple.ID(n.Point.ID)}
 		}
 		out = append(out, Match{
 			ID:     triple.ID(n.Point.ID),

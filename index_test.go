@@ -1,6 +1,7 @@
 package semtree
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestBuildEmptyStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ix.Close()
-	got, err := ix.KNearest(tr("('A', Fun:accept_cmd, CmdType:start-up)"), 3)
+	got, err := ix.KNearest(context.Background(), tr("('A', Fun:accept_cmd, CmdType:start-up)"), 3)
 	if err != nil || len(got) != 0 {
 		t.Fatalf("empty index KNN = %v, %v", got, err)
 	}
@@ -65,7 +66,7 @@ func TestKNearestFindsExactDuplicate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := ix.KNearest(probe, 1)
+	got, err := ix.KNearest(context.Background(), probe, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +92,11 @@ func TestKNearestApproximatesExactRanking(t *testing.T) {
 	totalOverlap, queries := 0, 30
 	for q := 0; q < queries; q++ {
 		query := qGen.RandomTriple()
-		wantIDs, err := exact.KNearestIDs(query, 5)
+		wantIDs, err := exact.KNearestIDs(context.Background(), query, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		gotIDs, err := ix.KNearestIDs(query, 10)
+		gotIDs, err := ix.KNearestIDs(context.Background(), query, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func TestKNearestApproximatesExactRanking(t *testing.T) {
 func TestRangeReturnsSortedWithinRadius(t *testing.T) {
 	ix, _ := buildTestIndex(t, 600, Options{})
 	q := tr("('OBSW001', Fun:accept_cmd, CmdType:start-up)")
-	got, err := ix.Range(q, 0.3)
+	got, err := ix.Range(context.Background(), q, 0.3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestRangeReturnsSortedWithinRadius(t *testing.T) {
 		}
 	}
 	// Growing the radius can only grow the result set.
-	wider, err := ix.Range(q, 0.5)
+	wider, err := ix.Range(context.Background(), q, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,11 +172,11 @@ func TestPartitionedIndexMatchesSinglePartition(t *testing.T) {
 	qGen := synth.New(synth.Config{Seed: 77}, nil)
 	for q := 0; q < 25; q++ {
 		query := qGen.RandomTriple()
-		a, err := single.KNearest(query, 5)
+		a, err := single.KNearest(context.Background(), query, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := parted.KNearest(query, 5)
+		b, err := parted.KNearest(context.Background(), query, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -217,7 +218,7 @@ func TestInconsistencyDetectionEndToEnd(t *testing.T) {
 	found := 0
 	for _, p := range bundle.Planted {
 		req := bundle.Corpus.Store.MustGet(p.Requirement)
-		cands, ok, err := checker.Candidates(req, 10)
+		cands, ok, err := checker.Candidates(context.Background(), req, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -250,7 +251,7 @@ func TestCustomMeasureAndWeights(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Build(%s): %v", measure, err)
 		}
-		if _, err := ix.KNearest(tr("('OBSW001', Fun:accept_cmd, CmdType:start-up)"), 3); err != nil {
+		if _, err := ix.KNearest(context.Background(), tr("('OBSW001', Fun:accept_cmd, CmdType:start-up)"), 3); err != nil {
 			t.Fatalf("KNearest(%s): %v", measure, err)
 		}
 		ix.Close()

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	semtree "semtree"
@@ -38,7 +39,7 @@ func AblationWeights(p Params) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		points, err := reqcheck.Evaluate(idx, bundle.Corpus.Store, vocab.DefaultRegistry(), queries, []int{ablationK})
+		points, err := reqcheck.Evaluate(context.Background(), idx, bundle.Corpus.Store, vocab.DefaultRegistry(), queries, []int{ablationK})
 		idx.Close()
 		if err != nil {
 			return nil, err
@@ -207,7 +208,7 @@ func AblationMeasure(p Params) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		points, err := reqcheck.Evaluate(idx, bundle.Corpus.Store, vocab.DefaultRegistry(), queries, []int{ablationK})
+		points, err := reqcheck.Evaluate(context.Background(), idx, bundle.Corpus.Store, vocab.DefaultRegistry(), queries, []int{ablationK})
 		idx.Close()
 		if err != nil {
 			return nil, err

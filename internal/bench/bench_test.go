@@ -47,7 +47,7 @@ func TestFigureTableAndCSV(t *testing.T) {
 func TestRunnersRegistryComplete(t *testing.T) {
 	ids := RunnerIDs()
 	want := []string{"ablation-bucket", "ablation-dims", "ablation-measure",
-		"ablation-weights", "complexity", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"ablation-weights", "complexity", "deadline", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"throughput"}
 	if len(ids) != len(want) {
 		t.Fatalf("runner ids = %v", ids)
@@ -245,6 +245,27 @@ func TestThroughputShape(t *testing.T) {
 			if y <= 0 {
 				t.Fatalf("series %q has non-positive throughput %f", s.Name, y)
 			}
+		}
+	}
+}
+
+func TestDeadlineShape(t *testing.T) {
+	fig, err := Deadline(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 { // p50, p99, cut-off fraction
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 2 { // one point per partition count
+			t.Fatalf("series %q has %d points", s.Name, len(s.X))
+		}
+	}
+	cut := fig.Series[2]
+	for i, f := range cut.Y {
+		if f < 0 || f > 1 {
+			t.Fatalf("cut-off fraction[%d] = %f", i, f)
 		}
 	}
 }

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"semtree/internal/cluster"
+)
+
+// Deadline measures the context-first query API under load: k-nearest
+// queries run against a latency-injecting fabric with a per-query
+// deadline (Params.Deadline), and the experiment reports the p50 and
+// p99 client-observed latency plus the fraction of queries cut off by
+// the deadline, per partition count. This exercises the cancellation
+// path end to end — expired queries must abandon their in-flight
+// partition replies, so the tail latency of a cut-off query is bounded
+// by the deadline, not by the slowest partition chain — and is the
+// measurement the ROADMAP's admission-control work will budget against.
+func Deadline(p Params) (*Figure, error) {
+	p = p.withDefaults()
+	data, err := makeSweep(maxSize(p.Sizes), p.Queries, p.Dims, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	n := maxSize(p.Sizes)
+	fig := &Figure{
+		ID: "deadline", Title: fmt.Sprintf("Query latency under a %v deadline (K=%d, %d points)", p.Deadline, p.K, n),
+		XLabel: "partitions", YLabel: "ms (p50/p99) | fraction cut off",
+		Notes: []string{
+			fmt.Sprintf("per-hop latency %v; deadline %v; %d queries per measurement", p.Latency, p.Deadline, p.Queries),
+			"cut-off queries return context.DeadlineExceeded and abandon outstanding partition replies",
+		},
+	}
+	p50 := Series{Name: "p50 ms"}
+	p99 := Series{Name: "p99 ms"}
+	cut := Series{Name: "cut-off fraction"}
+	for _, m := range p.Partitions {
+		// Build fast, then degrade the network so only queries pay the
+		// per-hop latency.
+		fabric := cluster.NewInProc(cluster.InProcOptions{})
+		tr, err := buildDistributed(data.prefix(n), m, p, fabric, false)
+		if err != nil {
+			fabric.Close()
+			return nil, err
+		}
+		fabric.SetLatency(p.Latency)
+		lat := make([]time.Duration, 0, len(data.queries))
+		cutOff := 0
+		for _, q := range data.queries {
+			ctx, cancel := context.WithTimeout(context.Background(), p.Deadline)
+			start := time.Now()
+			_, qerr := tr.KNearest(ctx, q, p.K)
+			lat = append(lat, time.Since(start))
+			cancel()
+			switch {
+			case qerr == nil:
+			case errors.Is(qerr, context.DeadlineExceeded):
+				cutOff++
+			default:
+				tr.Close()
+				fabric.Close()
+				return nil, qerr
+			}
+		}
+		tr.Close()
+		fabric.Close()
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		x := float64(m)
+		p50.X = append(p50.X, x)
+		p50.Y = append(p50.Y, ms(percentile(lat, 0.50)))
+		p99.X = append(p99.X, x)
+		p99.Y = append(p99.Y, ms(percentile(lat, 0.99)))
+		cut.X = append(cut.X, x)
+		cut.Y = append(cut.Y, float64(cutOff)/float64(len(data.queries)))
+	}
+	fig.Series = append(fig.Series, p50, p99, cut)
+	return fig, nil
+}
+
+// percentile returns the q-quantile of sorted durations (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	semtree "semtree"
@@ -68,7 +69,7 @@ func Fig8(p Params) (*Figure, error) {
 	defer idx.Close()
 
 	reg := vocab.DefaultRegistry()
-	points, err := reqcheck.Evaluate(idx, bundle.Corpus.Store, reg, queries, effectivenessKs)
+	points, err := reqcheck.Evaluate(context.Background(), idx, bundle.Corpus.Store, reg, queries, effectivenessKs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -170,7 +171,7 @@ func Fig5(p Params) (*Figure, error) {
 			// (§III-B.3), which a 1-worker KNearestBatch runs; single
 			// KNearest now uses the parallel fan-out, whose overlapped
 			// hops the serial model below would mis-charge.
-			_, err := tr.KNearestBatch([][]float64{q}, p.K, 1)
+			_, err := tr.KNearestBatch(context.Background(), [][]float64{q}, p.K, 1)
 			return err
 		},
 		// The sequential k-nearest protocol pays every message as a
@@ -222,7 +223,7 @@ func Fig7(p Params) (*Figure, error) {
 	return distributedQueryFigure(p, "fig7",
 		fmt.Sprintf("Distributed range query time (D=%.2f)", p.withDefaults().RangeD),
 		func(tr *core.Tree, q []float64, p Params) error {
-			_, err := tr.RangeSearch(q, p.RangeD)
+			_, err := tr.RangeSearch(context.Background(), q, p.RangeD)
 			return err
 		},
 		// Border nodes fan out in parallel (§III-B.4): with the bench's
@@ -274,7 +275,7 @@ func Throughput(p Params) (*Figure, error) {
 			}
 			loopQPS, err := measureQPS(data.queries, func(qs [][]float64) error {
 				for _, q := range qs {
-					if _, err := tr.KNearest(q, p.K); err != nil {
+					if _, err := tr.KNearest(context.Background(), q, p.K); err != nil {
 						return err
 					}
 				}
@@ -289,7 +290,7 @@ func Throughput(p Params) (*Figure, error) {
 						if end > len(qs) {
 							end = len(qs)
 						}
-						if _, berr := tr.KNearestBatch(qs[start:end], p.K, workers); berr != nil {
+						if _, berr := tr.KNearestBatch(context.Background(), qs[start:end], p.K, workers); berr != nil {
 							return berr
 						}
 					}

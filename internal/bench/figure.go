@@ -145,6 +145,7 @@ type Params struct {
 	Latency    time.Duration // simulated per-hop latency (default 200µs)
 	Parallel   int           // batched-query worker pool (default GOMAXPROCS)
 	Batch      int           // queries per batched call (default: whole workload)
+	Deadline   time.Duration // per-query deadline for the deadline experiment (default 8× latency)
 	Seed       int64
 }
 
@@ -173,6 +174,11 @@ func (p Params) withDefaults() Params {
 	if p.Latency <= 0 {
 		p.Latency = 200 * time.Microsecond
 	}
+	if p.Deadline <= 0 {
+		// Tight enough that the sequential protocol's deeper hop chains
+		// get cut off, loose enough that most queries finish.
+		p.Deadline = 8 * p.Latency
+	}
 	return p
 }
 
@@ -190,6 +196,7 @@ func Runners() map[string]Runner {
 		"fig7":             Fig7,
 		"fig8":             Fig8,
 		"throughput":       Throughput,
+		"deadline":         Deadline,
 		"complexity":       Complexity,
 		"ablation-weights": AblationWeights,
 		"ablation-dims":    AblationDims,

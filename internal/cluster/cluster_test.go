@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -20,7 +21,7 @@ func init() {
 	RegisterMessage(echoResp{})
 }
 
-func echoHandler(from NodeID, req any) (any, error) {
+func echoHandler(ctx context.Context, from NodeID, req any) (any, error) {
 	r, ok := req.(echoReq)
 	if !ok {
 		return nil, fmt.Errorf("bad request type %T", req)
@@ -52,7 +53,7 @@ func TestFabricBasics(t *testing.T) {
 			if f.NumNodes() != 2 {
 				t.Fatalf("NumNodes = %d", f.NumNodes())
 			}
-			resp, err := f.Call(a, b, echoReq{Msg: "hi"})
+			resp, err := f.Call(context.Background(), a, b, echoReq{Msg: "hi"})
 			if err != nil {
 				t.Fatalf("Call: %v", err)
 			}
@@ -60,7 +61,7 @@ func TestFabricBasics(t *testing.T) {
 			if !ok || er.Msg != "hi" || er.From != a {
 				t.Fatalf("resp = %#v", resp)
 			}
-			if _, err := f.Call(ClientID, 99, echoReq{}); err == nil {
+			if _, err := f.Call(context.Background(), ClientID, 99, echoReq{}); err == nil {
 				t.Fatal("call to unknown node succeeded")
 			}
 			if s := f.Stats(); s.Messages < 1 {
@@ -76,10 +77,10 @@ func TestFabricHandlerError(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			f := mk()
 			defer f.Close()
-			id, _ := f.AddNode(func(from NodeID, req any) (any, error) {
+			id, _ := f.AddNode(func(ctx context.Context, from NodeID, req any) (any, error) {
 				return nil, boom
 			})
-			_, err := f.Call(ClientID, id, echoReq{})
+			_, err := f.Call(context.Background(), ClientID, id, echoReq{})
 			if err == nil {
 				t.Fatal("handler error not propagated")
 			}
@@ -109,7 +110,7 @@ func TestFabricConcurrentCalls(t *testing.T) {
 					for i := 0; i < 25; i++ {
 						to := ids[(w+i)%len(ids)]
 						msg := fmt.Sprintf("w%d-%d", w, i)
-						resp, err := f.Call(ClientID, to, echoReq{Msg: msg})
+						resp, err := f.Call(context.Background(), ClientID, to, echoReq{Msg: msg})
 						if err != nil {
 							errs <- err
 							return
@@ -138,7 +139,7 @@ func TestFabricClose(t *testing.T) {
 			if err := f.Close(); err != nil {
 				t.Fatalf("Close: %v", err)
 			}
-			if _, err := f.Call(ClientID, id, echoReq{}); err == nil {
+			if _, err := f.Call(context.Background(), ClientID, id, echoReq{}); err == nil {
 				t.Fatal("call on closed fabric succeeded")
 			}
 			if _, err := f.AddNode(echoHandler); err == nil {
@@ -155,7 +156,7 @@ func TestInProcLatency(t *testing.T) {
 	start := time.Now()
 	const calls = 10
 	for i := 0; i < calls; i++ {
-		if _, err := f.Call(ClientID, id, echoReq{}); err != nil {
+		if _, err := f.Call(context.Background(), ClientID, id, echoReq{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -170,7 +171,7 @@ func TestInProcFailureInjectionAndRetry(t *testing.T) {
 	id, _ := f.AddNode(echoHandler)
 	sawFailure := false
 	for i := 0; i < 50; i++ {
-		if _, err := f.Call(ClientID, id, echoReq{}); err != nil {
+		if _, err := f.Call(context.Background(), ClientID, id, echoReq{}); err != nil {
 			if !errors.Is(err, ErrTransient) {
 				t.Fatalf("unexpected error type: %v", err)
 			}
@@ -185,7 +186,7 @@ func TestInProcFailureInjectionAndRetry(t *testing.T) {
 	}
 	// CallRetry should push success probability to ~1 with 20 attempts.
 	for i := 0; i < 10; i++ {
-		if _, err := CallRetry(f, ClientID, id, echoReq{}, 20); err != nil {
+		if _, err := CallRetry(context.Background(), f, ClientID, id, echoReq{}, 20); err != nil {
 			t.Fatalf("CallRetry failed: %v", err)
 		}
 	}
@@ -195,11 +196,11 @@ func TestCallRetryGivesUpOnPermanentError(t *testing.T) {
 	f := NewInProc(InProcOptions{})
 	defer f.Close()
 	calls := 0
-	id, _ := f.AddNode(func(from NodeID, req any) (any, error) {
+	id, _ := f.AddNode(func(ctx context.Context, from NodeID, req any) (any, error) {
 		calls++
 		return nil, errors.New("permanent")
 	})
-	if _, err := CallRetry(f, ClientID, id, echoReq{}, 5); err == nil {
+	if _, err := CallRetry(context.Background(), f, ClientID, id, echoReq{}, 5); err == nil {
 		t.Fatal("expected error")
 	}
 	if calls != 1 {
@@ -211,7 +212,7 @@ func TestCallRetryExhaustsTransient(t *testing.T) {
 	f := NewInProc(InProcOptions{FailureRate: 1.0, Seed: 1})
 	defer f.Close()
 	id, _ := f.AddNode(echoHandler)
-	_, err := CallRetry(f, ClientID, id, echoReq{}, 3)
+	_, err := CallRetry(context.Background(), f, ClientID, id, echoReq{}, 3)
 	if err == nil || !errors.Is(err, ErrTransient) {
 		t.Fatalf("want exhausted transient error, got %v", err)
 	}
@@ -221,7 +222,7 @@ func TestInProcByteAccounting(t *testing.T) {
 	f := NewInProc(InProcOptions{CountBytes: true})
 	defer f.Close()
 	id, _ := f.AddNode(echoHandler)
-	if _, err := f.Call(ClientID, id, echoReq{Msg: "hello world"}); err != nil {
+	if _, err := f.Call(context.Background(), ClientID, id, echoReq{Msg: "hello world"}); err != nil {
 		t.Fatal(err)
 	}
 	if f.Stats().Bytes == 0 {
@@ -235,13 +236,13 @@ func TestTCPNestedCalls(t *testing.T) {
 	f := NewTCP()
 	defer f.Close()
 	leaf, _ := f.AddNode(echoHandler)
-	router, err := f.AddNode(func(from NodeID, req any) (any, error) {
-		return f.Call(1, leaf, req)
+	router, err := f.AddNode(func(ctx context.Context, from NodeID, req any) (any, error) {
+		return f.Call(ctx, 1, leaf, req)
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := f.Call(ClientID, router, echoReq{Msg: "routed"})
+	resp, err := f.Call(context.Background(), ClientID, router, echoReq{Msg: "routed"})
 	if err != nil {
 		t.Fatalf("nested call: %v", err)
 	}
@@ -250,5 +251,103 @@ func TestTCPNestedCalls(t *testing.T) {
 	}
 	if f.Stats().Bytes == 0 {
 		t.Fatal("TCP bytes not accounted")
+	}
+}
+
+// TestCallCancelledUpfront: a context that is already done must fail
+// the call on every fabric without invoking the handler.
+func TestCallCancelledUpfront(t *testing.T) {
+	mks := fabrics()
+	mks["virtual"] = func() Fabric { return NewVirtual(VirtualOptions{}) }
+	for name, mk := range mks {
+		t.Run(name, func(t *testing.T) {
+			f := mk()
+			defer f.Close()
+			handled := false
+			id, _ := f.AddNode(func(ctx context.Context, from NodeID, req any) (any, error) {
+				handled = true
+				return echoResp{}, nil
+			})
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if _, err := f.Call(ctx, ClientID, id, echoReq{}); !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if handled {
+				t.Fatal("handler ran despite a dead context")
+			}
+		})
+	}
+}
+
+// TestInProcCancelUnblocksLatency: cancelling mid-transit must return
+// well before the simulated latency elapses.
+func TestInProcCancelUnblocksLatency(t *testing.T) {
+	f := NewInProc(InProcOptions{Latency: 2 * time.Second})
+	defer f.Close()
+	id, _ := f.AddNode(echoHandler)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.Call(ctx, ClientID, id, echoReq{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancel did not unblock the transit sleep: %v", elapsed)
+	}
+}
+
+// TestTCPDeadlinePropagatesToHandler: the envelope carries the caller's
+// deadline, so the remote handler's context expires and the call
+// returns around the deadline instead of hanging on a stuck handler.
+func TestTCPDeadlinePropagatesToHandler(t *testing.T) {
+	f := NewTCP()
+	defer f.Close()
+	sawDeadline := make(chan bool, 1)
+	id, _ := f.AddNode(func(ctx context.Context, from NodeID, req any) (any, error) {
+		_, ok := ctx.Deadline()
+		sawDeadline <- ok
+		<-ctx.Done() // a handler that only yields when the query expires
+		return nil, ctx.Err()
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.Call(ctx, ClientID, id, echoReq{})
+	if err == nil {
+		t.Fatal("expired call succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline did not bound the call: %v", elapsed)
+	}
+	if !<-sawDeadline {
+		t.Fatal("handler context carried no deadline")
+	}
+}
+
+// TestTCPCancelUnblocksRead: plain cancellation (no deadline) must snap
+// the client connection shut and unblock the reply read.
+func TestTCPCancelUnblocksRead(t *testing.T) {
+	f := NewTCP()
+	defer f.Close()
+	release := make(chan struct{})
+	id, _ := f.AddNode(func(ctx context.Context, from NodeID, req any) (any, error) {
+		<-release // no wire deadline: the handler would block forever
+		return echoResp{}, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := f.Call(ctx, ClientID, id, echoReq{})
+	close(release)
+	if err == nil {
+		t.Fatal("cancelled call succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancel did not unblock the read: %v", elapsed)
 	}
 }

@@ -12,11 +12,19 @@
 //   - TCP: a real network transport over loopback (net + encoding/gob),
 //     used by the distributed example and integration tests.
 //
+// Every Call is context-first: cancellation and deadlines propagate
+// with the message. On InProc the simulated transit sleep unblocks when
+// the context is done; on TCP the deadline travels in the envelope (the
+// serving side derives a context from it) and the client connection's
+// read/write deadlines are armed from the context, so a caller is never
+// stuck waiting for a reply its query no longer wants.
+//
 // Handlers must be safe for concurrent use: a fabric delivers requests
 // from many callers at once, exactly like a multithreaded MPJ rank.
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -30,9 +38,14 @@ type NodeID int
 const ClientID NodeID = -1
 
 // Handler processes one request addressed to a node and returns the
-// response. Handlers run on the caller's goroutine (InProc) or a
-// per-connection goroutine (TCP) and must be concurrency-safe.
-type Handler func(from NodeID, req any) (any, error)
+// response. The context is the caller's: it carries the query's
+// deadline/cancellation across the fabric (on TCP, reconstructed from
+// the wire deadline), and long-running handlers are expected to check
+// it and abandon work when it is done. Handlers run on the caller's
+// goroutine (InProc) or a per-connection goroutine (TCP) and must be
+// concurrency-safe. One-way mailbox deliveries (Send) run handlers
+// under context.Background().
+type Handler func(ctx context.Context, from NodeID, req any) (any, error)
 
 // Fabric is a set of addressable nodes exchanging request/response
 // messages.
@@ -42,8 +55,10 @@ type Fabric interface {
 	// Call delivers req to node `to`, identifying the caller as `from`,
 	// and returns the handler's response. It may fail transiently
 	// (ErrTransient) when failure injection is enabled or the network
-	// hiccups; callers that need delivery use CallRetry.
-	Call(from, to NodeID, req any) (any, error)
+	// hiccups; callers that need delivery use CallRetry. When ctx is
+	// cancelled or past its deadline the call returns ctx.Err()
+	// promptly, abandoning the in-flight reply.
+	Call(ctx context.Context, from, to NodeID, req any) (any, error)
 	// Send delivers req one-way: it enqueues the message into the
 	// target node's mailbox and returns immediately. The handler's
 	// response is discarded. Mailbox messages are processed by the
@@ -80,15 +95,21 @@ var ErrClosed = errors.New("cluster: fabric closed")
 var ErrUnknownNode = errors.New("cluster: unknown node")
 
 // CallRetry calls f.Call up to attempts times, retrying only transient
-// failures. It returns the last error when all attempts fail.
-func CallRetry(f Fabric, from, to NodeID, req any, attempts int) (any, error) {
+// failures. Context errors are never retried — a cancelled query must
+// not burn its remaining attempts re-sending a message nobody wants —
+// and the context is re-checked between attempts. It returns the last
+// error when all attempts fail.
+func CallRetry(ctx context.Context, f Fabric, from, to NodeID, req any, attempts int) (any, error) {
 	if attempts < 1 {
 		attempts = 1
 	}
 	var err error
 	for i := 0; i < attempts; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		var resp any
-		resp, err = f.Call(from, to, req)
+		resp, err = f.Call(ctx, from, to, req)
 		if err == nil {
 			return resp, nil
 		}

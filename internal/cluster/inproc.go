@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"math/rand"
 	"sync"
@@ -54,7 +55,8 @@ func (o InProcOptions) withDefaults() InProcOptions {
 // node's mailbox, processed by NodeWorkers workers (a message-passing
 // rank). It is safe for concurrent use.
 type InProc struct {
-	opts InProcOptions
+	opts    InProcOptions
+	latency atomic.Int64 // current per-message transit, adjustable at runtime
 
 	mu     sync.RWMutex
 	nodes  []*inprocNode
@@ -83,11 +85,19 @@ type mailboxMsg struct {
 
 // NewInProc returns an in-process fabric.
 func NewInProc(opts InProcOptions) *InProc {
-	return &InProc{
+	f := &InProc{
 		opts: opts.withDefaults(),
 		rng:  rand.New(rand.NewSource(opts.Seed)),
 	}
+	f.latency.Store(int64(opts.Latency))
+	return f
 }
+
+// SetLatency changes the simulated per-message transit at runtime:
+// tests and benchmarks build an index over a fast fabric, then degrade
+// the network to measure query behavior under latency (deadline and
+// cancellation experiments in particular).
+func (f *InProc) SetLatency(d time.Duration) { f.latency.Store(int64(d)) }
 
 // AddNode implements Fabric: it registers the handler and starts the
 // node's mailbox workers.
@@ -118,7 +128,8 @@ func (f *InProc) work(n *inprocNode, id NodeID) {
 		if f.opts.WorkCost > 0 {
 			time.Sleep(f.opts.WorkCost)
 		}
-		_, _ = n.handler(msg.from, msg.req) // one-way: response discarded
+		// One-way: response discarded; no caller context to honor.
+		_, _ = n.handler(context.Background(), msg.from, msg.req)
 		f.pending.Done()
 	}
 }
@@ -135,15 +146,29 @@ func (f *InProc) node(to NodeID) (*inprocNode, error) {
 	return f.nodes[to], nil
 }
 
-// Call implements Fabric.
-func (f *InProc) Call(from, to NodeID, req any) (any, error) {
+// Call implements Fabric. The simulated transit sleep unblocks when ctx
+// is done, so a cancelled query abandons its in-flight message instead
+// of paying the full latency; the handler receives ctx and is expected
+// to check it during long traversals.
+func (f *InProc) Call(ctx context.Context, from, to NodeID, req any) (any, error) {
 	n, err := f.node(to)
 	if err != nil {
 		return nil, err
 	}
+	// Check before accounting (as Virtual does): an already-dead call
+	// never becomes a message. A cancel mid-transit still counts — the
+	// message left, only its reply is abandoned.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	f.messages.Add(1)
 	if d := f.delay(); d > 0 {
-		time.Sleep(d)
+		if err := sleepCtx(ctx, d); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if f.opts.FailureRate > 0 && f.roll() < f.opts.FailureRate {
 		f.failures.Add(1)
@@ -152,7 +177,7 @@ func (f *InProc) Call(from, to NodeID, req any) (any, error) {
 	if f.opts.CountBytes {
 		f.bytes.Add(encodedSize(req))
 	}
-	resp, err := n.handler(from, req)
+	resp, err := n.handler(ctx, from, req)
 	if err != nil {
 		return nil, err
 	}
@@ -160,6 +185,23 @@ func (f *InProc) Call(from, to NodeID, req any) (any, error) {
 		f.bytes.Add(encodedSize(resp))
 	}
 	return resp, nil
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+// A context that can never be cancelled skips the timer machinery.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Send implements Fabric: at-most-once asynchronous delivery into the
@@ -200,7 +242,7 @@ func (f *InProc) Send(from, to NodeID, req any) error {
 func (f *InProc) Flush() { f.pending.Wait() }
 
 func (f *InProc) delay() time.Duration {
-	d := f.opts.Latency
+	d := time.Duration(f.latency.Load())
 	if f.opts.Jitter > 0 {
 		f.rngMu.Lock()
 		d += time.Duration(f.rng.Int63n(int64(f.opts.Jitter)))

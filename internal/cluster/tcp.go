@@ -1,21 +1,26 @@
 package cluster
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // envelope is the wire format of both transports: one request or
 // response. Payload types crossing a TCP fabric must be registered with
-// RegisterMessage.
+// RegisterMessage. Deadline (unix nanoseconds, 0 = none) carries the
+// caller's context deadline so the serving side can derive an
+// equivalent context and stop working on an expired request.
 type envelope struct {
 	From      int
 	Payload   any
 	Err       string
 	Transient bool
+	Deadline  int64
 }
 
 // RegisterMessage registers a payload type for gob encoding on TCP
@@ -92,8 +97,17 @@ func (f *TCP) serve(n *tcpNode, conn net.Conn) {
 	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
 		return
 	}
+	// Rebuild the caller's deadline context: cancellation cannot cross
+	// a one-connection-per-call wire, but the deadline can, and it is
+	// what lets the remote side stop traversing an expired query.
+	ctx := context.Background()
+	if req.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.Unix(0, req.Deadline))
+		defer cancel()
+	}
 	resp := envelope{}
-	out, err := n.handler(NodeID(req.From), req.Payload)
+	out, err := n.handler(ctx, NodeID(req.From), req.Payload)
 	if err != nil {
 		resp.Err = err.Error()
 	} else {
@@ -102,8 +116,11 @@ func (f *TCP) serve(n *tcpNode, conn net.Conn) {
 	_ = gob.NewEncoder(conn).Encode(&resp)
 }
 
-// Call implements Fabric.
-func (f *TCP) Call(from, to NodeID, req any) (any, error) {
+// Call implements Fabric. The context deadline is encoded into the
+// request envelope (so the remote handler sees it) and armed on the
+// connection (so the local read never outlives it); plain cancellation
+// snaps the connection's deadlines shut, unblocking the reply read.
+func (f *TCP) Call(ctx context.Context, from, to NodeID, req any) (any, error) {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
@@ -117,19 +134,38 @@ func (f *TCP) Call(from, to NodeID, req any) (any, error) {
 	f.mu.Unlock()
 
 	f.messages.Add(1)
-	conn, err := net.Dial("tcp", addr)
+	var dialer net.Dialer
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		f.failures.Add(1)
 		return nil, fmt.Errorf("%w: dial: %v", ErrTransient, err)
 	}
 	defer conn.Close()
+	var wireDeadline int64
+	if d, ok := ctx.Deadline(); ok {
+		wireDeadline = d.UnixNano()
+		_ = conn.SetDeadline(d)
+	}
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Now()) })
+		defer stop()
+	}
 	cw := &countingConn{Conn: conn}
-	if err := gob.NewEncoder(cw).Encode(&envelope{From: int(from), Payload: req}); err != nil {
+	if err := gob.NewEncoder(cw).Encode(&envelope{From: int(from), Payload: req, Deadline: wireDeadline}); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		f.failures.Add(1)
 		return nil, fmt.Errorf("%w: encode: %v", ErrTransient, err)
 	}
 	var resp envelope
 	if err := gob.NewDecoder(cw).Decode(&resp); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		f.failures.Add(1)
 		return nil, fmt.Errorf("%w: decode: %v", ErrTransient, err)
 	}
@@ -163,7 +199,7 @@ func (f *TCP) Send(from, to NodeID, req any) error {
 		defer f.pending.Done()
 		// One-way semantics: the response and any error are discarded;
 		// Call already accounts transport failures.
-		_, _ = f.Call(from, to, req)
+		_, _ = f.Call(context.Background(), from, to, req)
 	}()
 	return nil
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"container/heap"
+	"context"
 	"sync/atomic"
 	"time"
 )
@@ -104,15 +105,21 @@ func (f *Virtual) AddNode(h Handler) (NodeID, error) {
 
 // Call implements Fabric: inline execution, no virtual accounting of its
 // own (nested calls are captured by the caller's measured duration).
-func (f *Virtual) Call(from, to NodeID, req any) (any, error) {
+// There is no transit to abandon — the handler runs on the caller's
+// goroutine — so cancellation reduces to the upfront check plus the
+// handler's own ctx checks.
+func (f *Virtual) Call(ctx context.Context, from, to NodeID, req any) (any, error) {
 	if f.closed {
 		return nil, ErrClosed
 	}
 	if to < 0 || int(to) >= len(f.handlers) {
 		return nil, ErrUnknownNode
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	f.messages.Add(1)
-	return f.handlers[to](from, req)
+	return f.handlers[to](ctx, from, req)
 }
 
 // Send implements Fabric: it schedules a message event. From the driving
@@ -150,7 +157,7 @@ func (f *Virtual) Flush() {
 		f.running = true
 		f.outbox = f.outbox[:0]
 		t0 := time.Now()
-		_, _ = f.handlers[e.to](e.from, e.req) // one-way: response discarded
+		_, _ = f.handlers[e.to](context.Background(), e.from, e.req) // one-way: response discarded
 		real := time.Since(t0)
 		f.running = false
 

@@ -97,12 +97,44 @@ type knnReq struct {
 	Entries []knnEntry
 }
 
+// queryStats is the work accounting one partition reports with a query
+// response: its own traversal counters plus everything it aggregated
+// from the partitions it contacted downstream. Callers fold the
+// response stats into their own, so the client-facing total (ExecStats)
+// is an exact sum over every partition the query executed on,
+// regardless of protocol or nesting depth.
+type queryStats struct {
+	Nodes   int64 // tree nodes visited (popped and not pruned)
+	Buckets int64 // leaf buckets scanned
+	Dists   int64 // point distance evaluations
+	Msgs    int64 // fabric calls issued downstream on behalf of the query
+	Parts   int64 // partition handler executions (this one + downstream)
+}
+
+// merge adds another partition's stats field-by-field.
+func (s *queryStats) merge(o queryStats) {
+	s.Nodes += o.Nodes
+	s.Buckets += o.Buckets
+	s.Dists += o.Dists
+	s.Msgs += o.Msgs
+	s.Parts += o.Parts
+}
+
+// fold accumulates a downstream response's stats, charging the one
+// message that carried it.
+func (s *queryStats) fold(o queryStats) {
+	s.merge(o)
+	s.Msgs++
+}
+
 // knnResp carries the merged result set back: the top K of the request
 // seed plus the visited subtrees, sorted ascending by (squared
 // distance, point ID). In parallel mode it may repeat seed points; the
-// caller's merge deduplicates by point ID.
+// caller's merge deduplicates by point ID. Stats reports the work done
+// by this partition and everything downstream of it.
 type knnResp struct {
-	Rs []kdtree.Neighbor
+	Rs    []kdtree.Neighbor
+	Stats queryStats
 }
 
 // rangeReq asks a partition for all points within D of Query in the
@@ -119,9 +151,10 @@ type rangeReq struct {
 // (ascending distance, ties by point ID) and square-rooted exactly
 // once, at the client boundary in Tree.RangeSearch. Intermediate
 // partitions must not sort — that work would be thrown away by the
-// merge at the next hop up.
+// merge at the next hop up. Stats aggregates like knnResp.Stats.
 type rangeResp struct {
 	Neighbors []kdtree.Neighbor
+	Stats     queryStats
 }
 
 // adoptReq moves a leaf bucket into a (newly created) partition during

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -49,17 +50,20 @@ type partition struct {
 	spills   atomic.Int64 // build-partition runs
 }
 
-// handle dispatches one fabric message.
-func (p *partition) handle(from cluster.NodeID, req any) (any, error) {
+// handle dispatches one fabric message. Only the query handlers consume
+// the caller's context: mutating operations (insert, adopt, rebalance
+// plumbing) run to completion once delivered, so a cancelled client
+// never leaves the tree half-modified.
+func (p *partition) handle(ctx context.Context, from cluster.NodeID, req any) (any, error) {
 	switch r := req.(type) {
 	case insertReq:
 		return p.handleInsert(r)
 	case insertBatchReq:
 		return p.handleInsertBatch(r)
 	case knnReq:
-		return p.handleKNN(r)
+		return p.handleKNN(ctx, r)
 	case rangeReq:
-		return p.handleRange(r)
+		return p.handleRange(ctx, r)
 	case adoptReq:
 		return p.handleAdopt(r)
 	case statsReq:

@@ -6,9 +6,14 @@ package core
 // calls.
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"semtree/internal/cluster"
 	"semtree/internal/kdtree"
@@ -47,11 +52,11 @@ func TestKNNParallelMatchesSequential(t *testing.T) {
 	for trial := 0; trial < 60; trial++ {
 		q := randomPoints(r, 1, 4)[0].Coords
 		for _, k := range []int{1, 3, 10, 40} {
-			seq, err := tr.knn(q, k, true)
+			seq, _, err := tr.knn(context.Background(), q, k, true)
 			if err != nil {
 				t.Fatal(err)
 			}
-			par, err := tr.knn(q, k, false)
+			par, _, err := tr.knn(context.Background(), q, k, false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -68,7 +73,7 @@ func TestKNNParallelMatchesSequential(t *testing.T) {
 	}
 	// Sanity: the parallel path matches the brute-force oracle too.
 	q := randomPoints(r, 1, 4)[0].Coords
-	got, err := tr.KNearest(q, 5)
+	got, err := tr.KNearest(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,14 +93,14 @@ func TestKNearestBatchMatchesLoop(t *testing.T) {
 	}
 	want := make([][]kdtree.Neighbor, len(qs))
 	for i, q := range qs {
-		ns, err := tr.KNearest(q, 4)
+		ns, err := tr.KNearest(context.Background(), q, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
 		want[i] = ns
 	}
 	for _, workers := range []int{0, 1, 3, 16} {
-		got, err := tr.KNearestBatch(qs, 4, workers)
+		got, err := tr.KNearestBatch(context.Background(), qs, 4, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,12 +128,12 @@ func TestRangeBatchMatchesLoop(t *testing.T) {
 		qs[i] = randomPoints(r, 1, 3)[0].Coords
 	}
 	const d = 25.0
-	got, err := tr.RangeBatch(qs, d, 4)
+	got, err := tr.RangeBatch(context.Background(), qs, d, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, q := range qs {
-		want, err := tr.RangeSearch(q, d)
+		want, err := tr.RangeSearch(context.Background(), q, d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,7 +158,7 @@ func TestRangeBatchMatchesLoop(t *testing.T) {
 // first-error contract.
 func TestBatchEmptyAndErrors(t *testing.T) {
 	tr := mustTree(t, Config{Dim: 2})
-	if out, err := tr.KNearestBatch(nil, 3, 4); err != nil || len(out) != 0 {
+	if out, err := tr.KNearestBatch(context.Background(), nil, 3, 4); err != nil || len(out) != 0 {
 		t.Fatalf("empty batch: out=%v err=%v", out, err)
 	}
 	// A query with the wrong dimensionality errors without poisoning
@@ -162,7 +167,7 @@ func TestBatchEmptyAndErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	qs := [][]float64{{1, 2}, {3}, {4, 5}}
-	out, err := tr.KNearestBatch(qs, 1, 2)
+	out, err := tr.KNearestBatch(context.Background(), qs, 1, 2)
 	if err == nil {
 		t.Fatal("dimension mismatch not reported")
 	}
@@ -203,7 +208,7 @@ func TestKNNParallelSurvivesConcurrentInserts(t *testing.T) {
 		}
 	}()
 	for round := 0; round < 8; round++ {
-		res, err := tr.KNearestBatch(qs, 3, 4)
+		res, err := tr.KNearestBatch(context.Background(), qs, 3, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -238,7 +243,7 @@ func TestKNNParallelPropagatesFabricErrors(t *testing.T) {
 	}
 	for trial := 0; trial < 30; trial++ {
 		q := randomPoints(r, 1, 3)[0].Coords
-		got, err := tr.KNearest(q, 5)
+		got, err := tr.KNearest(context.Background(), q, 5)
 		if err != nil {
 			continue // surfaced, not swallowed: acceptable on a lossy fabric
 		}
@@ -272,11 +277,11 @@ func TestKNNEquivalenceOnTies(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		q := []float64{float64(r.Intn(6)), float64(r.Intn(6)), float64(r.Intn(6))}
 		for _, k := range []int{1, 3, 8} {
-			seq, err := tr.knn(q, k, true)
+			seq, _, err := tr.knn(context.Background(), q, k, true)
 			if err != nil {
 				t.Fatal(err)
 			}
-			par, err := tr.knn(q, k, false)
+			par, _, err := tr.knn(context.Background(), q, k, false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -296,5 +301,223 @@ func TestKNNEquivalenceOnTies(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// --- context-first API: cancellation, deadlines, execution stats ---
+
+// waitGoroutines polls until the goroutine count settles back to at
+// most base (with slack for runtime background goroutines).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d running, want <= %d", runtime.NumGoroutine(), base)
+}
+
+// TestKNNCancelledBeforeStart: an already-cancelled context must return
+// context.Canceled without sending a single fabric message.
+func TestKNNCancelledBeforeStart(t *testing.T) {
+	fabric := cluster.NewInProc(cluster.InProcOptions{})
+	defer fabric.Close()
+	r := rand.New(rand.NewSource(31))
+	tr := mustTree(t, Config{Dim: 3, BucketSize: 8, Fabric: fabric})
+	if err := tr.InsertAll(randomPoints(r, 200, 3), 1); err != nil {
+		t.Fatal(err)
+	}
+	before := fabric.Stats().Messages
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, seq := range []bool{true, false} {
+		if _, _, err := tr.knn(ctx, []float64{1, 2, 3}, 5, seq); !errors.Is(err, context.Canceled) {
+			t.Fatalf("seq=%v: err = %v, want context.Canceled", seq, err)
+		}
+	}
+	if _, err := tr.RangeSearch(ctx, []float64{1, 2, 3}, 10); !errors.Is(err, context.Canceled) {
+		t.Fatal("range did not observe the dead context")
+	}
+	if after := fabric.Stats().Messages; after != before {
+		t.Fatalf("dead-context queries still sent %d messages", after-before)
+	}
+}
+
+// TestKNNDeadlineAbortsFanOut: on a fabric whose per-hop latency far
+// exceeds the query deadline, a multi-partition fan-out must return
+// promptly with the deadline error — before any slow partition could
+// have replied (one hop costs 300ms, so answering at all within the
+// asserted bound proves the outstanding replies were abandoned) — and
+// must not leak its fan-out goroutines.
+func TestKNNDeadlineAbortsFanOut(t *testing.T) {
+	const hop = 300 * time.Millisecond
+	r := rand.New(rand.NewSource(37))
+	pts := randomPoints(r, 3000, 4)
+	// Build over a fast fabric, then degrade the network so only the
+	// query pays the hop latency.
+	fabric := cluster.NewInProc(cluster.InProcOptions{})
+	defer fabric.Close()
+	tr := mustTree(t, Config{
+		Dim: 4, BucketSize: 8,
+		PartitionCapacity: 64, MaxPartitions: 9, Fabric: fabric,
+	})
+	if err := tr.InsertAll(pts, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tr.PartitionCount() < 4 {
+		t.Fatalf("partitions = %d, want a multi-partition fan-out", tr.PartitionCount())
+	}
+	fabric.SetLatency(hop)
+	base := runtime.NumGoroutine() + 4
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := tr.KNearest(ctx, randomPoints(r, 1, 4)[0].Coords, 10)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	// Generous wall-clock bound: well under one 300ms hop, so the
+	// query cannot have waited out even a single slow partition reply.
+	if elapsed >= hop {
+		t.Fatalf("expired query took %v, want < one %v hop", elapsed, hop)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestRunBatchStopsOnCancel: once the context is done the pool must
+// stop dispatching; items already dispatched finish.
+func TestRunBatchStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := RunBatch(ctx, 1000, 4, func(i int) error {
+		if ran.Add(1) == 8 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("pool dispatched the whole batch (%d) despite cancellation", n)
+	}
+	// Batch surfaces attribute the context error to undispatched
+	// entries and keep dispatched answers.
+	tr := mustTree(t, Config{Dim: 2})
+	if err := tr.Insert(kdtree.Point{Coords: []float64{1, 2}, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	qs := make([][]float64, 64)
+	for i := range qs {
+		qs[i] = []float64{1, 2}
+	}
+	res := tr.KNearestBatchStats(ctx, qs, 1, 4) // ctx already cancelled
+	for i, qr := range res {
+		if !errors.Is(qr.Err, context.Canceled) {
+			t.Fatalf("entry %d: err = %v, want context.Canceled", i, qr.Err)
+		}
+	}
+}
+
+// TestExecStatsPopulated: with a background context the redesigned API
+// answers exactly as before and reports the work done — fabric
+// messages, nodes visited, partitions — for both protocols and ranges.
+func TestExecStatsPopulated(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	tr, pts := multiPartitionTree(t, r, 3000, 4)
+	q := randomPoints(r, 1, 4)[0].Coords
+
+	ns, st, err := tr.KNearestStats(context.Background(), q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bruteKNN(pts, q, 5); !sameIDSets(ns, want) {
+		t.Fatal("stats variant disagrees with oracle")
+	}
+	if st.Protocol != ProtocolParallel {
+		t.Fatalf("protocol = %q", st.Protocol)
+	}
+	if st.NodesVisited <= 0 || st.BucketsScanned <= 0 || st.DistanceEvals <= 0 {
+		t.Fatalf("traversal counters empty: %+v", st)
+	}
+	if st.FabricMessages < 2 || st.Partitions < 2 {
+		t.Fatalf("cross-partition query reported %d messages over %d partitions", st.FabricMessages, st.Partitions)
+	}
+	if st.Wall <= 0 {
+		t.Fatalf("wall time not measured: %+v", st)
+	}
+	// The message counter must agree with the fabric's own accounting.
+	fabric := cluster.NewInProc(cluster.InProcOptions{})
+	defer fabric.Close()
+	tr2 := mustTree(t, Config{
+		Dim: 4, BucketSize: 8,
+		PartitionCapacity: 64, MaxPartitions: 9, Fabric: fabric,
+	})
+	if err := tr2.InsertAll(pts, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, protocol := range []bool{false, true} {
+		before := fabric.Stats().Messages
+		_, st, err := tr2.knn(context.Background(), q, 5, protocol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fabric.Stats().Messages - before; got != st.FabricMessages {
+			t.Fatalf("seq=%v: ExecStats.FabricMessages = %d, fabric counted %d", protocol, st.FabricMessages, got)
+		}
+	}
+
+	// Range stats.
+	rs, rst, err := tr.RangeSearchStats(context.Background(), q, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bruteRange(pts, q, 25); !sameIDSets(rs, want) {
+		t.Fatal("range stats variant disagrees with oracle")
+	}
+	if rst.Protocol != ProtocolRange || rst.NodesVisited <= 0 {
+		t.Fatalf("range stats empty: %+v", rst)
+	}
+
+	// Batch stats: every entry answered, every entry accounted.
+	qs := make([][]float64, 8)
+	for i := range qs {
+		qs[i] = randomPoints(r, 1, 4)[0].Coords
+	}
+	res := tr.KNearestBatchStats(context.Background(), qs, 3, 4)
+	for i, qr := range res {
+		if qr.Err != nil {
+			t.Fatalf("entry %d: %v", i, qr.Err)
+		}
+		if qr.Stats.Protocol != ProtocolSequential || qr.Stats.NodesVisited <= 0 {
+			t.Fatalf("entry %d stats: %+v", i, qr.Stats)
+		}
+		if want := bruteKNN(pts, qs[i], 3); !sameIDSets(qr.Neighbors, want) {
+			t.Fatalf("entry %d disagrees with oracle", i)
+		}
+	}
+}
+
+// TestBatchPerQueryErrors: a bad query carries its own error and the
+// healthy queries still answer (the batched QueryResult contract).
+func TestBatchPerQueryErrors(t *testing.T) {
+	tr := mustTree(t, Config{Dim: 2})
+	if err := tr.Insert(kdtree.Point{Coords: []float64{1, 2}, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res := tr.KNearestBatchStats(context.Background(), [][]float64{{1, 2}, {3}, {4, 5}}, 1, 2)
+	if res[0].Err != nil || len(res[0].Neighbors) != 1 {
+		t.Fatalf("healthy entry 0 poisoned: %+v", res[0])
+	}
+	if res[1].Err == nil {
+		t.Fatal("dimension mismatch not attributed to its query")
+	}
+	if res[2].Err != nil || len(res[2].Neighbors) != 1 {
+		t.Fatalf("healthy entry 2 poisoned: %+v", res[2])
 	}
 }

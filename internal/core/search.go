@@ -1,23 +1,39 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"semtree/internal/cluster"
 	"semtree/internal/kdtree"
 )
 
+// ctxCheckMask throttles context polling on the traversal hot path: the
+// deadline is re-checked every 64 visited nodes, so an expired query
+// abandons a deep local traversal within a bounded number of pops
+// without paying an atomic load per node.
+const ctxCheckMask = 63
+
 // queryCtx is the per-query execution context of the k-nearest engine:
 // the scratch result set, the explicit visit stack, the remote subtrees
-// the local traversal ran into, and the collector state for parallel
-// fan-outs. Contexts are pooled — a query borrows one, traverses,
-// copies its result onto the wire and releases it — so steady-state
-// searches allocate only the response slice and the fan-out messages.
+// the local traversal ran into, the work counters reported back with
+// the response, and the collector state for parallel fan-outs. Contexts
+// are pooled — a query borrows one, traverses, copies its result onto
+// the wire and releases it — so steady-state searches allocate only the
+// response slice and the fan-out messages.
 type queryCtx struct {
 	rs      resultSet
 	stack   []knnFrame
 	pending []knnFrame // remote subtrees deferred until the local bound is final
+	steps   int64      // visited-node counter driving the periodic ctx check
+
+	// stats accumulates this partition's own traversal work plus the
+	// folded stats of every downstream response. Plain increments are
+	// only performed by the traversal goroutine strictly before the
+	// fan-out goroutines launch; the goroutines fold under mu.
+	stats queryStats
 
 	mu       sync.Mutex
 	wg       sync.WaitGroup
@@ -49,6 +65,8 @@ func getQueryCtx(k int, seed []kdtree.Neighbor) *queryCtx {
 	c.rs.reset(k, seed)
 	c.stack = c.stack[:0]
 	c.pending = c.pending[:0]
+	c.steps = 0
+	c.stats = queryStats{}
 	c.err = nil
 	return c
 }
@@ -73,10 +91,21 @@ func (c *queryCtx) fail(err error) {
 	c.mu.Unlock()
 }
 
-func (c *queryCtx) collect(items []kdtree.Neighbor) {
+func (c *queryCtx) collect(items []kdtree.Neighbor, st queryStats) {
 	c.mu.Lock()
 	c.partials = append(c.partials, items)
+	c.stats.fold(st)
 	c.mu.Unlock()
+}
+
+// checkCtx polls ctx every ctxCheckMask+1 visited nodes. It returns a
+// non-nil error once the query is cancelled or past its deadline.
+func (c *queryCtx) checkCtx(ctx context.Context) error {
+	c.steps++
+	if c.steps&ctxCheckMask == 0 {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // handleKNN implements the distributed k-nearest search (§III-B.3).
@@ -101,53 +130,66 @@ func (c *queryCtx) collect(items []kdtree.Neighbor) {
 // remote may examine more candidates, never fewer), and every
 // candidate either beats the final k-th best or is discarded on merge.
 //
+// Cancellation is checked between traversal strides (every 64 node
+// pops), before each remote hop, and between fan-out waves; the fabric
+// calls themselves carry ctx, so an expired query abandons in-flight
+// partition replies at the transport instead of waiting them out. The
+// wait on the fan-out WaitGroup is therefore bounded by the fabric's
+// cancellation latency, which keeps the pooled context safe to reuse.
+//
 // The read lock is held for the whole local traversal, so references
 // cannot go stale mid-search; nested calls only ever go downstream in
 // the partition DAG, so locking cannot cycle. The fan-out runs after
 // the lock is released, exactly like handleRange's collector.
-func (p *partition) handleKNN(r knnReq) (any, error) {
+func (p *partition) handleKNN(ctx context.Context, r knnReq) (any, error) {
 	if r.K <= 0 {
 		return knnResp{}, nil
 	}
-	ctx := getQueryCtx(r.K, r.Rs)
-	defer putQueryCtx(ctx)
+	c := getQueryCtx(r.K, r.Rs)
+	defer putQueryCtx(c)
 	p.mu.RLock()
-	err := p.knnTraverse(r, ctx)
+	err := p.knnTraverse(ctx, r, c)
 	p.mu.RUnlock()
 	if err == nil {
-		p.dispatchPending(r, ctx)
+		p.dispatchPending(ctx, r, c)
 	}
-	ctx.wg.Wait()
+	c.wg.Wait()
 	if err == nil {
-		err = ctx.err
+		err = c.err
 	}
 	if err != nil {
 		return nil, err
 	}
-	for _, partial := range ctx.partials {
-		ctx.rs.merge(partial)
+	for _, partial := range c.partials {
+		c.rs.merge(partial)
 	}
-	return knnResp{Rs: ctx.rs.export()}, nil
+	st := c.stats
+	st.Parts++ // this partition's own handler execution
+	return knnResp{Rs: c.rs.export(), Stats: st}, nil
 }
 
-func (p *partition) knnTraverse(r knnReq, ctx *queryCtx) error {
+func (p *partition) knnTraverse(ctx context.Context, r knnReq, c *queryCtx) error {
 	if len(r.Entries) > 0 {
 		// Fan-out continuation: seed the stack with every guarded
 		// entry, reversed so the first entry pops first.
 		for i := len(r.Entries) - 1; i >= 0; i-- {
-			ctx.push(childRef{Part: p.id, Node: r.Entries[i].Node}, r.Entries[i].PlaneSq)
+			c.push(childRef{Part: p.id, Node: r.Entries[i].Node}, r.Entries[i].PlaneSq)
 		}
 	} else {
-		ctx.push(childRef{Part: p.id, Node: r.Node}, -1)
+		c.push(childRef{Part: p.id, Node: r.Node}, -1)
 	}
-	for len(ctx.stack) > 0 {
-		f := ctx.stack[len(ctx.stack)-1]
-		ctx.stack = ctx.stack[:len(ctx.stack)-1]
-		if f.planeSq >= 0 && ctx.rs.Full() && ctx.rs.Worst() < f.planeSq {
+	for len(c.stack) > 0 {
+		f := c.stack[len(c.stack)-1]
+		c.stack = c.stack[:len(c.stack)-1]
+		if f.planeSq >= 0 && c.rs.Full() && c.rs.Worst() < f.planeSq {
 			continue // backtracking prune: the result ball stays inside the plane
 		}
+		if err := c.checkCtx(ctx); err != nil {
+			return err
+		}
+		c.stats.Nodes++
 		if !p.local(f.ref) {
-			if err := p.remoteKNN(f.ref, f.planeSq, r, ctx); err != nil {
+			if err := p.remoteKNN(ctx, f.ref, f.planeSq, r, c); err != nil {
 				return err
 			}
 			continue
@@ -155,12 +197,14 @@ func (p *partition) knnTraverse(r knnReq, ctx *queryCtx) error {
 		n := &p.nodes[f.ref.Node]
 		switch {
 		case n.moved:
-			if err := p.remoteKNN(n.fwd, f.planeSq, r, ctx); err != nil {
+			if err := p.remoteKNN(ctx, n.fwd, f.planeSq, r, c); err != nil {
 				return err
 			}
 		case n.leaf:
+			c.stats.Buckets++
+			c.stats.Dists += int64(len(n.bucket))
 			for _, pt := range n.bucket {
-				ctx.rs.Offer(kdtree.Neighbor{Point: pt, Dist: euclideanSq(r.Query, pt.Coords)})
+				c.rs.Offer(kdtree.Neighbor{Point: pt, Dist: euclideanSq(r.Query, pt.Coords)})
 			}
 		default:
 			near, far := n.left, n.right
@@ -170,8 +214,8 @@ func (p *partition) knnTraverse(r knnReq, ctx *queryCtx) error {
 			plane := r.Query[n.splitDim] - n.splitVal
 			// LIFO: far is guarded and pops only after near's whole
 			// subtree has been explored.
-			ctx.push(far, plane*plane)
-			ctx.push(near, -1)
+			c.push(far, plane*plane)
+			c.push(near, -1)
 		}
 	}
 	return nil
@@ -183,17 +227,19 @@ func (p *partition) knnTraverse(r knnReq, ctx *queryCtx) error {
 // the subtree joins the pending list — with the guard it already
 // passed, so the final local bound can still rule it out — for the
 // per-partition fan-out after the local traversal.
-func (p *partition) remoteKNN(ref childRef, planeSq float64, r knnReq, ctx *queryCtx) error {
+func (p *partition) remoteKNN(ctx context.Context, ref childRef, planeSq float64, r knnReq, c *queryCtx) error {
 	if r.Seq {
-		resp, err := p.t.call(p.id, ref.Part,
-			knnReq{Node: ref.Node, Query: r.Query, K: r.K, Rs: ctx.rs.Items, Seq: true})
+		resp, err := p.t.callCtx(ctx, p.id, ref.Part,
+			knnReq{Node: ref.Node, Query: r.Query, K: r.K, Rs: c.rs.Items, Seq: true})
 		if err != nil {
 			return err
 		}
-		ctx.rs.replace(resp.(knnResp).Rs)
+		kr := resp.(knnResp)
+		c.rs.replace(kr.Rs)
+		c.stats.fold(kr.Stats)
 		return nil
 	}
-	ctx.pending = append(ctx.pending, knnFrame{ref: ref, planeSq: planeSq})
+	c.pending = append(c.pending, knnFrame{ref: ref, planeSq: planeSq})
 	return nil
 }
 
@@ -214,15 +260,17 @@ func (p *partition) remoteKNN(ref childRef, planeSq float64, r knnReq, ctx *quer
 //  3. Fan the remaining partitions out on goroutines against a snapshot
 //     of the tightened Rs, and let handleKNN merge the partials.
 //
-// Returning a dispatch error is handled by the caller via ctx.err.
-func (p *partition) dispatchPending(r knnReq, ctx *queryCtx) {
-	if len(ctx.pending) == 0 {
+// The context is re-checked before each wave; once it is done no
+// further messages are dispatched and the error surfaces via c.err.
+// Returning a dispatch error is handled by the caller via c.err.
+func (p *partition) dispatchPending(ctx context.Context, r knnReq, c *queryCtx) {
+	if len(c.pending) == 0 {
 		return
 	}
 	groups := make(map[cluster.NodeID][]knnEntry)
 	minGuard := make(map[cluster.NodeID]float64)
-	for _, f := range ctx.pending {
-		if f.planeSq >= 0 && ctx.rs.Full() && ctx.rs.Worst() < f.planeSq {
+	for _, f := range c.pending {
+		if f.planeSq >= 0 && c.rs.Full() && c.rs.Worst() < f.planeSq {
 			continue
 		}
 		guard := f.planeSq
@@ -238,6 +286,10 @@ func (p *partition) dispatchPending(r knnReq, ctx *queryCtx) {
 	if len(groups) == 0 {
 		return
 	}
+	if err := ctx.Err(); err != nil {
+		c.fail(err)
+		return
+	}
 	probe := cluster.NodeID(-1)
 	for part, guard := range minGuard {
 		if probe < 0 || guard < minGuard[probe] ||
@@ -245,20 +297,28 @@ func (p *partition) dispatchPending(r knnReq, ctx *queryCtx) {
 			probe = part
 		}
 	}
-	resp, err := p.t.call(p.id, probe,
-		knnReq{Query: r.Query, K: r.K, Rs: ctx.rs.Items, Entries: groups[probe]})
+	resp, err := p.t.callCtx(ctx, p.id, probe,
+		knnReq{Query: r.Query, K: r.K, Rs: c.rs.Items, Entries: groups[probe]})
 	if err != nil {
-		ctx.fail(err)
+		c.fail(err)
 		return
 	}
-	ctx.rs.replace(resp.(knnResp).Rs)
+	kr := resp.(knnResp)
+	c.rs.replace(kr.Rs)
+	c.stats.fold(kr.Stats)
 	delete(groups, probe)
 
+	if err := ctx.Err(); err != nil {
+		if len(groups) > 0 {
+			c.fail(err)
+		}
+		return
+	}
 	var seed []kdtree.Neighbor
 	for part, entries := range groups {
 		kept := entries[:0]
 		for _, e := range entries {
-			if e.PlaneSq >= 0 && ctx.rs.Full() && ctx.rs.Worst() < e.PlaneSq {
+			if e.PlaneSq >= 0 && c.rs.Full() && c.rs.Worst() < e.PlaneSq {
 				continue // the probe's tightened ball rules it out
 			}
 			kept = append(kept, e)
@@ -267,18 +327,19 @@ func (p *partition) dispatchPending(r knnReq, ctx *queryCtx) {
 			continue
 		}
 		if seed == nil {
-			seed = ctx.rs.export()
+			seed = c.rs.export()
 		}
-		ctx.wg.Add(1)
+		c.wg.Add(1)
 		go func(part cluster.NodeID, entries []knnEntry) {
-			defer ctx.wg.Done()
-			resp, err := p.t.call(p.id, part,
+			defer c.wg.Done()
+			resp, err := p.t.callCtx(ctx, p.id, part,
 				knnReq{Query: r.Query, K: r.K, Rs: seed, Entries: entries})
 			if err != nil {
-				ctx.fail(err)
+				c.fail(err)
 				return
 			}
-			ctx.collect(resp.(knnResp).Rs)
+			kr := resp.(knnResp)
+			c.collect(kr.Rs, kr.Stats)
 		}(part, kept)
 	}
 }
@@ -290,33 +351,57 @@ func (p *partition) dispatchPending(r knnReq, ctx *queryCtx) {
 // while the local side proceeds, and the partial result sets are merged
 // on the way back. Matches carry squared distances and arrive unsorted;
 // Tree.RangeSearch applies the single sort and sqrt (see rangeResp).
-func (p *partition) handleRange(r rangeReq) (any, error) {
+// Cancellation follows the k-NN handler's scheme: periodic checks in
+// the local traversal, ctx-carrying fabric calls for the fan-outs.
+func (p *partition) handleRange(ctx context.Context, r rangeReq) (any, error) {
 	if r.D < 0 {
 		return rangeResp{}, nil
 	}
 	col := &rangeCollector{}
 	p.mu.RLock()
-	p.rangeVisit(r.Node, r.Query, r.D, col)
+	p.rangeVisit(ctx, r.Node, r.Query, r.D, col)
 	p.mu.RUnlock()
 	col.wg.Wait()
 	if col.err != nil {
 		return nil, col.err
 	}
-	return rangeResp{Neighbors: col.out}, nil
+	st := col.local
+	st.merge(col.remote)
+	st.Parts++
+	return rangeResp{Neighbors: col.out, Stats: st}, nil
 }
 
-// rangeCollector accumulates matches from the local traversal and any
-// parallel remote fan-outs.
+// rangeCollector accumulates matches and work counters from the local
+// traversal and any parallel remote fan-outs. Unlike the k-NN fan-out,
+// remote range calls overlap the local traversal, so the counters are
+// split: local is owned by the traversal goroutine, remote is folded
+// under mu by the fan-out goroutines, and the two are combined only
+// after the WaitGroup drains. done flips on the first failure
+// (including ctx expiry) and short-circuits the rest of the traversal,
+// so a cancelled range query stops descending instead of finishing the
+// local walk.
 type rangeCollector struct {
-	mu  sync.Mutex
-	wg  sync.WaitGroup
-	out []kdtree.Neighbor
-	err error
+	steps int64
+	local queryStats // traversal goroutine only
+	done  atomic.Bool
+
+	mu     sync.Mutex
+	wg     sync.WaitGroup
+	remote queryStats // downstream responses, folded under mu
+	out    []kdtree.Neighbor
+	err    error
 }
 
 func (c *rangeCollector) add(ns []kdtree.Neighbor) {
 	c.mu.Lock()
 	c.out = append(c.out, ns...)
+	c.mu.Unlock()
+}
+
+func (c *rangeCollector) collect(ns []kdtree.Neighbor, st queryStats) {
+	c.mu.Lock()
+	c.out = append(c.out, ns...)
+	c.remote.fold(st)
 	c.mu.Unlock()
 }
 
@@ -326,17 +411,31 @@ func (c *rangeCollector) fail(err error) {
 		c.err = err
 	}
 	c.mu.Unlock()
+	c.done.Store(true)
 }
 
-func (p *partition) rangeVisit(idx int32, q []float64, d float64, col *rangeCollector) {
+func (p *partition) rangeVisit(ctx context.Context, idx int32, q []float64, d float64, col *rangeCollector) {
+	if col.done.Load() {
+		return // a failure or ctx expiry already aborted the query
+	}
+	col.steps++
+	if col.steps&ctxCheckMask == 0 {
+		if err := ctx.Err(); err != nil {
+			col.fail(err)
+			return
+		}
+	}
+	col.local.Nodes++
 	n := &p.nodes[idx]
 	if n.moved {
-		p.remoteRange(n.fwd, q, d, col, false)
+		p.remoteRange(ctx, n.fwd, q, d, col, false)
 		return
 	}
 	if n.leaf {
 		var local []kdtree.Neighbor
 		dd := d * d
+		col.local.Buckets++
+		col.local.Dists += int64(len(n.bucket))
 		for _, pt := range n.bucket {
 			if sq := euclideanSq(q, pt.Coords); sq <= dd {
 				local = append(local, kdtree.Neighbor{Point: pt, Dist: sq})
@@ -349,35 +448,34 @@ func (p *partition) rangeVisit(idx int32, q []float64, d float64, col *rangeColl
 	}
 	if math.Abs(q[n.splitDim]-n.splitVal) <= d {
 		// Border node: both subtrees qualify; remote ones in parallel.
-		p.rangeChild(n.left, q, d, col, true)
-		p.rangeChild(n.right, q, d, col, true)
+		p.rangeChild(ctx, n.left, q, d, col, true)
+		p.rangeChild(ctx, n.right, q, d, col, true)
 		return
 	}
 	if q[n.splitDim] <= n.splitVal {
-		p.rangeChild(n.left, q, d, col, false)
+		p.rangeChild(ctx, n.left, q, d, col, false)
 	} else {
-		p.rangeChild(n.right, q, d, col, false)
+		p.rangeChild(ctx, n.right, q, d, col, false)
 	}
 }
 
-func (p *partition) rangeChild(ref childRef, q []float64, d float64, col *rangeCollector, parallel bool) {
+func (p *partition) rangeChild(ctx context.Context, ref childRef, q []float64, d float64, col *rangeCollector, parallel bool) {
 	if p.local(ref) {
-		p.rangeVisit(ref.Node, q, d, col)
+		p.rangeVisit(ctx, ref.Node, q, d, col)
 		return
 	}
-	p.remoteRange(ref, q, d, col, parallel)
+	p.remoteRange(ctx, ref, q, d, col, parallel)
 }
 
-func (p *partition) remoteRange(ref childRef, q []float64, d float64, col *rangeCollector, parallel bool) {
+func (p *partition) remoteRange(ctx context.Context, ref childRef, q []float64, d float64, col *rangeCollector, parallel bool) {
 	call := func() {
-		resp, err := p.t.call(p.id, ref.Part, rangeReq{Node: ref.Node, Query: q, D: d})
+		resp, err := p.t.callCtx(ctx, p.id, ref.Part, rangeReq{Node: ref.Node, Query: q, D: d})
 		if err != nil {
 			col.fail(err)
 			return
 		}
-		if ns := resp.(rangeResp).Neighbors; len(ns) > 0 {
-			col.add(ns)
-		}
+		rr := resp.(rangeResp)
+		col.collect(rr.Neighbors, rr.Stats)
 	}
 	if !parallel {
 		call()
@@ -390,15 +488,8 @@ func (p *partition) remoteRange(ref childRef, q []float64, d float64, col *range
 	}()
 }
 
-// euclideanSq returns the squared Euclidean distance between q and p.
+// euclideanSq is the shared distance kernel (kdtree.EuclideanSq).
 // Search runs entirely on squared distances — ordering and the
 // backtracking bound are unchanged because squaring is monotone — and
 // the single sqrt per result is deferred to the client boundary.
-func euclideanSq(q, p []float64) float64 {
-	s := 0.0
-	for i := range q {
-		d := q[i] - p[i]
-		s += d * d
-	}
-	return s
-}
+func euclideanSq(q, p []float64) float64 { return kdtree.EuclideanSq(q, p) }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"semtree/internal/cluster"
 	"semtree/internal/kdtree"
@@ -167,9 +169,18 @@ func (t *Tree) allocPartitions(want int) []cluster.NodeID {
 	return ids
 }
 
-// call sends one fabric message with transient-failure retries.
+// call sends one fabric message with transient-failure retries, outside
+// any query context (inserts, maintenance, stats — operations that run
+// to completion once started).
 func (t *Tree) call(from, to cluster.NodeID, req any) (any, error) {
-	return cluster.CallRetry(t.fabric, from, to, req, t.cfg.RetryAttempts)
+	return t.callCtx(context.Background(), from, to, req)
+}
+
+// callCtx sends one fabric message under the query's context: the
+// transports abandon in-flight replies when ctx expires, and retries
+// stop as soon as it is done.
+func (t *Tree) callCtx(ctx context.Context, from, to cluster.NodeID, req any) (any, error) {
+	return cluster.CallRetry(ctx, t.fabric, from, to, req, t.cfg.RetryAttempts)
 }
 
 // Insert adds a point, entering at the root node of the root partition
@@ -283,62 +294,162 @@ func (t *Tree) InsertAll(pts []kdtree.Point, workers int) error {
 	return nil
 }
 
+// Protocol names reported in ExecStats.Protocol.
+const (
+	// ProtocolParallel is the probe-then-fan-out cross-partition k-NN
+	// protocol (single-query latency path).
+	ProtocolParallel = "parallel"
+	// ProtocolSequential is the paper's sequential Rs-forwarding k-NN
+	// protocol (§III-B.3; batch throughput path).
+	ProtocolSequential = "sequential"
+	// ProtocolRange is the border-node fan-out range protocol (§III-B.4).
+	ProtocolRange = "range"
+)
+
+// ExecStats is the per-query execution accounting of the distributed
+// engine — the paper's cost model (§V states query cost in messages and
+// nodes visited) surfaced per request, so callers can observe what a
+// query actually cost and drive admission control or adaptive protocol
+// choice from it. Counters are exact sums over every partition the
+// query executed on.
+type ExecStats struct {
+	// NodesVisited counts tree nodes popped and examined (pruned
+	// subtrees cost nothing).
+	NodesVisited int64
+	// BucketsScanned counts leaf buckets whose points were examined.
+	BucketsScanned int64
+	// DistanceEvals counts point-to-query distance evaluations.
+	DistanceEvals int64
+	// Partitions counts partition handler executions on behalf of the
+	// query (a partition reached through two different paths counts
+	// twice — it did the work twice).
+	Partitions int
+	// FabricMessages counts fabric calls issued for the query,
+	// including the client's own call to the root partition.
+	FabricMessages int64
+	// Wall is the client-observed execution time of the query,
+	// including all fabric transit.
+	Wall time.Duration
+	// Protocol names the cross-partition protocol used (Protocol*
+	// constants).
+	Protocol string
+}
+
+// fromWire converts aggregated wire stats into the client-facing form,
+// charging the client's own root call.
+func (s *ExecStats) fromWire(w queryStats) {
+	s.NodesVisited = w.Nodes
+	s.BucketsScanned = w.Buckets
+	s.DistanceEvals = w.Dists
+	s.Partitions = int(w.Parts)
+	s.FabricMessages = w.Msgs + 1
+}
+
+// QueryResult is one per-query outcome of a batched search: the
+// neighbors, what computing them cost, and the query's own error.
+// Batched surfaces report errors per query so one bad query cannot
+// poison its batch.
+type QueryResult struct {
+	Neighbors []kdtree.Neighbor
+	Stats     ExecStats
+	Err       error
+}
+
 // KNearest returns the k points closest to q, ascending by distance
 // (ties broken by point ID). Remote subtrees are searched with the
 // probe-then-fan-out protocol of the query engine, which overlaps
 // cross-partition hops: single-query latency is bounded by two message
 // waves instead of one hop per visited partition. For bulk workloads
-// prefer KNearestBatch, which minimizes total work instead.
-func (t *Tree) KNearest(q []float64, k int) ([]kdtree.Neighbor, error) {
-	return t.knn(q, k, false)
+// prefer KNearestBatch, which minimizes total work instead. The context
+// bounds the query: cancellation or an expired deadline aborts the
+// traversal and abandons outstanding partition replies.
+func (t *Tree) KNearest(ctx context.Context, q []float64, k int) ([]kdtree.Neighbor, error) {
+	ns, _, err := t.knn(ctx, q, k, false)
+	return ns, err
+}
+
+// KNearestStats is KNearest returning the query's execution stats.
+func (t *Tree) KNearestStats(ctx context.Context, q []float64, k int) ([]kdtree.Neighbor, ExecStats, error) {
+	return t.knn(ctx, q, k, false)
 }
 
 // knn runs one k-nearest query. seq selects the paper's sequential
 // Rs-forwarding protocol (§III-B.3) instead of the parallel fan-out;
 // both return identical results, which the equivalence tests assert.
 // The wire protocol carries squared distances (see knnReq); the single
-// deferred sqrt happens here, at the client boundary.
-func (t *Tree) knn(q []float64, k int, seq bool) ([]kdtree.Neighbor, error) {
+// deferred sqrt happens here, at the client boundary. An already-done
+// context returns its error without touching the tree.
+func (t *Tree) knn(ctx context.Context, q []float64, k int, seq bool) ([]kdtree.Neighbor, ExecStats, error) {
+	st := ExecStats{Protocol: ProtocolParallel}
+	if seq {
+		st.Protocol = ProtocolSequential
+	}
+	// The ctx check comes first: a cancelled query reports the
+	// cancellation, not a validation error about coords it may never
+	// have embedded.
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
 	if len(q) != t.cfg.Dim {
-		return nil, fmt.Errorf("core: query has %d coords, tree dimension is %d", len(q), t.cfg.Dim)
+		return nil, st, fmt.Errorf("core: query has %d coords, tree dimension is %d", len(q), t.cfg.Dim)
 	}
 	if k <= 0 || t.size.Load() == 0 {
-		return nil, nil
+		return nil, st, nil
 	}
 	root := t.rootPartition()
-	resp, err := t.call(cluster.ClientID, root.id, knnReq{Node: 0, Query: q, K: k, Seq: seq})
+	start := time.Now()
+	resp, err := t.callCtx(ctx, cluster.ClientID, root.id, knnReq{Node: 0, Query: q, K: k, Seq: seq})
+	st.Wall = time.Since(start)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
-	out := resp.(knnResp).Rs
+	kr := resp.(knnResp)
+	st.fromWire(kr.Stats)
+	out := kr.Rs
 	for i := range out {
 		out[i].Dist = math.Sqrt(out[i].Dist)
 	}
-	return out, nil
+	return out, st, nil
 }
 
 // RangeSearch returns every point within distance d of q, ascending by
 // distance (ties broken by point ID). Partitions return unsorted
 // squared-distance partial sets (the rangeResp ordering contract); the
-// merged result is sorted and square-rooted exactly once, here.
-func (t *Tree) RangeSearch(q []float64, d float64) ([]kdtree.Neighbor, error) {
+// merged result is sorted and square-rooted exactly once, here. The
+// context bounds the query like KNearest's.
+func (t *Tree) RangeSearch(ctx context.Context, q []float64, d float64) ([]kdtree.Neighbor, error) {
+	ns, _, err := t.RangeSearchStats(ctx, q, d)
+	return ns, err
+}
+
+// RangeSearchStats is RangeSearch returning the query's execution
+// stats.
+func (t *Tree) RangeSearchStats(ctx context.Context, q []float64, d float64) ([]kdtree.Neighbor, ExecStats, error) {
+	st := ExecStats{Protocol: ProtocolRange}
+	if err := ctx.Err(); err != nil {
+		return nil, st, err // before validation, as in knn
+	}
 	if len(q) != t.cfg.Dim {
-		return nil, fmt.Errorf("core: query has %d coords, tree dimension is %d", len(q), t.cfg.Dim)
+		return nil, st, fmt.Errorf("core: query has %d coords, tree dimension is %d", len(q), t.cfg.Dim)
 	}
 	if d < 0 || t.size.Load() == 0 {
-		return nil, nil
+		return nil, st, nil
 	}
 	root := t.rootPartition()
-	resp, err := t.call(cluster.ClientID, root.id, rangeReq{Node: 0, Query: q, D: d})
+	start := time.Now()
+	resp, err := t.callCtx(ctx, cluster.ClientID, root.id, rangeReq{Node: 0, Query: q, D: d})
+	st.Wall = time.Since(start)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
-	out := resp.(rangeResp).Neighbors
+	rr := resp.(rangeResp)
+	st.fromWire(rr.Stats)
+	out := rr.Neighbors
 	sort.Slice(out, func(i, j int) bool { return neighborLess(out[i], out[j]) })
 	for i := range out {
 		out[i].Dist = math.Sqrt(out[i].Dist)
 	}
-	return out, nil
+	return out, st, nil
 }
 
 // KNearestBatch answers one k-nearest query per element of qs, running
@@ -350,36 +461,83 @@ func (t *Tree) RangeSearch(q []float64, d float64) ([]kdtree.Neighbor, error) {
 // the tightest pruning bound per query maximizes batch throughput, and
 // both protocols return identical results. workers <= 0 selects
 // GOMAXPROCS. results[i] answers qs[i]; every query is attempted and
-// the first error encountered is returned.
-func (t *Tree) KNearestBatch(qs [][]float64, k, workers int) ([][]kdtree.Neighbor, error) {
-	out := make([][]kdtree.Neighbor, len(qs))
-	err := RunBatch(len(qs), workers, func(i int) error {
-		ns, err := t.knn(qs[i], k, true)
-		out[i] = ns
-		return err
+// the first per-query error (by index) is returned. Once ctx is done
+// no further queries are dispatched.
+func (t *Tree) KNearestBatch(ctx context.Context, qs [][]float64, k, workers int) ([][]kdtree.Neighbor, error) {
+	return flattenBatch(t.KNearestBatchStats(ctx, qs, k, workers))
+}
+
+// KNearestBatchStats is KNearestBatch with per-query outcomes: each
+// QueryResult carries the query's neighbors, execution stats and error,
+// so one failed query does not poison the batch. Queries never
+// dispatched because ctx expired carry the context's error.
+func (t *Tree) KNearestBatchStats(ctx context.Context, qs [][]float64, k, workers int) []QueryResult {
+	out := make([]QueryResult, len(qs))
+	_ = RunBatch(ctx, len(qs), workers, func(i int) error {
+		out[i].Neighbors, out[i].Stats, out[i].Err = t.knn(ctx, qs[i], k, true)
+		return out[i].Err
 	})
-	return out, err
+	markUndispatched(ctx, out)
+	return out
 }
 
 // RangeBatch answers one range query per element of qs with a bounded
 // worker pool; see KNearestBatch for the pooling and error contract.
-func (t *Tree) RangeBatch(qs [][]float64, d float64, workers int) ([][]kdtree.Neighbor, error) {
-	out := make([][]kdtree.Neighbor, len(qs))
-	err := RunBatch(len(qs), workers, func(i int) error {
-		ns, err := t.RangeSearch(qs[i], d)
-		out[i] = ns
-		return err
+func (t *Tree) RangeBatch(ctx context.Context, qs [][]float64, d float64, workers int) ([][]kdtree.Neighbor, error) {
+	return flattenBatch(t.RangeBatchStats(ctx, qs, d, workers))
+}
+
+// RangeBatchStats is RangeBatch with per-query outcomes; see
+// KNearestBatchStats.
+func (t *Tree) RangeBatchStats(ctx context.Context, qs [][]float64, d float64, workers int) []QueryResult {
+	out := make([]QueryResult, len(qs))
+	_ = RunBatch(ctx, len(qs), workers, func(i int) error {
+		out[i].Neighbors, out[i].Stats, out[i].Err = t.RangeSearchStats(ctx, qs[i], d)
+		return out[i].Err
 	})
-	return out, err
+	markUndispatched(ctx, out)
+	return out
+}
+
+// markUndispatched attributes the context error to batch entries the
+// worker pool never reached (recognizable by their unset Protocol: a
+// dispatched query always stamps one, even on failure).
+func markUndispatched(ctx context.Context, out []QueryResult) {
+	err := ctx.Err()
+	if err == nil {
+		return
+	}
+	for i := range out {
+		if out[i].Stats.Protocol == "" && out[i].Err == nil {
+			out[i].Err = err
+		}
+	}
+}
+
+// flattenBatch reduces per-query outcomes to the plain slice-of-slices
+// shape plus the first error by index.
+func flattenBatch(res []QueryResult) ([][]kdtree.Neighbor, error) {
+	out := make([][]kdtree.Neighbor, len(res))
+	var first error
+	for i := range res {
+		out[i] = res[i].Neighbors
+		if res[i].Err != nil && first == nil {
+			first = res[i].Err
+		}
+	}
+	return out, first
 }
 
 // RunBatch runs fn(0..n-1) on a bounded worker pool, returning the
-// first error after every call has finished. Workers pull indices from
-// a shared counter, so skewed per-item costs balance out. workers <= 0
-// selects GOMAXPROCS. It is the one choke point every batched surface
-// (tree batches, the facade Searcher) funnels through — admission
-// control and quotas belong here.
-func RunBatch(n, workers int, fn func(i int) error) error {
+// first error after every dispatched call has finished. Workers pull
+// indices from a shared counter, so skewed per-item costs balance out;
+// once ctx is done, workers stop pulling — already-running calls finish
+// (or abort on their own ctx checks) but nothing new is dispatched, and
+// the context's error is returned if no earlier error was recorded.
+// workers <= 0 selects GOMAXPROCS. It is the one choke point every
+// batched surface (tree batches, the facade Searcher) funnels through —
+// admission control and quotas belong here.
+func RunBatch(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -394,6 +552,12 @@ func RunBatch(n, workers int, fn func(i int) error) error {
 		// not pay goroutine spawn + WaitGroup sync.
 		var first error
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				if first == nil {
+					first = err
+				}
+				break
+			}
 			if err := fn(i); err != nil && first == nil {
 				first = err
 			}
@@ -418,6 +582,10 @@ func RunBatch(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if err := ctx.Err(); err != nil {
+					record(err)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

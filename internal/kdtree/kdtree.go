@@ -32,11 +32,16 @@ type Neighbor struct {
 }
 
 // Stats counts the work done by a traversal; pass to the *WithStats
-// search variants to measure pruning effectiveness.
+// search variants to measure pruning effectiveness. The counters map
+// onto the distributed engine's per-query ExecStats so local and
+// distributed measurements compare directly: NodesVisited ↔
+// ExecStats.NodesVisited, LeavesVisited ↔ ExecStats.BucketsScanned,
+// and PointsScanned ↔ ExecStats.DistanceEvals (every bucket point
+// examined costs exactly one distance evaluation).
 type Stats struct {
 	NodesVisited  int // routing + leaf nodes touched
 	LeavesVisited int // leaf nodes touched
-	PointsScanned int // candidate points distance-tested
+	PointsScanned int // candidate points distance-tested in leaf buckets
 }
 
 // node is either a routing node (leaf == false: splitDim/splitVal/

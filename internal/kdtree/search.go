@@ -111,11 +111,15 @@ func getSearchCtx(k int) *searchCtx {
 
 // euclidean returns the Euclidean distance between q and p.
 func euclidean(q, p []float64) float64 {
-	return math.Sqrt(euclideanSq(q, p))
+	return math.Sqrt(EuclideanSq(q, p))
 }
 
-// euclideanSq returns the squared Euclidean distance between q and p.
-func euclideanSq(q, p []float64) float64 {
+// EuclideanSq returns the squared Euclidean distance between q and p.
+// It is the single distance kernel of the whole index — the local tree
+// and the distributed engine both call it, so the metric (and any
+// future change to it) lives in exactly one place, like the ResultSet
+// ordering contract.
+func EuclideanSq(q, p []float64) float64 {
 	s := 0.0
 	for i := range q {
 		d := q[i] - p[i]
@@ -165,7 +169,7 @@ func (t *Tree) KNearestWithStats(q []float64, k int, stats *Stats) []Neighbor {
 				stats.PointsScanned += len(n.bucket)
 			}
 			for _, p := range n.bucket {
-				ctx.rs.Offer(Neighbor{Point: p, Dist: euclideanSq(q, p.Coords)})
+				ctx.rs.Offer(Neighbor{Point: p, Dist: EuclideanSq(q, p.Coords)})
 			}
 			continue
 		}
@@ -216,7 +220,7 @@ func (t *Tree) rangeVisit(n *node, q []float64, d, dd float64, out *[]Neighbor, 
 			stats.PointsScanned += len(n.bucket)
 		}
 		for _, p := range n.bucket {
-			if sq := euclideanSq(q, p.Coords); sq <= dd {
+			if sq := EuclideanSq(q, p.Coords); sq <= dd {
 				*out = append(*out, Neighbor{Point: p, Dist: sq})
 			}
 		}

@@ -1,6 +1,7 @@
 package reqcheck
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,8 +24,12 @@ func NewExactIndex(store *triple.Store, metric *semdist.Metric) *ExactIndex {
 	return &ExactIndex{store: store, metric: metric}
 }
 
-// KNearestIDs implements Index.
-func (x *ExactIndex) KNearestIDs(q triple.Triple, k int) ([]triple.ID, error) {
+// KNearestIDs implements Index. The brute-force scan honors the
+// context between queries: an already-done ctx fails before scanning.
+func (x *ExactIndex) KNearestIDs(ctx context.Context, q triple.Triple, k int) ([]triple.ID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if k <= 0 {
 		return nil, nil
 	}
@@ -76,7 +81,7 @@ type EvalPoint struct {
 //
 // Averages are taken over queries with a non-empty ground truth and a
 // well-defined target. The result has one point per K in ks.
-func Evaluate(idx Index, store *triple.Store, reg *vocab.Registry, queries []Query, ks []int) ([]EvalPoint, error) {
+func Evaluate(ctx context.Context, idx Index, store *triple.Store, reg *vocab.Registry, queries []Query, ks []int) ([]EvalPoint, error) {
 	var out []EvalPoint
 	for _, k := range ks {
 		var sumP, sumR float64
@@ -93,7 +98,7 @@ func Evaluate(idx Index, store *triple.Store, reg *vocab.Registry, queries []Que
 			if !ok {
 				continue
 			}
-			ids, err := idx.KNearestIDs(target, k)
+			ids, err := idx.KNearestIDs(ctx, target, k)
 			if err != nil {
 				return nil, err
 			}

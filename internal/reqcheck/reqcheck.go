@@ -11,6 +11,7 @@
 package reqcheck
 
 import (
+	"context"
 	"fmt"
 
 	"semtree/internal/triple"
@@ -122,7 +123,7 @@ func TrueInconsistencies(store *triple.Store, req triple.Triple, self triple.ID,
 // stored triples to a query triple, as ranked IDs. Both the SemTree
 // facade and the exact brute-force comparator implement it.
 type Index interface {
-	KNearestIDs(q triple.Triple, k int) ([]triple.ID, error)
+	KNearestIDs(ctx context.Context, q triple.Triple, k int) ([]triple.ID, error)
 }
 
 // Checker detects candidate inconsistencies by querying an index with
@@ -141,12 +142,12 @@ func NewChecker(idx Index, reg *vocab.Registry) *Checker {
 // requirement's target triple — the result set that "could then
 // correspond to contradictions or conflicts" (§II). ok is false when
 // the requirement's predicate has no antinomy (no target exists).
-func (c *Checker) Candidates(req triple.Triple, k int) ([]triple.ID, bool, error) {
+func (c *Checker) Candidates(ctx context.Context, req triple.Triple, k int) ([]triple.ID, bool, error) {
 	target, ok := Target(req, c.reg)
 	if !ok {
 		return nil, false, nil
 	}
-	ids, err := c.idx.KNearestIDs(target, k)
+	ids, err := c.idx.KNearestIDs(ctx, target, k)
 	if err != nil {
 		return nil, true, fmt.Errorf("reqcheck: query failed: %w", err)
 	}

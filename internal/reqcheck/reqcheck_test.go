@@ -1,6 +1,7 @@
 package reqcheck
 
 import (
+	"context"
 	"testing"
 
 	"semtree/internal/semdist"
@@ -103,14 +104,14 @@ func TestExactIndexRanksConflictsFirst(t *testing.T) {
 	}
 	idx := NewExactIndex(store, metric)
 	target := tr("('OBSW001', Fun:block_cmd, CmdType:start-up)")
-	ids, err := idx.KNearestIDs(target, 3)
+	ids, err := idx.KNearestIDs(context.Background(), target, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ids) != 3 || ids[0] != conflict {
 		t.Fatalf("nearest = %v, want conflict %d first", ids, conflict)
 	}
-	if got, _ := idx.KNearestIDs(target, 0); got != nil {
+	if got, _ := idx.KNearestIDs(context.Background(), target, 0); got != nil {
 		t.Fatalf("k=0 returned %v", got)
 	}
 }
@@ -129,7 +130,7 @@ func TestCheckerFindsPlantedConflicts(t *testing.T) {
 	found := 0
 	for _, p := range b.Planted {
 		req := b.Corpus.Store.MustGet(p.Requirement)
-		cands, ok, err := checker.Candidates(req, 10)
+		cands, ok, err := checker.Candidates(context.Background(), req, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -165,7 +166,7 @@ func TestEvaluatePrecisionRecallShape(t *testing.T) {
 		queries = append(queries, Query{Requirement: p.Requirement, GroundTruth: gt})
 	}
 	ks := []int{1, 3, 5, 10, 20}
-	points, err := Evaluate(idx, b.Corpus.Store, reg, queries, ks)
+	points, err := Evaluate(context.Background(), idx, b.Corpus.Store, reg, queries, ks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,10 +194,10 @@ func TestEvaluateErrors(t *testing.T) {
 	store := triple.NewStore()
 	metric := semdist.MustNew(reg, semdist.Options{})
 	idx := NewExactIndex(store, metric)
-	if _, err := Evaluate(idx, store, reg, nil, []int{3}); err == nil {
+	if _, err := Evaluate(context.Background(), idx, store, reg, nil, []int{3}); err == nil {
 		t.Fatal("expected error with no evaluable queries")
 	}
-	if _, err := Evaluate(idx, store, reg,
+	if _, err := Evaluate(context.Background(), idx, store, reg,
 		[]Query{{Requirement: 42, GroundTruth: []triple.ID{1}}}, []int{3}); err == nil {
 		t.Fatal("expected error for unknown requirement")
 	}

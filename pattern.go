@@ -1,6 +1,7 @@
 package semtree
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -86,7 +87,7 @@ const embeddingSlack = 0.05
 // candidate set; candidates are then verified exactly per position.
 // Like every SemTree retrieval, completeness is bounded by the FastMap
 // embedding quality.
-func (ix *Index) MatchPattern(p Pattern, d float64, limit int) ([]Match, error) {
+func (ix *Index) MatchPattern(ctx context.Context, p Pattern, d float64, limit int) ([]Match, error) {
 	if d < 0 {
 		return nil, fmt.Errorf("semtree: negative pattern radius %g", d)
 	}
@@ -110,7 +111,7 @@ func (ix *Index) MatchPattern(p Pattern, d float64, limit int) ([]Match, error) 
 	}
 	q := triple.New(qTerms[0], qTerms[1], qTerms[2])
 
-	cands, err := ix.Range(q, d+slack+embeddingSlack)
+	cands, err := ix.Range(ctx, q, d+slack+embeddingSlack)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package semtree
 
 import (
+	"context"
 	"testing"
 
 	"semtree/internal/synth"
@@ -62,7 +63,7 @@ func patternIndex(t *testing.T) *Index {
 func TestMatchPatternExactPredicate(t *testing.T) {
 	ix := patternIndex(t)
 	p, _ := ParsePattern("('OBSW001', Fun:accept_cmd, ?)")
-	got, err := ix.MatchPattern(p, 0, 0)
+	got, err := ix.MatchPattern(context.Background(), p, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestMatchPatternWithRadius(t *testing.T) {
 	// for the same subject/object.
 	ix := patternIndex(t)
 	p, _ := ParsePattern("('OBSW001', Fun:accept_cmd, CmdType:start-up)")
-	got, err := ix.MatchPattern(p, 0.15, 0)
+	got, err := ix.MatchPattern(context.Background(), p, 0.15, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,14 +110,14 @@ func TestMatchPatternWithRadius(t *testing.T) {
 func TestMatchPatternLimit(t *testing.T) {
 	ix := patternIndex(t)
 	p, _ := ParsePattern("(?, Fun:accept_cmd, ?)")
-	all, err := ix.MatchPattern(p, 0, 0)
+	all, err := ix.MatchPattern(context.Background(), p, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(all) < 3 {
 		t.Fatalf("predicate-only pattern found %d, want >= 3", len(all))
 	}
-	limited, err := ix.MatchPattern(p, 0, 2)
+	limited, err := ix.MatchPattern(context.Background(), p, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,11 +128,11 @@ func TestMatchPatternLimit(t *testing.T) {
 
 func TestMatchPatternValidation(t *testing.T) {
 	ix := patternIndex(t)
-	if _, err := ix.MatchPattern(Pattern{}, 0.1, 0); err == nil {
+	if _, err := ix.MatchPattern(context.Background(), Pattern{}, 0.1, 0); err == nil {
 		t.Fatal("all-wildcard pattern accepted")
 	}
 	p, _ := ParsePattern("(?, Fun:accept_cmd, ?)")
-	if _, err := ix.MatchPattern(p, -1, 0); err == nil {
+	if _, err := ix.MatchPattern(context.Background(), p, -1, 0); err == nil {
 		t.Fatal("negative radius accepted")
 	}
 }
@@ -150,7 +151,7 @@ func TestKNearestExactImprovesRanking(t *testing.T) {
 	qGen := synth.New(synth.Config{Seed: 74}, nil)
 	for q := 0; q < 20; q++ {
 		query := qGen.RandomTriple()
-		exact, err := ix.KNearestExact(query, 5, 4)
+		exact, err := ix.KNearestExact(context.Background(), query, 5, 4)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package semtree
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"semtree/internal/synth"
@@ -37,11 +38,11 @@ func TestSaveLoadRoundTripIdenticalAnswers(t *testing.T) {
 	qGen := synth.New(synth.Config{Seed: 62}, nil)
 	for q := 0; q < 30; q++ {
 		query := qGen.RandomTriple()
-		a, err := orig.KNearest(query, 7)
+		a, err := orig.KNearest(context.Background(), query, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := loaded.KNearest(query, 7)
+		b, err := loaded.KNearest(context.Background(), query, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func TestSaveLoadRoundTripIdenticalAnswers(t *testing.T) {
 		}
 	}
 	// Provenance survives.
-	m, err := loaded.KNearest(store.MustGet(0), 1)
+	m, err := loaded.KNearest(context.Background(), store.MustGet(0), 1)
 	if err != nil || len(m) != 1 {
 		t.Fatalf("lookup after load: %v %v", m, err)
 	}
@@ -91,8 +92,8 @@ func TestLoadWithDifferentPartitionLayout(t *testing.T) {
 	qGen := synth.New(synth.Config{Seed: 64}, nil)
 	for q := 0; q < 15; q++ {
 		query := qGen.RandomTriple()
-		a, _ := orig.KNearest(query, 5)
-		b, _ := loaded.KNearest(query, 5)
+		a, _ := orig.KNearest(context.Background(), query, 5)
+		b, _ := loaded.KNearest(context.Background(), query, 5)
 		for i := range a {
 			if a[i].Dist != b[i].Dist {
 				t.Fatalf("repartitioned load changed answers")
@@ -128,7 +129,7 @@ func TestSaveAfterInsert(t *testing.T) {
 	if loaded.Len() != 101 {
 		t.Fatalf("loaded %d triples, want 101", loaded.Len())
 	}
-	m, err := loaded.KNearest(probe, 1)
+	m, err := loaded.KNearest(context.Background(), probe, 1)
 	if err != nil || len(m) != 1 || m[0].Dist != 0 {
 		t.Fatalf("late insert not found after reload: %v %v", m, err)
 	}

@@ -1,6 +1,7 @@
 package semtree
 
 import (
+	"context"
 	"testing"
 
 	"semtree/internal/synth"
@@ -39,7 +40,7 @@ func TestIndexRebalanceAfterGrowth(t *testing.T) {
 	// Every dynamically inserted triple must still be findable exactly.
 	for i := 0; i < 40; i++ {
 		probe := inserted[i*20%len(inserted)]
-		got, err := ix.KNearest(probe, 1)
+		got, err := ix.KNearest(context.Background(), probe, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package semtree
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -53,7 +54,7 @@ func TestScalePaperCorpus(t *testing.T) {
 	probes := probeGen.Triples(50) // same seed → prefix of the corpus
 	qStart := time.Now()
 	for _, probe := range probes {
-		got, err := ix.KNearest(probe, 3)
+		got, err := ix.KNearest(context.Background(), probe, 3)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,10 +1,10 @@
 package semtree
 
 import (
+	"context"
 	"math"
 
 	"semtree/internal/core"
-	"semtree/internal/kdtree"
 	"semtree/internal/triple"
 )
 
@@ -51,6 +51,32 @@ type SearchOptions struct {
 	Parallelism int
 }
 
+// ExecStats is the per-query execution accounting reported with every
+// Result — the paper's cost model (messages and nodes visited per
+// query, §V) surfaced per request. It is the distributed engine's
+// core.ExecStats: NodesVisited, BucketsScanned, DistanceEvals,
+// Partitions, FabricMessages, Wall and Protocol. At this facade,
+// DistanceEvals additionally includes the exact Eq. 1 re-rank
+// evaluations when ExactFactor is set; Wall covers the index execution
+// of the query (the batch-amortized FastMap embedding and triple
+// resolution are excluded).
+type ExecStats = core.ExecStats
+
+// Result is the outcome of one query in a batch: the ranked matches,
+// what computing them cost, and the query's own error. Errors are
+// attributed per query — a failed query never poisons the healthy
+// queries of its batch (see SearchBatch).
+type Result struct {
+	// Matches are the ranked retrieval results; nil when Err is set.
+	Matches []Match
+	// Stats reports what the query cost to execute.
+	Stats ExecStats
+	// Err is this query's failure, if any: a context error when the
+	// batch was cut off before the query ran, an ErrUnindexedID when a
+	// tree point has no stored triple, or a fabric/validation error.
+	Err error
+}
+
 // Searcher executes queries against the index under one fixed set of
 // options. It is stateless apart from the options and safe for
 // concurrent use; SearchBatch amortizes the FastMap embedding of the
@@ -71,25 +97,42 @@ func (ix *Index) Searcher(opts SearchOptions) *Searcher {
 	return &Searcher{ix: ix, opts: opts, rangeMode: rangeMode}
 }
 
-// Search answers a single query under the searcher's options.
-func (s *Searcher) Search(q triple.Triple) ([]Match, error) {
-	res, err := s.SearchBatch([]triple.Triple{q})
-	if err != nil {
-		return nil, err
-	}
-	return res[0], nil
+// Search answers a single query under the searcher's options. The
+// context bounds the query end to end: an already-done context returns
+// its error without touching the index, and a deadline expiring
+// mid-query aborts the cross-partition fan-out. The returned error is
+// the query's own (res.Err), surfaced for the single-query case.
+func (s *Searcher) Search(ctx context.Context, q triple.Triple) (Result, error) {
+	// A one-element batch always returns one Result; prefer its
+	// per-query outcome over the batch-level context error, so a query
+	// that completed just as the deadline fired still returns its
+	// matches.
+	res, _ := s.SearchBatch(ctx, []triple.Triple{q})
+	return res[0], res[0].Err
 }
 
 // SearchBatch answers one query per element of qs; results[i] answers
 // qs[i]. The batch runs in three pooled phases — embed, tree fan-out,
 // resolve/re-rank — so per-query setup cost is amortized across the
-// whole batch. Every query is attempted; the first error encountered
-// is returned alongside the results gathered so far.
-func (s *Searcher) SearchBatch(qs []triple.Triple) ([][]Match, error) {
+// whole batch.
+//
+// Error contract: the returned error is batch-level only — a context
+// that was already done, or expired while the batch ran. Per-query
+// failures (validation, fabric errors, unindexed IDs) are attached to
+// their own Result.Err, so the healthy queries of a batch always
+// return their matches; entries never dispatched because the context
+// expired carry the context's error.
+func (s *Searcher) SearchBatch(ctx context.Context, qs []triple.Triple) ([]Result, error) {
 	if len(qs) == 0 {
 		return nil, nil
 	}
-	out := make([][]Match, len(qs))
+	out := make([]Result, len(qs))
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out, err
+	}
 	want := s.candidateK()
 	if !s.rangeMode && want <= 0 {
 		return out, nil // k-nearest of nothing: nil per query
@@ -99,53 +142,68 @@ func (s *Searcher) SearchBatch(qs []triple.Triple) ([][]Match, error) {
 	// Phase 1: amortize the FastMap embedding across the batch. Map is
 	// immutable after Build, so the pool needs no coordination.
 	coords := make([][]float64, len(qs))
-	core.RunBatch(len(qs), workers, func(i int) error {
+	_ = core.RunBatch(ctx, len(qs), workers, func(i int) error {
 		coords[i] = s.ix.mapper.Map(qs[i])
 		return nil
 	})
 
-	// Phase 2: bounded fan-out over the distributed tree.
-	var (
-		neighbors [][]kdtree.Neighbor
-		err       error
-	)
+	// Phase 2: bounded fan-out over the distributed tree, with
+	// per-query outcomes. A query the pool never dispatched (context
+	// expired mid-batch) carries the context error in its result.
+	var res []core.QueryResult
 	switch {
 	case s.rangeMode:
-		neighbors, err = s.ix.tree.RangeBatch(coords, s.opts.Radius, workers)
+		res = s.ix.tree.RangeBatchStats(ctx, coords, s.opts.Radius, workers)
 	case len(qs) == 1:
 		// A single query is a latency problem, not a throughput one:
 		// use the probe-then-fan-out protocol, which overlaps
 		// cross-partition hops.
-		var ns []kdtree.Neighbor
-		ns, err = s.ix.tree.KNearest(coords[0], want)
-		neighbors = [][]kdtree.Neighbor{ns}
+		ns, st, err := s.ix.tree.KNearestStats(ctx, coords[0], want)
+		res = []core.QueryResult{{Neighbors: ns, Stats: st, Err: err}}
 	default:
-		neighbors, err = s.ix.tree.KNearestBatch(coords, want, workers)
-	}
-	if err != nil {
-		return out, err
+		res = s.ix.tree.KNearestBatchStats(ctx, coords, want, workers)
 	}
 
 	// Phase 3: resolve points back to stored triples and, in exact
-	// mode, re-rank with the true Eq. 1 distance.
-	err = core.RunBatch(len(qs), workers, func(i int) error {
-		ms, err := s.ix.matches(neighbors[i])
+	// mode, re-rank with the true Eq. 1 distance. Resolution failures
+	// stay per-query too.
+	_ = core.RunBatch(ctx, len(qs), workers, func(i int) error {
+		out[i].Stats = res[i].Stats
+		if res[i].Err != nil {
+			out[i].Err = res[i].Err
+			return nil // attributed; do not abort the pool
+		}
+		ms, err := s.ix.matches(res[i].Neighbors)
 		if err != nil {
-			return err
+			out[i].Err = err
+			return nil
 		}
 		if !s.rangeMode && s.opts.ExactFactor > 0 {
 			for j := range ms {
 				ms[j].Dist = s.ix.metric.Distance(qs[i], ms[j].Triple)
 			}
+			out[i].Stats.DistanceEvals += int64(len(ms))
 			sortMatches(ms)
 		}
 		if s.opts.K > 0 && len(ms) > s.opts.K {
 			ms = ms[:s.opts.K]
 		}
-		out[i] = ms
+		out[i].Matches = ms
 		return nil
 	})
-	return out, err
+	if err := ctx.Err(); err != nil {
+		// Attribute the cutoff to entries phase 3 never reached. A
+		// reached entry always has its protocol stamped (copied from
+		// the dispatched query, even on failure), so a successful
+		// zero-match query is never mislabeled as cut off.
+		for i := range out {
+			if out[i].Stats.Protocol == "" && out[i].Err == nil {
+				out[i].Err = err
+			}
+		}
+		return out, err
+	}
+	return out, nil
 }
 
 // candidateK is the per-query candidate count fetched from the embedded
@@ -176,4 +234,13 @@ func (s *Searcher) candidateK() int {
 		want = k // the tree caps at its size anyway
 	}
 	return want
+}
+
+// matchesOf is a convenience for wrappers that only need the ranked
+// matches of a single query.
+func matchesOf(res Result, err error) ([]Match, error) {
+	if err != nil {
+		return nil, err
+	}
+	return res.Matches, nil
 }

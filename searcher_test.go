@@ -6,10 +6,13 @@ package semtree
 // (run with -race).
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sync"
 	"testing"
 
+	"semtree/internal/kdtree"
 	"semtree/internal/synth"
 	"semtree/internal/triple"
 )
@@ -40,58 +43,67 @@ func TestSearcherBatchMatchesSingle(t *testing.T) {
 
 	t.Run("knn", func(t *testing.T) {
 		s := ix.Searcher(SearchOptions{K: 5, Parallelism: 4})
-		batch, err := s.SearchBatch(qs)
+		batch, err := s.SearchBatch(context.Background(), qs)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for i, q := range qs {
-			single, err := ix.KNearest(q, 5)
+			single, err := ix.KNearest(context.Background(), q, 5)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !sameMatches(batch[i], single) {
+			if batch[i].Err != nil {
+				t.Fatalf("query %d: %v", i, batch[i].Err)
+			}
+			if !sameMatches(batch[i].Matches, single) {
 				t.Fatalf("query %d: batch and single disagree", i)
 			}
 		}
 	})
 	t.Run("range", func(t *testing.T) {
 		s := ix.Searcher(SearchOptions{Radius: 0.4, Parallelism: 4})
-		batch, err := s.SearchBatch(qs)
+		batch, err := s.SearchBatch(context.Background(), qs)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for i, q := range qs {
-			single, err := ix.Range(q, 0.4)
+			single, err := ix.Range(context.Background(), q, 0.4)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !sameMatches(batch[i], single) {
+			if batch[i].Err != nil {
+				t.Fatalf("query %d: %v", i, batch[i].Err)
+			}
+			if !sameMatches(batch[i].Matches, single) {
 				t.Fatalf("query %d: batch and single disagree", i)
 			}
 		}
 	})
 	t.Run("range-truncated", func(t *testing.T) {
 		s := ix.Searcher(SearchOptions{Radius: 0.5, K: 3})
-		res, err := s.Search(qs[0])
+		res, err := s.Search(context.Background(), qs[0])
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(res) > 3 {
-			t.Fatalf("K did not truncate the ranged result: %d", len(res))
+		if len(res.Matches) > 3 {
+			t.Fatalf("K did not truncate the ranged result: %d", len(res.Matches))
 		}
 	})
 	t.Run("exact", func(t *testing.T) {
 		s := ix.Searcher(SearchOptions{K: 4, ExactFactor: 3, Parallelism: 2})
-		batch, err := s.SearchBatch(qs[:8])
+		batch, err := s.SearchBatch(context.Background(), qs[:8])
 		if err != nil {
 			t.Fatal(err)
 		}
 		for i, q := range qs[:8] {
-			single, err := ix.KNearestExact(q, 4, 3)
+			single, err := ix.KNearestExact(context.Background(), q, 4, 3)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !sameMatches(batch[i], single) {
+			if batch[i].Err != nil {
+				t.Fatalf("query %d: %v", i, batch[i].Err)
+			}
+			if !sameMatches(batch[i].Matches, single) {
 				t.Fatalf("query %d: exact batch and single disagree", i)
 			}
 		}
@@ -100,7 +112,7 @@ func TestSearcherBatchMatchesSingle(t *testing.T) {
 
 func TestSearcherEmptyBatch(t *testing.T) {
 	ix, _ := buildTestIndex(t, 50, Options{Seed: 3})
-	res, err := ix.Searcher(SearchOptions{K: 3}).SearchBatch(nil)
+	res, err := ix.Searcher(SearchOptions{K: 3}).SearchBatch(context.Background(), nil)
 	if err != nil || res != nil {
 		t.Fatalf("empty batch = %v, %v", res, err)
 	}
@@ -113,13 +125,13 @@ func TestKNearestExactGuards(t *testing.T) {
 	ix, g := buildTestIndex(t, 100, Options{Seed: 3})
 	q := g.RandomTriple()
 	for _, k := range []int{0, -4} {
-		got, err := ix.KNearestExact(q, k, 3)
+		got, err := ix.KNearestExact(context.Background(), q, k, 3)
 		if err != nil || got != nil {
 			t.Fatalf("k=%d: got %v, %v, want nil", k, got, err)
 		}
 	}
 	// A factor near MaxInt must not overflow or allocate wildly.
-	huge, err := ix.KNearestExact(q, 3, math.MaxInt)
+	huge, err := ix.KNearestExact(context.Background(), q, 3, math.MaxInt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,14 +140,14 @@ func TestKNearestExactGuards(t *testing.T) {
 	}
 	// With the candidate set clamped to Len, a huge factor degenerates
 	// to exact brute-force ranking: it must agree with factor = Len.
-	all, err := ix.KNearestExact(q, 3, ix.Len())
+	all, err := ix.KNearestExact(context.Background(), q, 3, ix.Len())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !sameMatches(huge, all) {
 		t.Fatalf("huge-factor ranking diverges from full re-rank")
 	}
-	if got, err := ix.KNearest(q, 0); err != nil || got != nil {
+	if got, err := ix.KNearest(context.Background(), q, 0); err != nil || got != nil {
 		t.Fatalf("KNearest k=0 = %v, %v, want nil", got, err)
 	}
 }
@@ -164,15 +176,138 @@ func TestSearcherConcurrentWithInsert(t *testing.T) {
 	}()
 	s := ix.Searcher(SearchOptions{K: 3, Parallelism: 4})
 	for round := 0; round < 6; round++ {
-		res, err := s.SearchBatch(qs)
+		res, err := s.SearchBatch(context.Background(), qs)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for i, ms := range res {
-			if len(ms) != 3 {
-				t.Fatalf("round %d query %d: %d matches", round, i, len(ms))
+		for i, r := range res {
+			if r.Err != nil {
+				t.Fatalf("round %d query %d: %v", round, i, r.Err)
+			}
+			if len(r.Matches) != 3 {
+				t.Fatalf("round %d query %d: %d matches", round, i, len(r.Matches))
 			}
 		}
 	}
 	wg.Wait()
+}
+
+// TestSearchBatchPerQueryError pins the redesigned error contract: a
+// query that retrieves an unindexed point carries ErrUnindexedID in its
+// own Result, and the healthy queries of the batch still answer.
+func TestSearchBatchPerQueryError(t *testing.T) {
+	ix, g := buildTestIndex(t, 60, Options{Seed: 7})
+	// Index a point out of band: it exists in the tree but has no
+	// stored triple, so resolving it must fail with the typed error.
+	phantomID := uint64(100000)
+	if err := ix.tree.Insert(kdtree.Point{Coords: make([]float64, ix.Dims()), ID: phantomID}); err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]triple.Triple, 8)
+	for i := range qs {
+		qs[i] = g.RandomTriple()
+	}
+	// K large enough that every query retrieves the phantom point.
+	res, err := ix.Searcher(SearchOptions{K: ix.Len() + 1, Parallelism: 2}).SearchBatch(context.Background(), qs)
+	if err != nil {
+		t.Fatalf("batch-level error for a per-query failure: %v", err)
+	}
+	sawTyped := false
+	for i, r := range res {
+		if r.Err == nil {
+			t.Fatalf("query %d retrieved the phantom point without error", i)
+		}
+		var unindexed ErrUnindexedID
+		if errors.As(r.Err, &unindexed) {
+			sawTyped = true
+			if uint64(unindexed.ID) != phantomID {
+				t.Fatalf("query %d: ErrUnindexedID names %d, want %d", i, unindexed.ID, phantomID)
+			}
+		}
+	}
+	if !sawTyped {
+		t.Fatal("no query surfaced ErrUnindexedID")
+	}
+	// A small K that cannot reach the phantom answers cleanly — the
+	// poisoned index is only poisoned for queries that touch the hole.
+	res, err = ix.Searcher(SearchOptions{K: 1}).SearchBatch(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil || len(r.Matches) != 1 {
+			t.Fatalf("query %d: %v (%d matches)", i, r.Err, len(r.Matches))
+		}
+	}
+}
+
+// TestSearchCancelled: an already-done context fails fast at every
+// facade entry point with the context's error.
+func TestSearchCancelled(t *testing.T) {
+	ix, g := buildTestIndex(t, 60, Options{Seed: 7})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := g.RandomTriple()
+	if _, err := ix.KNearest(ctx, q, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("KNearest err = %v", err)
+	}
+	if _, err := ix.Range(ctx, q, 0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Range err = %v", err)
+	}
+	if _, err := ix.KNearestIDs(ctx, q, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("KNearestIDs err = %v", err)
+	}
+	res, err := ix.Searcher(SearchOptions{K: 3}).SearchBatch(ctx, []triple.Triple{q, q})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SearchBatch err = %v", err)
+	}
+	for i, r := range res {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("result %d err = %v", i, r.Err)
+		}
+	}
+}
+
+// TestSearchExecStats: every Result reports the work its query did,
+// including the exact re-rank's extra distance evaluations.
+func TestSearchExecStats(t *testing.T) {
+	ix, g := buildTestIndex(t, 800, Options{
+		Seed: 3, PartitionCapacity: 100, MaxPartitions: 9, BucketSize: 8,
+	})
+	qs := make([]triple.Triple, 6)
+	for i := range qs {
+		qs[i] = g.RandomTriple()
+	}
+	res, err := ix.Searcher(SearchOptions{K: 4, Parallelism: 2}).SearchBatch(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		st := r.Stats
+		if st.NodesVisited <= 0 || st.BucketsScanned <= 0 || st.DistanceEvals <= 0 {
+			t.Fatalf("query %d: empty traversal counters %+v", i, st)
+		}
+		if st.FabricMessages < 1 || st.Partitions < 1 || st.Wall <= 0 {
+			t.Fatalf("query %d: empty transport counters %+v", i, st)
+		}
+		if st.Protocol == "" {
+			t.Fatalf("query %d: protocol not stamped", i)
+		}
+	}
+	// Exact mode charges the re-rank evaluations on top.
+	plain, err := ix.Searcher(SearchOptions{K: 4}).Search(context.Background(), qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ix.Searcher(SearchOptions{K: 4, ExactFactor: 4}).Search(context.Background(), qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Stats.DistanceEvals <= plain.Stats.DistanceEvals {
+		t.Fatalf("exact re-rank did not add distance evals: %d vs %d",
+			exact.Stats.DistanceEvals, plain.Stats.DistanceEvals)
+	}
 }
