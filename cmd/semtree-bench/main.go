@@ -10,6 +10,7 @@
 //	semtree-bench -fig fig8 -csv out/
 //	semtree-bench -fig throughput -parallel 8 -batch 64
 //	semtree-bench -fig deadline -deadline 1ms -latency 200µs
+//	semtree-bench -fig scheduler -hops 0,1ms,10ms,50ms
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "batched-query workers for the throughput experiment (default GOMAXPROCS)")
 		batch      = flag.Int("batch", 0, "queries per batched call in the throughput experiment (default: whole workload)")
 		deadline   = flag.Duration("deadline", 0, "per-query deadline for the deadline experiment: reports p50/p99 latency and the fraction of queries cut off (default 8x latency)")
+		hops       = flag.String("hops", "", "comma-separated per-hop latencies for the scheduler experiment, e.g. 0,1ms,50ms (default 0,1ms,5ms,20ms,50ms)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		csvDir     = flag.String("csv", "", "also write <dir>/<fig>.csv")
 	)
@@ -56,6 +58,9 @@ func main() {
 		fatal(err)
 	}
 	if params.Partitions, err = parseInts(*partitions); err != nil {
+		fatal(err)
+	}
+	if params.Hops, err = parseDurations(*hops); err != nil {
 		fatal(err)
 	}
 
@@ -105,6 +110,22 @@ func parseInts(s string) ([]int, error) {
 			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
 		}
 		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseDurations(s string) ([]time.Duration, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		d, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad duration list %q: %w", s, err)
+		}
+		out = append(out, d)
 	}
 	return out, nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"reflect"
 	"testing"
+	"time"
 )
 
 func TestParseInts(t *testing.T) {
@@ -17,6 +18,23 @@ func TestParseInts(t *testing.T) {
 		t.Fatalf("empty list = %v, %v", got, err)
 	}
 	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	got, err := parseDurations("0, 1ms,50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{0, time.Millisecond, 50 * time.Millisecond}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseDurations = %v, want %v", got, want)
+	}
+	if got, err := parseDurations(""); err != nil || got != nil {
+		t.Fatalf("empty list = %v, %v", got, err)
+	}
+	if _, err := parseDurations("1ms,x"); err == nil {
 		t.Fatal("bad list accepted")
 	}
 }

@@ -27,6 +27,37 @@
 // query: one failed query never poisons the healthy queries of its
 // batch, and the batch-level error is reserved for the context.
 //
+// Query execution is self-tuning. An online cost model watches the
+// ExecStats stream and the fabric's own call latencies, maintains EWMA
+// estimates of per-hop transit and per-node compute, and picks the
+// cross-partition k-NN protocol per query (ProtocolAuto, the default):
+// the paper's sequential Rs-forwarding when the workload is CPU-bound,
+// the probe-then-fan-out when hop latency dominates — including
+// adapting within a handful of queries when the network's latency
+// changes mid-run. Pin a strategy with WithProtocol(ProtocolSequential)
+// or WithProtocol(ProtocolFanOut) when determinism matters more than
+// the estimates.
+//
+// The same scheduler is the admission-control point for heavy
+// multi-user traffic. WithMaxInFlight bounds a Searcher's concurrently
+// executing queries (with a bounded admission queue behind the limit;
+// the surplus is shed with ErrAdmissionRejected), and
+// WithAdmissionControl(true) rejects a query up front with
+// ErrDeadlineBudget when its context deadline is provably below the
+// model's cost estimate — no fabric message is spent on an answer
+// nobody will receive. Searcher.SchedulerStats() snapshots the
+// admission counters, the live estimates and the protocol-choice
+// histogram:
+//
+//	s := idx.Searcher(semtree.SearchOptions{K: 3},
+//		semtree.WithMaxInFlight(64), semtree.WithAdmissionControl(true))
+//	results, _ := s.SearchBatch(ctx, queryTriples)
+//	for _, r := range results {
+//		if errors.Is(r.Err, semtree.ErrAdmissionRejected) { … } // shed: retry with backoff
+//		if errors.Is(r.Err, semtree.ErrDeadlineBudget) { … }    // budget too small for this index
+//	}
+//	_ = s.SchedulerStats().HopLatency // what the model currently believes
+//
 // Quick start:
 //
 //	store := triple.NewStore()            // fill with triples …

@@ -48,7 +48,7 @@ func TestRunnersRegistryComplete(t *testing.T) {
 	ids := RunnerIDs()
 	want := []string{"ablation-bucket", "ablation-dims", "ablation-measure",
 		"ablation-weights", "complexity", "deadline", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"throughput"}
+		"scheduler", "throughput"}
 	if len(ids) != len(want) {
 		t.Fatalf("runner ids = %v", ids)
 	}
@@ -267,5 +267,35 @@ func TestDeadlineShape(t *testing.T) {
 		if f < 0 || f > 1 {
 			t.Fatalf("cut-off fraction[%d] = %f", i, f)
 		}
+	}
+}
+
+func TestSchedulerShape(t *testing.T) {
+	p := tinyParams()
+	p.Partitions = []int{1, 5}
+	p.Hops = []time.Duration{0, time.Millisecond}
+	fig, err := Scheduler(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 6 { // {seq, fan-out, auto} × {p50, evals}
+		t.Fatalf("series = %d, want 6", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != len(p.Hops) {
+			t.Fatalf("series %q has %d points, want %d", s.Name, len(s.X), len(p.Hops))
+		}
+	}
+	// At zero hop latency the auto scheduler must settle on the
+	// sequential protocol: mean DistanceEvals matching sequential's on
+	// the shared query set (the CPU-bound acceptance shape). A small
+	// tolerance absorbs the rare query where scheduling noise in the
+	// hop estimate flips a single choice on a loaded runner.
+	seqEvals, fanEvals, autoEvals := fig.Series[3], fig.Series[4], fig.Series[5]
+	if autoEvals.Y[0] > seqEvals.Y[0]*1.05 {
+		t.Fatalf("auto evals at 0 latency = %f, sequential = %f", autoEvals.Y[0], seqEvals.Y[0])
+	}
+	if autoEvals.Y[0] >= fanEvals.Y[0] {
+		t.Fatalf("auto evals at 0 latency = %f not below fan-out's %f", autoEvals.Y[0], fanEvals.Y[0])
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"semtree/internal/cluster"
+	"semtree/internal/core"
 )
 
 // Deadline measures the context-first query API under load: k-nearest
@@ -47,12 +48,18 @@ func Deadline(p Params) (*Figure, error) {
 			return nil, err
 		}
 		fabric.SetLatency(p.Latency)
+		// Pin the fan-out protocol: the figure measures the cancellation
+		// behavior this experiment was calibrated for, not the adaptive
+		// scheduler's cold-start phase (each partition count builds a
+		// fresh tree, so ProtocolAuto would start sequential and charge
+		// its warm-up queries to the cut-off fraction).
+		sched := tr.NewScheduler(core.SchedulerConfig{Protocol: core.ProtocolFanOut})
 		lat := make([]time.Duration, 0, len(data.queries))
 		cutOff := 0
 		for _, q := range data.queries {
 			ctx, cancel := context.WithTimeout(context.Background(), p.Deadline)
 			start := time.Now()
-			_, qerr := tr.KNearest(ctx, q, p.K)
+			_, _, qerr := sched.KNearest(ctx, q, p.K)
 			lat = append(lat, time.Since(start))
 			cancel()
 			switch {

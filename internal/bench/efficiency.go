@@ -168,10 +168,12 @@ func Fig5(p Params) (*Figure, error) {
 		fmt.Sprintf("Distributed k-nearest time (K=%d)", p.withDefaults().K),
 		func(tr *core.Tree, q []float64, p Params) error {
 			// The paper's figure measures the *sequential* protocol
-			// (§III-B.3), which a 1-worker KNearestBatch runs; single
-			// KNearest now uses the parallel fan-out, whose overlapped
-			// hops the serial model below would mis-charge.
-			_, err := tr.KNearestBatch(context.Background(), [][]float64{q}, p.K, 1)
+			// (§III-B.3). KNearest now defaults to the self-tuning
+			// ProtocolAuto, so the protocol is pinned explicitly — the
+			// serial-hop latency model below would mis-charge the
+			// fan-out's overlapped hops.
+			sched := tr.NewScheduler(core.SchedulerConfig{Protocol: core.ProtocolSequential})
+			_, _, err := sched.KNearest(context.Background(), q, p.K)
 			return err
 		},
 		// The sequential k-nearest protocol pays every message as a

@@ -135,17 +135,18 @@ func formatX(x float64) string {
 // scaled for a laptop run; the full paper-scale sweep is a flag away in
 // cmd/semtree-bench.
 type Params struct {
-	Sizes      []int         // point-count sweep (default 5k..80k)
-	Partitions []int         // M values (default 1, 3, 5, 9)
-	BucketSize int           // Bs (default 16)
-	Dims       int           // FastMap k (default 8)
-	Queries    int           // query batch per measurement (default 200)
-	K          int           // k-nearest K (default 3, the paper's)
-	RangeD     float64       // range-query radius on the Eq. 1 scale (default 0.2)
-	Latency    time.Duration // simulated per-hop latency (default 200µs)
-	Parallel   int           // batched-query worker pool (default GOMAXPROCS)
-	Batch      int           // queries per batched call (default: whole workload)
-	Deadline   time.Duration // per-query deadline for the deadline experiment (default 8× latency)
+	Sizes      []int           // point-count sweep (default 5k..80k)
+	Partitions []int           // M values (default 1, 3, 5, 9)
+	BucketSize int             // Bs (default 16)
+	Dims       int             // FastMap k (default 8)
+	Queries    int             // query batch per measurement (default 200)
+	K          int             // k-nearest K (default 3, the paper's)
+	RangeD     float64         // range-query radius on the Eq. 1 scale (default 0.2)
+	Latency    time.Duration   // simulated per-hop latency (default 200µs)
+	Parallel   int             // batched-query worker pool (default GOMAXPROCS)
+	Batch      int             // queries per batched call (default: whole workload)
+	Deadline   time.Duration   // per-query deadline for the deadline experiment (default 8× latency)
+	Hops       []time.Duration // per-hop latency sweep for the scheduler experiment (default 0..50ms)
 	Seed       int64
 }
 
@@ -179,6 +180,12 @@ func (p Params) withDefaults() Params {
 		// get cut off, loose enough that most queries finish.
 		p.Deadline = 8 * p.Latency
 	}
+	if len(p.Hops) == 0 {
+		// From CPU-bound (sequential wins) through the crossover to
+		// latency-bound (fan-out wins), for the scheduler experiment.
+		p.Hops = []time.Duration{0, time.Millisecond, 5 * time.Millisecond,
+			20 * time.Millisecond, 50 * time.Millisecond}
+	}
 	return p
 }
 
@@ -197,6 +204,7 @@ func Runners() map[string]Runner {
 		"fig8":             Fig8,
 		"throughput":       Throughput,
 		"deadline":         Deadline,
+		"scheduler":        Scheduler,
 		"complexity":       Complexity,
 		"ablation-weights": AblationWeights,
 		"ablation-dims":    AblationDims,

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"semtree/internal/cluster"
+	"semtree/internal/core"
+)
+
+// Scheduler measures the self-tuning query scheduler against the two
+// fixed cross-partition protocols across a sweep of per-hop fabric
+// latencies (Params.Hops): per-query p50 wall time and mean distance
+// evaluations for ProtocolSequential, ProtocolFanOut and ProtocolAuto
+// on the same tree and query set. The expected shape: at zero latency
+// auto tracks the sequential protocol (same minimal DistanceEvals —
+// the CPU-bound regime), and once a hop costs more than the query's
+// compute it tracks the fan-out's p50 (the latency-bound regime, p50
+// within ~10% of the fixed fan-out). The auto rows include the
+// adaptation: the cost model re-learns each latency point from a short
+// warmup plus the fixed-protocol runs that precede it, exactly as it
+// would in production from its own traffic.
+func Scheduler(p Params) (*Figure, error) {
+	p = p.withDefaults()
+	n := maxSize(p.Sizes)
+	m := 1
+	for _, c := range p.Partitions {
+		if c > m {
+			m = c
+		}
+	}
+	data, err := makeSweep(n, p.Queries, p.Dims, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID: "scheduler", Title: fmt.Sprintf("Adaptive protocol choice vs fixed (K=%d, %d points, %d partitions)", p.K, n, m),
+		XLabel: "hop ms", YLabel: "p50 ms | evals/query", YFmt: "%.3f",
+		Notes: []string{
+			fmt.Sprintf("same tree and queries per row; auto warm-up %d queries after each latency change", schedWarmup),
+			"expected: auto ≈ sequential evals at 0 latency; auto p50 ≈ fan-out p50 once hops dominate compute",
+		},
+	}
+	// Build once over a fast fabric; only queries pay the swept latency.
+	fabric := cluster.NewInProc(cluster.InProcOptions{})
+	defer fabric.Close()
+	tr, err := buildDistributed(data.prefix(n), m, p, fabric, false)
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+
+	scheds := []struct {
+		name  string
+		sched *core.Scheduler
+	}{
+		{"sequential", tr.NewScheduler(core.SchedulerConfig{Protocol: core.ProtocolSequential})},
+		{"fan-out", tr.NewScheduler(core.SchedulerConfig{Protocol: core.ProtocolFanOut})},
+		{"auto", tr.NewScheduler(core.SchedulerConfig{Protocol: core.ProtocolAuto})},
+	}
+	p50s := make([]Series, len(scheds))
+	evals := make([]Series, len(scheds))
+	for i, s := range scheds {
+		p50s[i] = Series{Name: s.name + " p50 ms"}
+		evals[i] = Series{Name: s.name + " evals/q"}
+	}
+	for _, hop := range p.Hops {
+		fabric.SetLatency(hop)
+		qs := data.queries[:schedQueryBudget(len(data.queries), hop)]
+		x := float64(hop.Microseconds()) / 1000
+		for i, s := range scheds {
+			// The fixed runs double as observation traffic: their leaf
+			// calls teach the model the new hop price before auto runs.
+			// Auto additionally gets an explicit warm-up so its
+			// measured queries run with a converged choice.
+			if i == len(scheds)-1 {
+				for w := 0; w < schedWarmup && w < len(qs); w++ {
+					if _, _, err := s.sched.KNearest(context.Background(), qs[w], p.K); err != nil {
+						return nil, err
+					}
+				}
+			}
+			lat := make([]time.Duration, 0, len(qs))
+			var dists int64
+			for _, q := range qs {
+				_, st, err := s.sched.KNearest(context.Background(), q, p.K)
+				if err != nil {
+					return nil, err
+				}
+				lat = append(lat, st.Wall)
+				dists += st.DistanceEvals
+			}
+			sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+			p50s[i].X = append(p50s[i].X, x)
+			p50s[i].Y = append(p50s[i].Y, ms(percentile(lat, 0.50)))
+			evals[i].X = append(evals[i].X, x)
+			evals[i].Y = append(evals[i].Y, float64(dists)/float64(len(qs)))
+		}
+	}
+	fig.Series = append(fig.Series, p50s...)
+	fig.Series = append(fig.Series, evals...)
+	return fig, nil
+}
+
+// schedWarmup is the auto scheduler's explicit warm-up per latency
+// point: enough queries for the EWMA estimates (half-life ~2.4 samples,
+// several hop samples per query) to converge onto the new regime.
+const schedWarmup = 8
+
+// schedQueryBudget caps the per-mode query count at high hop latencies
+// so a 50ms sweep point stays in the tens of seconds: roughly 4s of
+// serial-hop time per mode, floored at 24 queries for a stable p50.
+func schedQueryBudget(queries int, hop time.Duration) int {
+	if hop <= 0 || queries <= 24 {
+		return queries
+	}
+	budget := int(4 * time.Second / (8 * hop))
+	if budget < 24 {
+		budget = 24
+	}
+	if budget > queries {
+		budget = queries
+	}
+	return budget
+}

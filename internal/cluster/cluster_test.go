@@ -351,3 +351,55 @@ func TestTCPCancelUnblocksRead(t *testing.T) {
 		t.Fatalf("cancel did not unblock the read: %v", elapsed)
 	}
 }
+
+// TestObserve: the Observe wrapper must time every Call at the caller's
+// boundary — including the simulated transit — report errors and
+// responses faithfully, and pass every other Fabric method through.
+func TestObserve(t *testing.T) {
+	inner := NewInProc(InProcOptions{Latency: 2 * time.Millisecond})
+	var (
+		mu      sync.Mutex
+		samples []CallSample
+	)
+	f := Observe(inner, func(s CallSample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	})
+	defer f.Close()
+	a, err := f.AddNode(echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumNodes() != 1 {
+		t.Fatalf("NumNodes through wrapper = %d", f.NumNodes())
+	}
+	resp, err := f.Call(context.Background(), ClientID, a, echoReq{Msg: "observed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Call(context.Background(), ClientID, NodeID(99), echoReq{}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown node through wrapper: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(samples) != 2 {
+		t.Fatalf("observed %d samples, want 2", len(samples))
+	}
+	if samples[0].Err != nil || samples[0].To != a || samples[0].Resp != resp {
+		t.Fatalf("success sample wrong: %+v", samples[0])
+	}
+	if samples[0].RTT < 2*time.Millisecond {
+		t.Fatalf("RTT %v does not cover the simulated transit", samples[0].RTT)
+	}
+	if !errors.Is(samples[1].Err, ErrUnknownNode) || samples[1].Resp != nil {
+		t.Fatalf("failure sample wrong: %+v", samples[1])
+	}
+	if f.Stats().Messages != inner.Stats().Messages {
+		t.Fatal("Stats not passed through")
+	}
+	// A nil observer is the identity.
+	if got := Observe(inner, nil); got != Fabric(inner) {
+		t.Fatal("Observe(nil) must return the fabric unchanged")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // NodeID names a fabric node (a partition host). The client/coordinator
@@ -93,6 +94,46 @@ var ErrClosed = errors.New("cluster: fabric closed")
 
 // ErrUnknownNode is returned when calling an unregistered address.
 var ErrUnknownNode = errors.New("cluster: unknown node")
+
+// CallSample is one completed (or failed) Call as seen by an Observe
+// wrapper: the destination node, the caller-observed round-trip wall
+// time, the call's error, and the handler's response (nil on error).
+// RTT covers transit both ways plus handler execution; subscribers that
+// want pure transit must subtract an estimate of the handler's compute
+// (core's cost model does exactly that for responses whose work
+// counters it understands).
+type CallSample struct {
+	To   NodeID
+	RTT  time.Duration
+	Err  error
+	Resp any
+}
+
+// Observe wraps a fabric with a latency observation point on Call:
+// every Call is timed on the caller's side and reported to obs after it
+// completes. This is the hook the adaptive query scheduler's cost model
+// subscribes to — estimates must come from the transport boundary, not
+// from inside handlers, because only the caller observes the full
+// round trip. All other Fabric methods pass through unchanged; obs must
+// be safe for concurrent use. A nil obs returns f itself.
+func Observe(f Fabric, obs func(CallSample)) Fabric {
+	if obs == nil {
+		return f
+	}
+	return &observedFabric{Fabric: f, obs: obs}
+}
+
+type observedFabric struct {
+	Fabric
+	obs func(CallSample)
+}
+
+func (o *observedFabric) Call(ctx context.Context, from, to NodeID, req any) (any, error) {
+	start := time.Now()
+	resp, err := o.Fabric.Call(ctx, from, to, req)
+	o.obs(CallSample{To: to, RTT: time.Since(start), Err: err, Resp: resp})
+	return resp, err
+}
 
 // CallRetry calls f.Call up to attempts times, retrying only transient
 // failures. Context errors are never retried — a cancelled query must

@@ -52,11 +52,11 @@ func TestKNNParallelMatchesSequential(t *testing.T) {
 	for trial := 0; trial < 60; trial++ {
 		q := randomPoints(r, 1, 4)[0].Coords
 		for _, k := range []int{1, 3, 10, 40} {
-			seq, _, err := tr.knn(context.Background(), q, k, true)
+			seq, _, err := tr.knn(context.Background(), q, k, ProtocolSequential)
 			if err != nil {
 				t.Fatal(err)
 			}
-			par, _, err := tr.knn(context.Background(), q, k, false)
+			par, _, err := tr.knn(context.Background(), q, k, ProtocolFanOut)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -277,11 +277,11 @@ func TestKNNEquivalenceOnTies(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		q := []float64{float64(r.Intn(6)), float64(r.Intn(6)), float64(r.Intn(6))}
 		for _, k := range []int{1, 3, 8} {
-			seq, _, err := tr.knn(context.Background(), q, k, true)
+			seq, _, err := tr.knn(context.Background(), q, k, ProtocolSequential)
 			if err != nil {
 				t.Fatal(err)
 			}
-			par, _, err := tr.knn(context.Background(), q, k, false)
+			par, _, err := tr.knn(context.Background(), q, k, ProtocolFanOut)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -333,9 +333,9 @@ func TestKNNCancelledBeforeStart(t *testing.T) {
 	before := fabric.Stats().Messages
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	for _, seq := range []bool{true, false} {
-		if _, _, err := tr.knn(ctx, []float64{1, 2, 3}, 5, seq); !errors.Is(err, context.Canceled) {
-			t.Fatalf("seq=%v: err = %v, want context.Canceled", seq, err)
+	for _, p := range []Protocol{ProtocolSequential, ProtocolFanOut, ProtocolAuto} {
+		if _, _, err := tr.knn(ctx, []float64{1, 2, 3}, 5, p); !errors.Is(err, context.Canceled) {
+			t.Fatalf("protocol=%v: err = %v, want context.Canceled", p, err)
 		}
 	}
 	if _, err := tr.RangeSearch(ctx, []float64{1, 2, 3}, 10); !errors.Is(err, context.Canceled) {
@@ -439,7 +439,9 @@ func TestExecStatsPopulated(t *testing.T) {
 	if want := bruteKNN(pts, q, 5); !sameIDSets(ns, want) {
 		t.Fatal("stats variant disagrees with oracle")
 	}
-	if st.Protocol != ProtocolParallel {
+	if st.Protocol != ProtocolNameParallel && st.Protocol != ProtocolNameSequential {
+		// ProtocolAuto stamps whichever protocol the cost model chose;
+		// on an in-process fabric that is normally the sequential one.
 		t.Fatalf("protocol = %q", st.Protocol)
 	}
 	if st.NodesVisited <= 0 || st.BucketsScanned <= 0 || st.DistanceEvals <= 0 {
@@ -461,14 +463,14 @@ func TestExecStatsPopulated(t *testing.T) {
 	if err := tr2.InsertAll(pts, 1); err != nil {
 		t.Fatal(err)
 	}
-	for _, protocol := range []bool{false, true} {
+	for _, protocol := range []Protocol{ProtocolFanOut, ProtocolSequential} {
 		before := fabric.Stats().Messages
 		_, st, err := tr2.knn(context.Background(), q, 5, protocol)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if got := fabric.Stats().Messages - before; got != st.FabricMessages {
-			t.Fatalf("seq=%v: ExecStats.FabricMessages = %d, fabric counted %d", protocol, st.FabricMessages, got)
+			t.Fatalf("protocol=%v: ExecStats.FabricMessages = %d, fabric counted %d", protocol, st.FabricMessages, got)
 		}
 	}
 
@@ -480,7 +482,7 @@ func TestExecStatsPopulated(t *testing.T) {
 	if want := bruteRange(pts, q, 25); !sameIDSets(rs, want) {
 		t.Fatal("range stats variant disagrees with oracle")
 	}
-	if rst.Protocol != ProtocolRange || rst.NodesVisited <= 0 {
+	if rst.Protocol != ProtocolNameRange || rst.NodesVisited <= 0 {
 		t.Fatalf("range stats empty: %+v", rst)
 	}
 
@@ -494,7 +496,7 @@ func TestExecStatsPopulated(t *testing.T) {
 		if qr.Err != nil {
 			t.Fatalf("entry %d: %v", i, qr.Err)
 		}
-		if qr.Stats.Protocol != ProtocolSequential || qr.Stats.NodesVisited <= 0 {
+		if qr.Stats.Protocol != ProtocolNameSequential || qr.Stats.NodesVisited <= 0 {
 			t.Fatalf("entry %d stats: %+v", i, qr.Stats)
 		}
 		if want := bruteKNN(pts, qs[i], 3); !sameIDSets(qr.Neighbors, want) {

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"semtree/internal/kdtree"
+)
+
+// Protocol selects the cross-partition k-NN execution strategy of a
+// query. ProtocolAuto — the default — defers the choice to the
+// scheduler's online cost model, per query: the sequential protocol
+// when the workload is CPU-bound, the probe-then-fan-out when per-hop
+// fabric latency dominates compute. The fixed values pin one strategy
+// regardless of the estimates. All three return identical results —
+// the protocols are equivalence-tested — so the choice is purely a
+// latency/total-work trade (§V's cost model, decided online).
+type Protocol int
+
+const (
+	// ProtocolAuto picks sequential vs fan-out per query from the cost
+	// model's current estimates.
+	ProtocolAuto Protocol = iota
+	// ProtocolSequential forces the paper's sequential Rs-forwarding
+	// protocol (§III-B.3): minimal total work, one serial hop per
+	// cross-partition visit.
+	ProtocolSequential
+	// ProtocolFanOut forces the probe-then-fan-out protocol: overlapped
+	// hops, at most three serial message waves per query.
+	ProtocolFanOut
+	// ProtocolRange is the border-node fan-out range protocol
+	// (§III-B.4); range queries have exactly one strategy, so this
+	// value exists for cost estimation, not for selection.
+	ProtocolRange
+)
+
+// String returns the ExecStats.Protocol vocabulary name.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolAuto:
+		return "auto"
+	case ProtocolFanOut:
+		return ProtocolNameParallel
+	case ProtocolRange:
+		return ProtocolNameRange
+	default:
+		return ProtocolNameSequential
+	}
+}
+
+// ErrAdmissionRejected is returned for a query the scheduler refused to
+// run because the max-in-flight limit was saturated and the bounded
+// admission queue was full. The caller should shed the query or retry
+// with backoff; waiting longer would only grow an unbounded queue.
+var ErrAdmissionRejected = errors.New("core: admission rejected: scheduler at capacity")
+
+// ErrDeadlineBudget is returned for a query whose context deadline is
+// provably insufficient: the cost model's estimate of the query's wall
+// time already exceeds the remaining budget, so running it would only
+// burn partition compute on an answer nobody will receive.
+var ErrDeadlineBudget = errors.New("core: deadline budget below estimated query cost")
+
+// SchedulerConfig configures one Scheduler over a Tree.
+type SchedulerConfig struct {
+	// Protocol is the cross-partition k-NN strategy; ProtocolAuto (the
+	// zero value) lets the cost model decide per query.
+	Protocol Protocol
+	// MaxInFlight bounds the queries executing concurrently through
+	// this scheduler, across all batches and goroutines using it.
+	// 0 means unlimited.
+	MaxInFlight int
+	// QueueDepth bounds how many admissions may wait for an in-flight
+	// slot before new arrivals are rejected with ErrAdmissionRejected.
+	// 0 defaults to MaxInFlight; negative means no queue (reject as
+	// soon as MaxInFlight is saturated). Ignored when MaxInFlight is 0.
+	QueueDepth int
+	// Admission enables the deadline-budget check: a query whose
+	// context deadline leaves less time than the estimated query cost
+	// is rejected with ErrDeadlineBudget instead of executed.
+	Admission bool
+}
+
+// Scheduler runs queries against a Tree under one admission policy:
+// per-query protocol choice (sequential vs fan-out, from the shared
+// cost model), a max-in-flight limit with a bounded admission queue,
+// and an optional deadline-budget check. It is the admission-control
+// layer of the RunBatch choke point — every query a scheduler batch
+// dispatches passes admit() first — and is safe for concurrent use;
+// the in-flight limit is enforced across everything issued through the
+// same Scheduler. Rejections are typed (ErrAdmissionRejected,
+// ErrDeadlineBudget) and attributed per query, so shed load is
+// distinguishable from failed queries.
+type Scheduler struct {
+	t          *Tree
+	cfg        SchedulerConfig
+	queueDepth int64
+	slots      chan struct{} // nil when MaxInFlight is unlimited
+
+	queued         atomic.Int64 // currently waiting for a slot
+	inFlight       atomic.Int64 // currently executing
+	admitted       atomic.Int64
+	rejectedLoad   atomic.Int64
+	rejectedBudget atomic.Int64
+}
+
+// NewScheduler returns a scheduler over the tree. Schedulers share the
+// tree's cost model — estimates learned through one benefit all — but
+// enforce their own admission policy and keep their own counters, so a
+// facade can run one per tenant or per traffic class.
+func (t *Tree) NewScheduler(cfg SchedulerConfig) *Scheduler {
+	s := &Scheduler{t: t, cfg: cfg}
+	if cfg.MaxInFlight > 0 {
+		s.slots = make(chan struct{}, cfg.MaxInFlight)
+		switch {
+		case cfg.QueueDepth == 0:
+			s.queueDepth = int64(cfg.MaxInFlight)
+		case cfg.QueueDepth > 0:
+			s.queueDepth = int64(cfg.QueueDepth)
+		}
+	}
+	return s
+}
+
+// SchedulerStats is a point-in-time snapshot of a scheduler: admission
+// counters, the cost model's current estimates, and the protocol-choice
+// histogram.
+type SchedulerStats struct {
+	// Admitted counts queries that passed admission and executed
+	// (including ones that later failed or were cut off).
+	Admitted int64
+	// RejectedLoad counts ErrAdmissionRejected rejections.
+	RejectedLoad int64
+	// RejectedBudget counts ErrDeadlineBudget rejections.
+	RejectedBudget int64
+	// Queued is the number of queries currently waiting for an
+	// in-flight slot; InFlight the number currently executing.
+	Queued   int64
+	InFlight int64
+	// HopLatency and NodeCompute are the cost model's current unit
+	// prices: estimated fabric transit per hop, and compute per
+	// visited tree node.
+	HopLatency  time.Duration
+	NodeCompute time.Duration
+	// EstSequentialWall and EstFanOutWall are the modeled per-query
+	// wall times of the two k-NN protocols at the current estimates —
+	// the comparison ProtocolAuto decides on.
+	EstSequentialWall time.Duration
+	EstFanOutWall     time.Duration
+	// ObservedSequentialWall and ObservedFanOutWall are the EWMAs of
+	// the wall times queries actually reported per protocol (zero
+	// until that protocol has run). Divergence from the modeled walls
+	// means the cost model's unit prices are off for this workload.
+	ObservedSequentialWall time.Duration
+	ObservedFanOutWall     time.Duration
+	// Choices is the protocol-choice histogram of the tree's cost
+	// model, keyed by executed protocol name ("sequential", "parallel")
+	// with an "auto:" prefix for choices the model made (vs the caller
+	// forcing the protocol). The histogram is shared across every
+	// scheduler of the same tree.
+	Choices map[string]int64
+}
+
+// Stats snapshots the scheduler.
+func (s *Scheduler) Stats() SchedulerStats {
+	parts := s.t.PartitionCount()
+	hop, cmp, seqWall, fanWall, choices := s.t.model.snapshot(parts)
+	estSeq, estFan := s.t.model.estimates(parts)
+	return SchedulerStats{
+		Admitted:               s.admitted.Load(),
+		RejectedLoad:           s.rejectedLoad.Load(),
+		RejectedBudget:         s.rejectedBudget.Load(),
+		Queued:                 s.queued.Load(),
+		InFlight:               s.inFlight.Load(),
+		HopLatency:             hop,
+		NodeCompute:            cmp,
+		EstSequentialWall:      estSeq,
+		EstFanOutWall:          estFan,
+		ObservedSequentialWall: seqWall,
+		ObservedFanOutWall:     fanWall,
+		Choices:                choices,
+	}
+}
+
+// resolve maps the configured protocol to the one a query would run
+// under right now (ProtocolAuto asks the model).
+func (s *Scheduler) resolve() Protocol {
+	if s.cfg.Protocol == ProtocolAuto {
+		return s.t.model.choose(s.t.PartitionCount())
+	}
+	return s.cfg.Protocol
+}
+
+// admit is the admission decision for one query about to run under
+// protocol p. It returns a release closure on success, or a typed
+// rejection. Order: the deadline-budget check first (rejecting there
+// costs nothing and frees no slot), then the in-flight limit with its
+// bounded queue. A context that dies while queued returns its error.
+func (s *Scheduler) admit(ctx context.Context, p Protocol) (release func(), err error) {
+	if s.cfg.Admission {
+		if dl, ok := ctx.Deadline(); ok {
+			if est := s.t.model.estimateWall(p, s.t.PartitionCount()); est > 0 && time.Until(dl) < est {
+				s.rejectedBudget.Add(1)
+				return nil, ErrDeadlineBudget
+			}
+		}
+	}
+	if s.slots != nil {
+		select {
+		case s.slots <- struct{}{}:
+		default:
+			// Saturated: join the bounded admission queue, or shed.
+			if s.queued.Add(1) > s.queueDepth {
+				s.queued.Add(-1)
+				s.rejectedLoad.Add(1)
+				return nil, ErrAdmissionRejected
+			}
+			select {
+			case s.slots <- struct{}{}:
+				s.queued.Add(-1)
+			case <-ctx.Done():
+				s.queued.Add(-1)
+				return nil, ctx.Err()
+			}
+		}
+	}
+	s.admitted.Add(1)
+	s.inFlight.Add(1)
+	return func() {
+		s.inFlight.Add(-1)
+		if s.slots != nil {
+			<-s.slots
+		}
+	}, nil
+}
+
+// KNearest answers one k-nearest query through the scheduler: protocol
+// choice, admission, execution, stats.
+func (s *Scheduler) KNearest(ctx context.Context, q []float64, k int) ([]kdtree.Neighbor, ExecStats, error) {
+	r := s.knnOne(ctx, q, k)
+	return r.Neighbors, r.Stats, r.Err
+}
+
+// RangeSearch answers one range query through the scheduler.
+func (s *Scheduler) RangeSearch(ctx context.Context, q []float64, d float64) ([]kdtree.Neighbor, ExecStats, error) {
+	r := s.rangeOne(ctx, q, d)
+	return r.Neighbors, r.Stats, r.Err
+}
+
+// KNearestBatch answers one k-nearest query per element of qs on a
+// bounded worker pool, with every dispatched query passing admission —
+// this is the RunBatch choke point with the admission controller
+// installed. results[i] answers qs[i]; rejections and failures are
+// attributed per query, and entries never dispatched because ctx
+// expired carry the context's error.
+func (s *Scheduler) KNearestBatch(ctx context.Context, qs [][]float64, k, workers int) []QueryResult {
+	out := make([]QueryResult, len(qs))
+	_ = RunBatch(ctx, len(qs), workers, func(i int) error {
+		out[i] = s.knnOne(ctx, qs[i], k)
+		return out[i].Err
+	})
+	markUndispatched(ctx, out)
+	return out
+}
+
+// RangeBatch is KNearestBatch for range queries.
+func (s *Scheduler) RangeBatch(ctx context.Context, qs [][]float64, d float64, workers int) []QueryResult {
+	out := make([]QueryResult, len(qs))
+	_ = RunBatch(ctx, len(qs), workers, func(i int) error {
+		out[i] = s.rangeOne(ctx, qs[i], d)
+		return out[i].Err
+	})
+	markUndispatched(ctx, out)
+	return out
+}
+
+// knnOne runs one admission-controlled k-nearest query. The protocol is
+// resolved exactly once, before admission, so the budget check prices
+// the strategy that actually runs — a concurrent estimate update cannot
+// split estimate and execution across strategies, and the model's
+// choose() runs once per query, not twice.
+func (s *Scheduler) knnOne(ctx context.Context, q []float64, k int) QueryResult {
+	p := s.resolve()
+	release, err := s.admit(ctx, p)
+	if err != nil {
+		return QueryResult{Err: err}
+	}
+	defer release()
+	var r QueryResult
+	r.Neighbors, r.Stats, r.Err = s.t.knnResolved(ctx, q, k, p, s.cfg.Protocol == ProtocolAuto)
+	return r
+}
+
+// rangeOne runs one admission-controlled range query.
+func (s *Scheduler) rangeOne(ctx context.Context, q []float64, d float64) QueryResult {
+	release, err := s.admit(ctx, ProtocolRange)
+	if err != nil {
+		return QueryResult{Err: err}
+	}
+	defer release()
+	var r QueryResult
+	r.Neighbors, r.Stats, r.Err = s.t.RangeSearchStats(ctx, q, d)
+	return r
+}

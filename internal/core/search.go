@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"semtree/internal/cluster"
 	"semtree/internal/kdtree"
@@ -148,8 +149,16 @@ func (p *partition) handleKNN(ctx context.Context, r knnReq) (any, error) {
 	c := getQueryCtx(r.K, r.Rs)
 	defer putQueryCtx(c)
 	p.mu.RLock()
+	start := time.Now()
 	err := p.knnTraverse(ctx, r, c)
+	elapsed := time.Since(start)
 	p.mu.RUnlock()
+	if err == nil && c.stats.Msgs == 0 && c.stats.Nodes > 0 {
+		// Hop-free traversal: pure local compute, the cost model's
+		// per-node price observation (in Seq mode the traversal embeds
+		// synchronous hops, which Msgs exposes — those runs are skipped).
+		p.t.model.observeCompute(elapsed, c.stats.Nodes)
+	}
 	if err == nil {
 		p.dispatchPending(ctx, r, c)
 	}

@@ -54,14 +54,14 @@ func BenchmarkKNNProtocols(b *testing.B) {
 	tr, qs := benchQueryTree(b, 5)
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := tr.knn(context.Background(), qs[i%len(qs)], 3, true); err != nil {
+			if _, _, err := tr.knn(context.Background(), qs[i%len(qs)], 3, ProtocolSequential); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("fanout", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := tr.knn(context.Background(), qs[i%len(qs)], 3, false); err != nil {
+			if _, _, err := tr.knn(context.Background(), qs[i%len(qs)], 3, ProtocolFanOut); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -76,8 +76,18 @@ func (c Config) withDefaults() (Config, error) {
 // for concurrent use.
 type Tree struct {
 	cfg       Config
-	fabric    cluster.Fabric
+	fabric    cluster.Fabric // observation-wrapped; all tree traffic goes through it
+	inner     cluster.Fabric // the fabric as configured (closed on Close when owned)
 	ownFabric bool
+
+	// model is the scheduler's online cost model; it is always on (the
+	// observations are a few arithmetic ops per query) and shared by
+	// every Scheduler created over this tree.
+	model *costModel
+	// sched is the tree's own default scheduler: ProtocolAuto, no
+	// admission limits. Tree.KNearest and the batch surfaces route
+	// their protocol choice through it.
+	sched *Scheduler
 
 	mu    sync.RWMutex
 	parts []*partition
@@ -104,11 +114,16 @@ func New(cfg Config) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{cfg: cfg, fabric: cfg.Fabric}
-	if t.fabric == nil {
-		t.fabric = cluster.NewInProc(cluster.InProcOptions{})
+	t := &Tree{cfg: cfg, inner: cfg.Fabric, model: newCostModel()}
+	if t.inner == nil {
+		t.inner = cluster.NewInProc(cluster.InProcOptions{})
 		t.ownFabric = true
 	}
+	// The cost model subscribes to the fabric's latency observation
+	// point: every Call the tree issues is timed at the transport
+	// boundary and fed to the hop estimator.
+	t.fabric = cluster.Observe(t.inner, t.model.observeSample)
+	t.sched = t.NewScheduler(SchedulerConfig{})
 	if _, err := t.addPartition(); err != nil {
 		return nil, err
 	}
@@ -296,14 +311,15 @@ func (t *Tree) InsertAll(pts []kdtree.Point, workers int) error {
 
 // Protocol names reported in ExecStats.Protocol.
 const (
-	// ProtocolParallel is the probe-then-fan-out cross-partition k-NN
-	// protocol (single-query latency path).
-	ProtocolParallel = "parallel"
-	// ProtocolSequential is the paper's sequential Rs-forwarding k-NN
-	// protocol (§III-B.3; batch throughput path).
-	ProtocolSequential = "sequential"
-	// ProtocolRange is the border-node fan-out range protocol (§III-B.4).
-	ProtocolRange = "range"
+	// ProtocolNameParallel is the probe-then-fan-out cross-partition
+	// k-NN protocol (hop-overlapping latency path).
+	ProtocolNameParallel = "parallel"
+	// ProtocolNameSequential is the paper's sequential Rs-forwarding
+	// k-NN protocol (§III-B.3; minimal total work).
+	ProtocolNameSequential = "sequential"
+	// ProtocolNameRange is the border-node fan-out range protocol
+	// (§III-B.4).
+	ProtocolNameRange = "range"
 )
 
 // ExecStats is the per-query execution accounting of the distributed
@@ -356,33 +372,51 @@ type QueryResult struct {
 }
 
 // KNearest returns the k points closest to q, ascending by distance
-// (ties broken by point ID). Remote subtrees are searched with the
-// probe-then-fan-out protocol of the query engine, which overlaps
-// cross-partition hops: single-query latency is bounded by two message
-// waves instead of one hop per visited partition. For bulk workloads
-// prefer KNearestBatch, which minimizes total work instead. The context
-// bounds the query: cancellation or an expired deadline aborts the
-// traversal and abandons outstanding partition replies.
+// (ties broken by point ID). The cross-partition protocol is chosen
+// per query by the scheduler's cost model (ProtocolAuto): the paper's
+// sequential Rs-forwarding when the workload is CPU-bound, the
+// probe-then-fan-out when per-hop fabric latency dominates. Both
+// protocols return identical results; ExecStats.Protocol names the one
+// that ran. The context bounds the query: cancellation or an expired
+// deadline aborts the traversal and abandons outstanding partition
+// replies.
 func (t *Tree) KNearest(ctx context.Context, q []float64, k int) ([]kdtree.Neighbor, error) {
-	ns, _, err := t.knn(ctx, q, k, false)
+	ns, _, err := t.knn(ctx, q, k, ProtocolAuto)
 	return ns, err
 }
 
 // KNearestStats is KNearest returning the query's execution stats.
 func (t *Tree) KNearestStats(ctx context.Context, q []float64, k int) ([]kdtree.Neighbor, ExecStats, error) {
-	return t.knn(ctx, q, k, false)
+	return t.knn(ctx, q, k, ProtocolAuto)
 }
 
-// knn runs one k-nearest query. seq selects the paper's sequential
-// Rs-forwarding protocol (§III-B.3) instead of the parallel fan-out;
-// both return identical results, which the equivalence tests assert.
-// The wire protocol carries squared distances (see knnReq); the single
-// deferred sqrt happens here, at the client boundary. An already-done
-// context returns its error without touching the tree.
-func (t *Tree) knn(ctx context.Context, q []float64, k int, seq bool) ([]kdtree.Neighbor, ExecStats, error) {
-	st := ExecStats{Protocol: ProtocolParallel}
-	if seq {
-		st.Protocol = ProtocolSequential
+// knn runs one k-nearest query under the given protocol; ProtocolAuto
+// asks the cost model. Both fixed protocols return identical results,
+// which the equivalence tests assert. The wire protocol carries squared
+// distances (see knnReq); the single deferred sqrt happens here, at the
+// client boundary. An already-done context returns its error without
+// touching the tree. Completed queries feed their ExecStats back into
+// the cost model — the observation loop that makes the choice adaptive.
+func (t *Tree) knn(ctx context.Context, q []float64, k int, p Protocol) ([]kdtree.Neighbor, ExecStats, error) {
+	auto := p == ProtocolAuto
+	if auto {
+		p = t.model.choose(t.PartitionCount())
+	}
+	return t.knnResolved(ctx, q, k, p, auto)
+}
+
+// knnResolved is knn after protocol resolution: p is a fixed protocol
+// (never ProtocolAuto); auto records whether the cost model chose it,
+// for histogram attribution. The Scheduler calls this directly with the
+// protocol it priced at admission, so the budget-checked strategy and
+// the executed one cannot diverge.
+func (t *Tree) knnResolved(ctx context.Context, q []float64, k int, p Protocol, auto bool) ([]kdtree.Neighbor, ExecStats, error) {
+	seq := p != ProtocolFanOut
+	st := ExecStats{Protocol: ProtocolNameSequential}
+	idx := idxSeq
+	if !seq {
+		st.Protocol = ProtocolNameParallel
+		idx = idxFan
 	}
 	// The ctx check comes first: a cancelled query reports the
 	// cancellation, not a validation error about coords it may never
@@ -396,6 +430,7 @@ func (t *Tree) knn(ctx context.Context, q []float64, k int, seq bool) ([]kdtree.
 	if k <= 0 || t.size.Load() == 0 {
 		return nil, st, nil
 	}
+	t.model.countChoice(st.Protocol, auto)
 	root := t.rootPartition()
 	start := time.Now()
 	resp, err := t.callCtx(ctx, cluster.ClientID, root.id, knnReq{Node: 0, Query: q, K: k, Seq: seq})
@@ -405,6 +440,7 @@ func (t *Tree) knn(ctx context.Context, q []float64, k int, seq bool) ([]kdtree.
 	}
 	kr := resp.(knnResp)
 	st.fromWire(kr.Stats)
+	t.model.observeQuery(idx, st)
 	out := kr.Rs
 	for i := range out {
 		out[i].Dist = math.Sqrt(out[i].Dist)
@@ -425,7 +461,7 @@ func (t *Tree) RangeSearch(ctx context.Context, q []float64, d float64) ([]kdtre
 // RangeSearchStats is RangeSearch returning the query's execution
 // stats.
 func (t *Tree) RangeSearchStats(ctx context.Context, q []float64, d float64) ([]kdtree.Neighbor, ExecStats, error) {
-	st := ExecStats{Protocol: ProtocolRange}
+	st := ExecStats{Protocol: ProtocolNameRange}
 	if err := ctx.Err(); err != nil {
 		return nil, st, err // before validation, as in knn
 	}
@@ -444,6 +480,7 @@ func (t *Tree) RangeSearchStats(ctx context.Context, q []float64, d float64) ([]
 	}
 	rr := resp.(rangeResp)
 	st.fromWire(rr.Stats)
+	t.model.observeQuery(idxRange, st)
 	out := rr.Neighbors
 	sort.Slice(out, func(i, j int) bool { return neighborLess(out[i], out[j]) })
 	for i := range out {
@@ -455,14 +492,15 @@ func (t *Tree) RangeSearchStats(ctx context.Context, q []float64, d float64) ([]
 // KNearestBatch answers one k-nearest query per element of qs, running
 // a bounded worker pool over the fabric ("using M−1 data partitions, we
 // can perform in the best case M−1 parallel operations maximizing our
-// throughput" — §III-C, applied to the query path). Each query uses the
-// sequential cross-partition protocol: the pool already saturates the
-// partitions, so the per-query fan-out would only inflate total work —
-// the tightest pruning bound per query maximizes batch throughput, and
-// both protocols return identical results. workers <= 0 selects
-// GOMAXPROCS. results[i] answers qs[i]; every query is attempted and
-// the first per-query error (by index) is returned. Once ctx is done
-// no further queries are dispatched.
+// throughput" — §III-C, applied to the query path). The cross-partition
+// protocol is chosen per query by the cost model (ProtocolAuto): on a
+// fast fabric that resolves to the sequential protocol — the pool
+// already saturates the partitions and the tightest pruning bound
+// minimizes total work — and under dominant hop latency to the
+// fan-out; a Scheduler pins a fixed protocol when the caller must.
+// workers <= 0 selects GOMAXPROCS. results[i] answers qs[i]; every
+// query is attempted and the first per-query error (by index) is
+// returned. Once ctx is done no further queries are dispatched.
 func (t *Tree) KNearestBatch(ctx context.Context, qs [][]float64, k, workers int) ([][]kdtree.Neighbor, error) {
 	return flattenBatch(t.KNearestBatchStats(ctx, qs, k, workers))
 }
@@ -472,13 +510,7 @@ func (t *Tree) KNearestBatch(ctx context.Context, qs [][]float64, k, workers int
 // so one failed query does not poison the batch. Queries never
 // dispatched because ctx expired carry the context's error.
 func (t *Tree) KNearestBatchStats(ctx context.Context, qs [][]float64, k, workers int) []QueryResult {
-	out := make([]QueryResult, len(qs))
-	_ = RunBatch(ctx, len(qs), workers, func(i int) error {
-		out[i].Neighbors, out[i].Stats, out[i].Err = t.knn(ctx, qs[i], k, true)
-		return out[i].Err
-	})
-	markUndispatched(ctx, out)
-	return out
+	return t.sched.KNearestBatch(ctx, qs, k, workers)
 }
 
 // RangeBatch answers one range query per element of qs with a bounded
@@ -490,13 +522,7 @@ func (t *Tree) RangeBatch(ctx context.Context, qs [][]float64, d float64, worker
 // RangeBatchStats is RangeBatch with per-query outcomes; see
 // KNearestBatchStats.
 func (t *Tree) RangeBatchStats(ctx context.Context, qs [][]float64, d float64, workers int) []QueryResult {
-	out := make([]QueryResult, len(qs))
-	_ = RunBatch(ctx, len(qs), workers, func(i int) error {
-		out[i].Neighbors, out[i].Stats, out[i].Err = t.RangeSearchStats(ctx, qs[i], d)
-		return out[i].Err
-	})
-	markUndispatched(ctx, out)
-	return out
+	return t.sched.RangeBatch(ctx, qs, d, workers)
 }
 
 // markUndispatched attributes the context error to batch entries the
@@ -649,7 +675,7 @@ func (t *Tree) Stats() (TreeStats, error) {
 // Close releases the private fabric when the tree owns one.
 func (t *Tree) Close() error {
 	if t.ownFabric {
-		return t.fabric.Close()
+		return t.inner.Close()
 	}
 	return nil
 }

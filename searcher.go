@@ -49,7 +49,86 @@ type SearchOptions struct {
 	// Parallelism bounds the workers that embed and execute a batch
 	// (default GOMAXPROCS). Single-query Search calls are unaffected.
 	Parallelism int
+	// Protocol selects the cross-partition k-NN strategy. The zero
+	// value is ProtocolAuto: the scheduler's cost model picks
+	// sequential vs fan-out per query from its online latency and
+	// compute estimates. See WithProtocol.
+	Protocol Protocol
+	// MaxInFlight bounds the queries this searcher executes
+	// concurrently, across all batches and goroutines using it; the
+	// excess waits in a bounded admission queue (QueueDepth) and is
+	// rejected with ErrAdmissionRejected beyond that. 0 means
+	// unlimited. See WithMaxInFlight.
+	MaxInFlight int
+	// QueueDepth bounds the admission queue behind MaxInFlight:
+	// 0 defaults to MaxInFlight, negative disables queueing (reject as
+	// soon as the in-flight limit is saturated).
+	QueueDepth int
+	// AdmissionControl enables the deadline-budget check: a query
+	// whose context deadline leaves less time than the cost model's
+	// estimate of the query is rejected with ErrDeadlineBudget instead
+	// of executed. See WithAdmissionControl.
+	AdmissionControl bool
 }
+
+// SearchOption mutates SearchOptions; pass options to Index.Searcher
+// after the struct to layer scheduler policy onto a base configuration.
+type SearchOption func(*SearchOptions)
+
+// Protocol is the cross-partition k-NN execution strategy
+// (core.Protocol): ProtocolAuto, ProtocolSequential or ProtocolFanOut.
+type Protocol = core.Protocol
+
+// Re-exported protocol values for WithProtocol.
+const (
+	// ProtocolAuto lets the self-tuning scheduler pick sequential vs
+	// fan-out per query (the default).
+	ProtocolAuto = core.ProtocolAuto
+	// ProtocolSequential forces the paper's sequential Rs-forwarding
+	// protocol (minimal total work).
+	ProtocolSequential = core.ProtocolSequential
+	// ProtocolFanOut forces the probe-then-fan-out protocol
+	// (overlapped cross-partition hops).
+	ProtocolFanOut = core.ProtocolFanOut
+)
+
+// Typed admission errors, re-exported from the core engine. Check with
+// errors.Is on Result.Err.
+var (
+	// ErrAdmissionRejected marks a query shed because the searcher's
+	// MaxInFlight limit and admission queue were both full.
+	ErrAdmissionRejected = core.ErrAdmissionRejected
+	// ErrDeadlineBudget marks a query rejected because its deadline
+	// budget was provably below the estimated execution cost.
+	ErrDeadlineBudget = core.ErrDeadlineBudget
+)
+
+// WithProtocol pins the cross-partition k-NN protocol (or restores
+// ProtocolAuto, the default).
+func WithProtocol(p Protocol) SearchOption {
+	return func(o *SearchOptions) { o.Protocol = p }
+}
+
+// WithMaxInFlight bounds the searcher's concurrently executing queries;
+// n <= 0 means unlimited.
+func WithMaxInFlight(n int) SearchOption {
+	return func(o *SearchOptions) {
+		if n < 0 {
+			n = 0
+		}
+		o.MaxInFlight = n
+	}
+}
+
+// WithAdmissionControl toggles the deadline-budget admission check.
+func WithAdmissionControl(on bool) SearchOption {
+	return func(o *SearchOptions) { o.AdmissionControl = on }
+}
+
+// SchedulerStats is a snapshot of the searcher's query scheduler:
+// admission counters, the cost model's current hop-latency and compute
+// estimates, and the protocol-choice histogram (core.SchedulerStats).
+type SchedulerStats = core.SchedulerStats
 
 // ExecStats is the per-query execution accounting reported with every
 // Result — the paper's cost model (messages and nodes visited per
@@ -87,15 +166,37 @@ type Searcher struct {
 	ix        *Index
 	opts      SearchOptions
 	rangeMode bool
+	sched     *core.Scheduler
 }
 
-// Searcher returns a reusable query engine over the index. The
-// ad-hoc query methods (KNearest, Range, KNearestExact, KNearestIDs)
-// are thin wrappers around one of these.
-func (ix *Index) Searcher(opts SearchOptions) *Searcher {
+// Searcher returns a reusable query engine over the index; extra
+// options (WithProtocol, WithMaxInFlight, WithAdmissionControl) layer
+// scheduler policy onto the base struct. Each Searcher owns its own
+// admission scheduler — the in-flight limit and counters are
+// per-Searcher — while the cost model driving protocol choice is
+// shared index-wide, so estimates learned through one searcher benefit
+// all. The ad-hoc query methods (KNearest, Range, KNearestExact,
+// KNearestIDs) are thin wrappers around one of these.
+func (ix *Index) Searcher(opts SearchOptions, extra ...SearchOption) *Searcher {
+	for _, o := range extra {
+		o(&opts)
+	}
 	rangeMode := opts.Mode == ModeRange || (opts.Mode == ModeAuto && opts.Radius > 0)
-	return &Searcher{ix: ix, opts: opts, rangeMode: rangeMode}
+	sched := ix.tree.NewScheduler(core.SchedulerConfig{
+		Protocol:    opts.Protocol,
+		MaxInFlight: opts.MaxInFlight,
+		QueueDepth:  opts.QueueDepth,
+		Admission:   opts.AdmissionControl,
+	})
+	return &Searcher{ix: ix, opts: opts, rangeMode: rangeMode, sched: sched}
 }
+
+// SchedulerStats snapshots the searcher's scheduler: how many queries
+// were admitted, shed (ErrAdmissionRejected) or budget-rejected
+// (ErrDeadlineBudget), how many are queued and in flight right now,
+// the cost model's current estimates, and the protocol-choice
+// histogram.
+func (s *Searcher) SchedulerStats() SchedulerStats { return s.sched.Stats() }
 
 // Search answers a single query under the searcher's options. The
 // context bounds the query end to end: an already-done context returns
@@ -147,21 +248,21 @@ func (s *Searcher) SearchBatch(ctx context.Context, qs []triple.Triple) ([]Resul
 		return nil
 	})
 
-	// Phase 2: bounded fan-out over the distributed tree, with
-	// per-query outcomes. A query the pool never dispatched (context
-	// expired mid-batch) carries the context error in its result.
+	// Phase 2: bounded fan-out over the distributed tree through the
+	// searcher's scheduler: every dispatched query passes admission
+	// (protocol choice, in-flight limit, deadline budget), and
+	// rejections are attributed per query like any other failure. A
+	// query the pool never dispatched (context expired mid-batch)
+	// carries the context error in its result.
 	var res []core.QueryResult
 	switch {
 	case s.rangeMode:
-		res = s.ix.tree.RangeBatchStats(ctx, coords, s.opts.Radius, workers)
+		res = s.sched.RangeBatch(ctx, coords, s.opts.Radius, workers)
 	case len(qs) == 1:
-		// A single query is a latency problem, not a throughput one:
-		// use the probe-then-fan-out protocol, which overlaps
-		// cross-partition hops.
-		ns, st, err := s.ix.tree.KNearestStats(ctx, coords[0], want)
+		ns, st, err := s.sched.KNearest(ctx, coords[0], want)
 		res = []core.QueryResult{{Neighbors: ns, Stats: st, Err: err}}
 	default:
-		res = s.ix.tree.KNearestBatchStats(ctx, coords, want, workers)
+		res = s.sched.KNearestBatch(ctx, coords, want, workers)
 	}
 
 	// Phase 3: resolve points back to stored triples and, in exact

@@ -11,6 +11,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"semtree/internal/kdtree"
 	"semtree/internal/synth"
@@ -309,5 +310,95 @@ func TestSearchExecStats(t *testing.T) {
 	if exact.Stats.DistanceEvals <= plain.Stats.DistanceEvals {
 		t.Fatalf("exact re-rank did not add distance evals: %d vs %d",
 			exact.Stats.DistanceEvals, plain.Stats.DistanceEvals)
+	}
+}
+
+// TestSearcherSchedulerOptions: the scheduler options must plumb
+// through the facade — protocol pinning answers identically, the
+// max-in-flight limit sheds surplus load with the typed error, and
+// SchedulerStats reports the counters and estimates.
+func TestSearcherSchedulerOptions(t *testing.T) {
+	ix, g := buildTestIndex(t, 600, Options{
+		Seed: 5, PartitionCapacity: 80, MaxPartitions: 9, BucketSize: 8,
+	})
+	qs := make([]triple.Triple, 12)
+	for i := range qs {
+		qs[i] = g.RandomTriple()
+	}
+
+	// The three protocols must answer identically (the core engine's
+	// equivalence, re-asserted through the facade).
+	auto := ix.Searcher(SearchOptions{K: 4, Parallelism: 4})
+	seq := ix.Searcher(SearchOptions{K: 4, Parallelism: 4}, WithProtocol(ProtocolSequential))
+	fan := ix.Searcher(SearchOptions{K: 4, Parallelism: 4}, WithProtocol(ProtocolFanOut))
+	resAuto, err := auto.SearchBatch(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSeq, err := seq.SearchBatch(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFan, err := fan.SearchBatch(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if resAuto[i].Err != nil || resSeq[i].Err != nil || resFan[i].Err != nil {
+			t.Fatalf("query %d errored: %v %v %v", i, resAuto[i].Err, resSeq[i].Err, resFan[i].Err)
+		}
+		if !sameMatches(resAuto[i].Matches, resSeq[i].Matches) || !sameMatches(resAuto[i].Matches, resFan[i].Matches) {
+			t.Fatalf("query %d: protocols disagree through the facade", i)
+		}
+	}
+
+	st := auto.SchedulerStats()
+	if st.Admitted != int64(len(qs)) {
+		t.Fatalf("auto searcher admitted %d, want %d", st.Admitted, len(qs))
+	}
+	if st.NodeCompute <= 0 || st.EstSequentialWall <= 0 {
+		t.Fatalf("estimates not learned: %+v", st)
+	}
+	if len(st.Choices) == 0 {
+		t.Fatalf("empty protocol-choice histogram: %+v", st)
+	}
+
+	// A 1-slot searcher with no admission queue sheds concurrent
+	// surplus with ErrAdmissionRejected, attributed per query.
+	limited := ix.Searcher(SearchOptions{K: 4, Parallelism: 8, QueueDepth: -1}, WithMaxInFlight(1))
+	res, err := limited.SearchBatch(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answered, shed := 0, 0
+	for i, r := range res {
+		switch {
+		case r.Err == nil:
+			answered++
+		case errors.Is(r.Err, ErrAdmissionRejected):
+			shed++
+		default:
+			t.Fatalf("query %d: unexpected error %v", i, r.Err)
+		}
+	}
+	if answered == 0 {
+		t.Fatal("1-slot searcher answered nothing")
+	}
+	lst := limited.SchedulerStats()
+	if lst.Admitted != int64(answered) || lst.RejectedLoad != int64(shed) {
+		t.Fatalf("limited stats %+v vs answered=%d shed=%d", lst, answered, shed)
+	}
+
+	// Admission control: once the model knows a query's cost, a
+	// microscopic deadline budget is rejected up front.
+	guarded := ix.Searcher(SearchOptions{K: 4}, WithAdmissionControl(true))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	gres, _ := guarded.SearchBatch(ctx, qs[:1])
+	if gres[0].Err == nil {
+		t.Fatal("nanosecond budget accepted")
+	}
+	if !errors.Is(gres[0].Err, ErrDeadlineBudget) && !errors.Is(gres[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineBudget or DeadlineExceeded", gres[0].Err)
 	}
 }
