@@ -1,0 +1,180 @@
+// Command linkcheck verifies the intra-repo links of markdown files:
+// every relative `[text](target)` link must point at a file that
+// exists, and a `#fragment` on a markdown target must name a heading
+// in that file (GitHub anchor slugs). External links (http, https,
+// mailto) are skipped — CI must not fail on someone else's outage.
+//
+// Usage:
+//
+//	linkcheck README.md ARCHITECTURE.md ROADMAP.md
+//
+// Exits non-zero listing every broken link. It is the docs gate of CI:
+// renaming a file or heading that documentation points at fails the
+// build instead of silently stranding readers.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md> [file.md ...]")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, file := range os.Args[1:] {
+		problems, err := checkFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", file, p)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+var (
+	// linkRe matches inline markdown link targets, with an optional
+	// quoted title: ](target) or ](target "title").
+	linkRe = regexp.MustCompile(`\]\(\s*([^()\s]+)(?:\s+"[^"]*")?\s*\)`)
+	// refDefRe matches reference-style link definitions: [label]: target
+	refDefRe = regexp.MustCompile(`^\s*\[[^\]]+\]:\s*(\S+)`)
+)
+
+// checkFile returns one message per broken link in the file. Link
+// syntax the parser cannot handle (e.g. unescaped parentheses or
+// spaces in a target) is reported as a problem rather than silently
+// skipped — a link checker that cannot read a link must not pass it.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	links, malformed := extractLinks(string(data))
+	var problems []string
+	for _, m := range malformed {
+		problems = append(problems, fmt.Sprintf("unparseable link syntax on line %s", m))
+	}
+	for _, target := range links {
+		if err := checkLink(path, target); err != nil {
+			problems = append(problems, fmt.Sprintf("broken link %q: %v", target, err))
+		}
+	}
+	return problems, nil
+}
+
+// extractLinks returns every inline and reference-definition link
+// target outside fenced code blocks, in order, plus a description of
+// every line whose `](` link syntax the parser could not match.
+func extractLinks(md string) (links, malformed []string) {
+	fenced := false
+	for n, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if fenced {
+			continue
+		}
+		stripped := line
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			links = append(links, m[1])
+			stripped = strings.Replace(stripped, m[0], "", 1)
+		}
+		if m := refDefRe.FindStringSubmatch(line); m != nil {
+			links = append(links, m[1])
+		}
+		// Anything that still looks like an inline link did not parse:
+		// surface it instead of letting a possibly-broken link pass.
+		if strings.Contains(stripped, "](") {
+			malformed = append(malformed, fmt.Sprintf("%d: %s", n+1, strings.TrimSpace(line)))
+		}
+	}
+	return links, malformed
+}
+
+// checkLink validates one link target relative to the markdown file
+// that contains it. External schemes pass; relative targets must
+// resolve to an existing file, and markdown fragments must name a
+// heading.
+func checkLink(from, target string) error {
+	lower := strings.ToLower(target)
+	for _, scheme := range []string{"http://", "https://", "mailto:"} {
+		if strings.HasPrefix(lower, scheme) {
+			return nil
+		}
+	}
+	path, fragment, _ := strings.Cut(target, "#")
+	resolved := from // a pure #fragment links within the same file
+	if path != "" {
+		resolved = filepath.Join(filepath.Dir(from), path)
+	}
+	info, err := os.Stat(resolved)
+	if err != nil {
+		return fmt.Errorf("target does not exist")
+	}
+	if fragment == "" {
+		return nil
+	}
+	if info.IsDir() || !strings.HasSuffix(strings.ToLower(resolved), ".md") {
+		return nil // fragments into non-markdown targets are not checked
+	}
+	data, err := os.ReadFile(resolved)
+	if err != nil {
+		return err
+	}
+	for _, h := range headings(string(data)) {
+		if headingSlug(h) == fragment {
+			return nil
+		}
+	}
+	return fmt.Errorf("no heading for fragment %q", fragment)
+}
+
+// headings returns the text of every ATX heading outside fenced code
+// blocks.
+func headings(md string) []string {
+	var out []string
+	fenced := false
+	for _, line := range strings.Split(md, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			fenced = !fenced
+			continue
+		}
+		if fenced || !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		out = append(out, strings.TrimSpace(strings.TrimLeft(trimmed, "#")))
+	}
+	return out
+}
+
+// headingSlug converts a heading to its GitHub anchor: lowercase,
+// spaces to hyphens, everything but letters, digits, hyphens and
+// underscores dropped.
+func headingSlug(h string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(h) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_',
+			r >= 'a' && r <= 'z',
+			r >= '0' && r <= '9':
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestExtractLinksSkipsCodeFences(t *testing.T) {
+	md := "see [a](x.md) and [b](y.md#sec)\n```\n[not a link](inside.md)\n```\nand [c](https://example.com)\n" +
+		"titled [d](z.md \"a title\")\n[ref]: w.md\n"
+	got, malformed := extractLinks(md)
+	want := []string{"x.md", "y.md#sec", "https://example.com", "z.md", "w.md"}
+	if len(got) != len(want) {
+		t.Fatalf("links = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("links = %v, want %v", got, want)
+		}
+	}
+	if len(malformed) != 0 {
+		t.Fatalf("malformed = %v, want none", malformed)
+	}
+}
+
+func TestExtractLinksFlagsUnparseable(t *testing.T) {
+	// Targets with spaces or unescaped parentheses don't match the
+	// parser; they must be reported, never silently passed.
+	md := "bad [a](a b.md)\nworse [b](fig(1).png)\nfine [c](ok.md)\n"
+	links, malformed := extractLinks(md)
+	if len(links) != 1 || links[0] != "ok.md" {
+		t.Fatalf("links = %v, want [ok.md]", links)
+	}
+	if len(malformed) != 2 {
+		t.Fatalf("malformed = %v, want 2 entries", malformed)
+	}
+}
+
+func TestHeadingSlug(t *testing.T) {
+	cases := map[string]string{
+		"The admission pipeline":       "the-admission-pipeline",
+		"ExecStats and the cost model": "execstats-and-the-cost-model",
+		"Multi-tenant quotas":          "multi-tenant-quotas",
+		"Layer map":                    "layer-map",
+		"CI / tooling":                 "ci--tooling",
+	}
+	for in, want := range cases {
+		if got := headingSlug(in); got != want {
+			t.Errorf("headingSlug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	write("other.md", "# Real Heading\nbody\n")
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write("sub/prog.go", "package main\n")
+
+	good := write("good.md", "# Top\n[o](other.md) [h](other.md#real-heading) "+
+		"[self](#top) [dir](sub/) [src](sub/prog.go) [ext](https://example.com/x)\n")
+	problems, err := checkFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("good file reported broken: %v", problems)
+	}
+
+	bad := write("bad.md", "[gone](missing.md) [frag](other.md#no-such-heading) [ok](other.md)\n[odd](a b.md)\n")
+	problems, err = checkFile(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 3 { // missing file, missing heading, unparseable
+		t.Fatalf("broken links = %v, want 3", problems)
+	}
+}

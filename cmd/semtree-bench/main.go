@@ -11,6 +11,7 @@
 //	semtree-bench -fig throughput -parallel 8 -batch 64
 //	semtree-bench -fig deadline -deadline 1ms -latency 200µs
 //	semtree-bench -fig scheduler -hops 0,1ms,10ms,50ms
+//	semtree-bench -fig quota -tenants 2
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 		batch      = flag.Int("batch", 0, "queries per batched call in the throughput experiment (default: whole workload)")
 		deadline   = flag.Duration("deadline", 0, "per-query deadline for the deadline experiment: reports p50/p99 latency and the fraction of queries cut off (default 8x latency)")
 		hops       = flag.String("hops", "", "comma-separated per-hop latencies for the scheduler experiment, e.g. 0,1ms,50ms (default 0,1ms,5ms,20ms,50ms)")
+		tenants    = flag.Int("tenants", 0, "tenant count for the quota experiment: 1 quota-throttled aggressor plus N-1 unthrottled victims (default 2)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		csvDir     = flag.String("csv", "", "also write <dir>/<fig>.csv")
 	)
@@ -51,6 +53,7 @@ func main() {
 		Parallel: *parallel,
 		Batch:    *batch,
 		Deadline: *deadline,
+		Tenants:  *tenants,
 		Seed:     *seed,
 	}
 	var err error

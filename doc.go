@@ -58,6 +58,25 @@
 //	}
 //	_ = s.SchedulerStats().HopLatency // what the model currently believes
 //
+// For multi-tenant serving the scheduler also meters and enforces
+// cost. Every query's ExecStats are accumulated per Searcher —
+// cumulative distance evaluations, fabric messages and wall time,
+// priced onto a single cost-unit scale by CostOf — so one Searcher per
+// tenant yields per-tenant bills for free. WithQuota(capacity,
+// refillPerSec) adds a token bucket in those units: each admission is
+// charged with the cost model's estimate of the query, the observed
+// stats settle the difference on completion, and a tenant whose bucket
+// is empty is rejected with ErrQuotaExhausted before any fabric
+// message is spent — an over-budget tenant is throttled to its refill
+// rate while other tenants' latency is untouched:
+//
+//	tenant := idx.Searcher(semtree.SearchOptions{K: 3},
+//		semtree.WithQuota(4*typicalCost, typicalCost*targetQPS))
+//	if _, err := tenant.Search(ctx, q); errors.Is(err, semtree.ErrQuotaExhausted) {
+//		// back off ~cost/refill and retry; the bucket refills lazily
+//	}
+//	_ = tenant.SchedulerStats().MeteredCost // the tenant's cumulative bill
+//
 // Quick start:
 //
 //	store := triple.NewStore()            // fill with triples …

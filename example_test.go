@@ -2,6 +2,7 @@ package semtree_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -137,4 +138,101 @@ func ExampleSearcher_SearchBatch() {
 	// Output:
 	// ('OBSW001', Fun:accept_cmd, CmdType:start-up) (protocol sequential, 1 partitions)
 	// ('OBSW001', Fun:send_msg, MsgType:power_amplifier) (protocol sequential, 1 partitions)
+}
+
+// ExampleSearcher_quota runs one tenant under a token-bucket cost
+// quota: the tenant burns its burst budget, is throttled with
+// ErrQuotaExhausted (before any fabric message is spent), and is
+// admitted again once the bucket has refilled.
+func ExampleSearcher_quota() {
+	store := triple.NewStore()
+	for _, line := range []string{
+		"('OBSW001', Fun:acquire_in, InType:pre-launch_phase)",
+		"('OBSW001', Fun:accept_cmd, CmdType:start-up)",
+		"('OBSW001', Fun:send_msg, MsgType:power_amplifier)",
+	} {
+		t, err := triple.ParseTriple(line)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store.Add(t, triple.Provenance{Doc: "OBSW-SRS"})
+	}
+	idx, err := semtree.Build(store, semtree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	// One Searcher per tenant isolates the quota: a 200-unit burst,
+	// refilled at 1000 cost units per second (see semtree.CostOf for
+	// the cost-unit scale).
+	tenant := idx.Searcher(semtree.SearchOptions{K: 1}, semtree.WithQuota(200, 1000))
+	q, _ := triple.ParseTriple("('OBSW001', Fun:block_cmd, CmdType:start-up)")
+
+	admitted, throttled := 0, 0
+	for i := 0; i < 50; i++ {
+		_, err := tenant.Search(context.Background(), q)
+		switch {
+		case err == nil:
+			admitted++
+		case errors.Is(err, semtree.ErrQuotaExhausted):
+			throttled++
+		default:
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("burst admitted:", admitted > 0)
+	fmt.Println("then throttled:", throttled > 0)
+
+	// The bucket refills lazily at the configured rate; after a pause
+	// the tenant is served again.
+	time.Sleep(300 * time.Millisecond)
+	_, err = tenant.Search(context.Background(), q)
+	fmt.Println("recovered:", err == nil)
+	// Output:
+	// burst admitted: true
+	// then throttled: true
+	// recovered: true
+}
+
+// ExampleSearcher_SchedulerStats reads a searcher's scheduler snapshot:
+// admission counters and the cumulative metered cost of the tenant's
+// traffic.
+func ExampleSearcher_SchedulerStats() {
+	store := triple.NewStore()
+	for _, line := range []string{
+		"('OBSW001', Fun:accept_cmd, CmdType:start-up)",
+		"('OBSW001', Fun:send_msg, MsgType:housekeeping)",
+	} {
+		t, err := triple.ParseTriple(line)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store.Add(t, triple.Provenance{})
+	}
+	idx, err := semtree.Build(store, semtree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	s := idx.Searcher(semtree.SearchOptions{K: 1})
+	q1, _ := triple.ParseTriple("('OBSW001', Fun:block_cmd, CmdType:start-up)")
+	q2, _ := triple.ParseTriple("('OBSW001', Fun:send_msg, MsgType:power_amplifier)")
+	for _, q := range []triple.Triple{q1, q2} {
+		if _, err := s.Search(context.Background(), q); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	st := s.SchedulerStats()
+	fmt.Println("admitted:", st.Admitted)
+	fmt.Println("rejected:", st.RejectedLoad+st.RejectedBudget+st.RejectedQuota)
+	fmt.Println("fabric messages:", st.MeteredFabricMessages)
+	fmt.Println("metered cost > 0:", st.MeteredCost > 0)
+	// Output:
+	// admitted: 2
+	// rejected: 0
+	// fabric messages: 2
+	// metered cost > 0: true
 }

@@ -48,7 +48,7 @@ func TestRunnersRegistryComplete(t *testing.T) {
 	ids := RunnerIDs()
 	want := []string{"ablation-bucket", "ablation-dims", "ablation-measure",
 		"ablation-weights", "complexity", "deadline", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"scheduler", "throughput"}
+		"quota", "scheduler", "throughput"}
 	if len(ids) != len(want) {
 		t.Fatalf("runner ids = %v", ids)
 	}
@@ -297,5 +297,51 @@ func TestSchedulerShape(t *testing.T) {
 	}
 	if autoEvals.Y[0] >= fanEvals.Y[0] {
 		t.Fatalf("auto evals at 0 latency = %f not below fan-out's %f", autoEvals.Y[0], fanEvals.Y[0])
+	}
+}
+
+// TestQuotaShape: the quota figure must show the aggressor actually
+// throttled (rejections happened, admitted QPS near the refill target
+// by the last window) and a live victim. Bounds are loose — this is a
+// smoke test on a tiny workload, the real sweep runs in
+// cmd/semtree-bench — but the enforcement itself must be visible.
+func TestQuotaShape(t *testing.T) {
+	p := tinyParams()
+	fig, err := Quota(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d, want 5", len(fig.Series))
+	}
+	byName := map[string]Series{}
+	for _, s := range fig.Series {
+		byName[s.Name] = s
+	}
+	admitted := byName["aggressor admitted qps"]
+	rejected := byName["aggressor rejected qps"]
+	target := byName["refill target qps"]
+	vic := byName["victim p50 ms"]
+	if len(admitted.Y) == 0 || len(target.Y) == 0 {
+		t.Fatalf("missing series: %+v", fig.Series)
+	}
+	var shedTotal float64
+	for _, y := range rejected.Y {
+		shedTotal += y
+	}
+	if shedTotal == 0 {
+		t.Fatalf("aggressor was never throttled:\n%s", fig.Table())
+	}
+	// Converged: by the last window the admitted rate sits near the
+	// refill line, not at the unthrottled closed-loop rate.
+	last := admitted.Y[len(admitted.Y)-1]
+	want := target.Y[len(target.Y)-1]
+	if last < want*0.2 || last > want*3 {
+		t.Fatalf("last-window admitted qps %.1f not near refill target %.1f:\n%s", last, want, fig.Table())
+	}
+	for i, y := range vic.Y {
+		if y <= 0 {
+			t.Fatalf("victim p50 window %d not positive:\n%s", i+1, fig.Table())
+		}
 	}
 }

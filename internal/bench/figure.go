@@ -147,6 +147,7 @@ type Params struct {
 	Batch      int             // queries per batched call (default: whole workload)
 	Deadline   time.Duration   // per-query deadline for the deadline experiment (default 8× latency)
 	Hops       []time.Duration // per-hop latency sweep for the scheduler experiment (default 0..50ms)
+	Tenants    int             // tenant count for the quota experiment: 1 throttled aggressor + N−1 victims (default 2)
 	Seed       int64
 }
 
@@ -186,6 +187,9 @@ func (p Params) withDefaults() Params {
 		p.Hops = []time.Duration{0, time.Millisecond, 5 * time.Millisecond,
 			20 * time.Millisecond, 50 * time.Millisecond}
 	}
+	if p.Tenants < 2 {
+		p.Tenants = 2 // the quota experiment needs an aggressor and a victim
+	}
 	return p
 }
 
@@ -205,6 +209,7 @@ func Runners() map[string]Runner {
 		"throughput":       Throughput,
 		"deadline":         Deadline,
 		"scheduler":        Scheduler,
+		"quota":            Quota,
 		"complexity":       Complexity,
 		"ablation-weights": AblationWeights,
 		"ablation-dims":    AblationDims,

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"semtree/internal/cluster"
+	"semtree/internal/core"
+)
+
+// quotaTargetQPS is the sustained rate granted to the throttled tenant:
+// its bucket refills at quotaTargetQPS × (average cost of one query)
+// units per second, so its admitted throughput must converge onto this
+// line no matter how hard it hammers.
+const quotaTargetQPS = 25.0
+
+// Quota measures per-tenant quota enforcement end to end. One tree
+// serves Params.Tenants tenants (one core.Scheduler each, exactly the
+// Searcher-per-tenant facade arrangement): tenant 0 is an aggressor
+// with a token-bucket quota sized from the measured per-query cost
+// (capacity 4×avg, refill avg×target QPS) hammering in a closed loop
+// with several workers, and the remaining tenants are well-behaved,
+// unthrottled closed loops. The figure reports, per time window, the
+// aggressor's admitted and rejected QPS against its refill-rate target,
+// and the victims' p50 latency against their solo baseline (measured
+// with the aggressor absent). Expected shape: the aggressor's admitted
+// QPS spends its burst in the first window and then converges onto the
+// target line, and the victims' p50 stays within a few percent of the
+// solo baseline — quota rejections cost the fabric nothing.
+func Quota(p Params) (*Figure, error) {
+	p = p.withDefaults()
+	n := maxSize(p.Sizes)
+	m := 1
+	for _, c := range p.Partitions {
+		if c > m {
+			m = c
+		}
+	}
+	data, err := makeSweep(n, p.Queries, p.Dims, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Build fast, then degrade the network so only queries pay the
+	// per-hop latency.
+	fabric := cluster.NewInProc(cluster.InProcOptions{})
+	defer fabric.Close()
+	tr, err := buildDistributed(data.prefix(n), m, p, fabric, false)
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+	fabric.SetLatency(p.Latency)
+
+	// Warm-up: learn the average per-query cost on this tree, the unit
+	// the quota is denominated in.
+	warm := tr.NewScheduler(core.SchedulerConfig{})
+	warmN := 30
+	if warmN > len(data.queries) {
+		warmN = len(data.queries)
+	}
+	var totalCost float64
+	for i := 0; i < warmN; i++ {
+		_, st, err := warm.KNearest(context.Background(), data.queries[i], p.K)
+		if err != nil {
+			return nil, err
+		}
+		totalCost += core.CostOf(st)
+	}
+	avgCost := totalCost / float64(warmN)
+
+	quota := &core.QuotaConfig{
+		Capacity:     4 * avgCost,
+		RefillPerSec: avgCost * quotaTargetQPS,
+	}
+	aggressor := tr.NewScheduler(core.SchedulerConfig{Quota: quota})
+	victims := make([]*core.Scheduler, p.Tenants-1)
+	for i := range victims {
+		victims[i] = tr.NewScheduler(core.SchedulerConfig{})
+	}
+
+	const (
+		windows  = 6
+		window   = 400 * time.Millisecond
+		aggrWork = 3                      // aggressor closed-loop workers
+		backoff  = 500 * time.Microsecond // aggressor sleep after a rejection
+	)
+
+	// Solo baseline: the victims run alone for one window; their p50 is
+	// the line the contended p50 is held against.
+	var soloRecs []quotaRec
+	for _, v := range victims {
+		recs, err := hammerQuota(v, data.queries, p.K, 1, window, 0)
+		if err != nil {
+			return nil, err
+		}
+		soloRecs = append(soloRecs, recs...)
+	}
+	soloP50 := quotaP50(soloRecs)
+
+	// Contended run: aggressor and victims concurrently for the full
+	// window sweep.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		aggrRecs []quotaRec
+		vicRecs  []quotaRec
+	)
+	record := func(dst *[]quotaRec, recs []quotaRec, err error) {
+		mu.Lock()
+		*dst = append(*dst, recs...)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		recs, err := hammerQuota(aggressor, data.queries, p.K, aggrWork, windows*window, backoff)
+		record(&aggrRecs, recs, err)
+	}()
+	for _, v := range victims {
+		wg.Add(1)
+		go func(v *core.Scheduler) {
+			defer wg.Done()
+			recs, err := hammerQuota(v, data.queries, p.K, 1, windows*window, 0)
+			record(&vicRecs, recs, err)
+		}(v)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	fig := &Figure{
+		ID: "quota", Title: fmt.Sprintf("Per-tenant quota enforcement (%d tenants, K=%d, %d points, %d partitions)",
+			p.Tenants, p.K, n, m),
+		XLabel: "window", YLabel: "qps | p50 ms", YFmt: "%.2f",
+		Notes: []string{
+			fmt.Sprintf("per-hop latency %v; %v windows; aggressor quota: capacity %.0f units (4x avg query cost %.0f), refill %.0f units/s (%.0f qps)",
+				p.Latency, window, quota.Capacity, avgCost, quota.RefillPerSec, quotaTargetQPS),
+			"expected: aggressor admitted qps converges onto the refill line after the first-window burst; victim p50 tracks its solo baseline",
+		},
+	}
+	admitted := Series{Name: "aggressor admitted qps"}
+	rejected := Series{Name: "aggressor rejected qps"}
+	target := Series{Name: "refill target qps"}
+	vicP50 := Series{Name: "victim p50 ms"}
+	solo := Series{Name: "victim solo p50 ms"}
+	winSec := window.Seconds()
+	for w := 0; w < windows; w++ {
+		lo, hi := time.Duration(w)*window, time.Duration(w+1)*window
+		var ok, shed float64
+		for _, r := range aggrRecs {
+			if r.at < lo || r.at >= hi {
+				continue
+			}
+			if r.ok {
+				ok++
+			} else {
+				shed++
+			}
+		}
+		var wins []quotaRec
+		for _, r := range vicRecs {
+			if r.at >= lo && r.at < hi {
+				wins = append(wins, r)
+			}
+		}
+		x := float64(w + 1)
+		admitted.X = append(admitted.X, x)
+		admitted.Y = append(admitted.Y, ok/winSec)
+		rejected.X = append(rejected.X, x)
+		rejected.Y = append(rejected.Y, shed/winSec)
+		target.X = append(target.X, x)
+		target.Y = append(target.Y, quotaTargetQPS)
+		vicP50.X = append(vicP50.X, x)
+		vicP50.Y = append(vicP50.Y, ms(quotaP50(wins)))
+		solo.X = append(solo.X, x)
+		solo.Y = append(solo.Y, ms(soloP50))
+	}
+	st := aggressor.Stats()
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("aggressor totals: %d admitted, %d quota-rejected, metered cost %.0f units; rejected queries spent zero fabric messages",
+			st.Admitted, st.RejectedQuota, st.MeteredCost))
+	fig.Series = append(fig.Series, admitted, rejected, target, vicP50, solo)
+	return fig, nil
+}
+
+// quotaRec is one closed-loop attempt: when it was issued (offset from
+// the loop start), how long the client observed it take, and whether it
+// was admitted (false = quota-rejected).
+type quotaRec struct {
+	at   time.Duration
+	wall time.Duration
+	ok   bool
+}
+
+// hammerQuota runs a closed query loop against one scheduler with the
+// given worker count for duration d, recording every attempt.
+// Quota rejections optionally back off (a polite client's retry
+// behavior); any other error aborts the loop.
+func hammerQuota(s *core.Scheduler, qs [][]float64, k, workers int, d, backoff time.Duration) ([]quotaRec, error) {
+	var (
+		mu       sync.Mutex
+		recs     []quotaRec
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i += workers {
+				at := time.Since(start)
+				if at >= d {
+					return
+				}
+				t0 := time.Now()
+				_, _, err := s.KNearest(context.Background(), qs[i%len(qs)], k)
+				wall := time.Since(t0)
+				switch {
+				case err == nil:
+					mu.Lock()
+					recs = append(recs, quotaRec{at: at, wall: wall, ok: true})
+					mu.Unlock()
+				case errors.Is(err, core.ErrQuotaExhausted):
+					mu.Lock()
+					recs = append(recs, quotaRec{at: at, wall: wall, ok: false})
+					mu.Unlock()
+					if backoff > 0 {
+						time.Sleep(backoff)
+					}
+				default:
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return recs, firstErr
+}
+
+// quotaP50 returns the median wall of the admitted records.
+func quotaP50(recs []quotaRec) time.Duration {
+	var walls []time.Duration
+	for _, r := range recs {
+		if r.ok {
+			walls = append(walls, r.wall)
+		}
+	}
+	sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+	return percentile(walls, 0.50)
+}

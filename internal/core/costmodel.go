@@ -81,10 +81,12 @@ func (e *ewma) add(x float64) {
 }
 
 // protoShape is the structural (latency-independent) profile of one
-// protocol: fabric messages, nodes visited and observed wall per query.
+// protocol: fabric messages, nodes visited, distance evaluations and
+// observed wall per query.
 type protoShape struct {
 	msgs  ewma
 	nodes ewma
+	dists ewma
 	wall  ewma
 }
 
@@ -155,6 +157,7 @@ func (m *costModel) observeQuery(idx protoIdx, st ExecStats) {
 	sh := &m.shape[idx]
 	sh.msgs.add(float64(st.FabricMessages))
 	sh.nodes.add(float64(st.NodesVisited))
+	sh.dists.add(float64(st.DistanceEvals))
 	sh.wall.add(float64(st.Wall))
 	m.mu.Unlock()
 }
@@ -264,6 +267,47 @@ func (m *costModel) estimateWall(p Protocol, partitions int) time.Duration {
 		estSeq, _ := m.estimates(partitions)
 		return estSeq
 	}
+}
+
+// shapeIdx maps a resolved protocol to its structural profile.
+func shapeIdx(p Protocol) protoIdx {
+	switch p {
+	case ProtocolFanOut:
+		return idxFan
+	case ProtocolRange:
+		return idxRange
+	default:
+		return idxSeq
+	}
+}
+
+// estimateCost prices one query under the given resolved protocol in
+// cost units (see CostOf), for the quota bucket's admission charge: the
+// protocol's structural profile (distance evaluations, messages,
+// observed wall) at the cost-unit prices. A k-NN protocol with no
+// samples yet borrows the other's profile; a model with no samples at
+// all returns 0 — the query is admitted on a zero charge and the
+// bucket settles up from the observed cost at reconciliation, so even
+// a cold tenant cannot spend past its capacity for long.
+func (m *costModel) estimateCost(p Protocol) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sh := &m.shape[shapeIdx(p)]
+	if sh.dists.n == 0 && p != ProtocolRange {
+		other := &m.shape[idxFan]
+		if shapeIdx(p) == idxFan {
+			other = &m.shape[idxSeq]
+		}
+		if other.dists.n > 0 {
+			sh = other
+		}
+	}
+	if sh.dists.n == 0 {
+		return 0
+	}
+	return sh.dists.v*CostPerDistanceEval +
+		sh.msgs.v*CostPerFabricMessage +
+		sh.wall.v/float64(time.Millisecond)*CostPerWallMilli
 }
 
 // snapshot exports the current estimates, the observed per-protocol

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// This file is the per-tenant quota layer of the scheduler. The paper's
+// §V states query cost in fabric messages and nodes visited; PR 3's
+// cost model estimates that cost online, and the scheduler here turns
+// the estimate into an enforced budget: every Scheduler (one per
+// Searcher, i.e. per tenant) can carry a token bucket denominated in
+// cost units, charged at admission with the model's estimate of the
+// query about to run and reconciled with the query's observed ExecStats
+// on completion. A tenant whose bucket is empty is rejected with
+// ErrQuotaExhausted before any fabric message is spent — the same
+// zero-cost rejection contract as ErrDeadlineBudget.
+
+// Cost-unit prices. One cost unit is one point-to-query distance
+// evaluation — the paper's innermost unit of query work — and the other
+// ExecStats components are priced relative to it. The scale is
+// deliberately coarse: quotas ration aggregate work across tenants,
+// they do not bill microseconds.
+const (
+	// CostPerDistanceEval prices one point distance evaluation: the
+	// unit of the scale.
+	CostPerDistanceEval = 1.0
+	// CostPerFabricMessage prices one fabric call — serialization,
+	// transit and a remote handler dispatch, worth roughly a leaf
+	// bucket scan of work.
+	CostPerFabricMessage = 32.0
+	// CostPerWallMilli prices a millisecond of client-observed wall
+	// time, so queries that occupy the fabric longer (high-latency
+	// hops, deep sequential chains) drain more budget than their
+	// counter totals alone suggest.
+	CostPerWallMilli = 4.0
+)
+
+// CostOf prices one query's observed execution in cost units. The
+// function is linear in the ExecStats components, so the cost of a
+// workload is CostOf of its summed stats — which is how SchedulerStats
+// reports MeteredCost.
+func CostOf(st ExecStats) float64 {
+	return float64(st.DistanceEvals)*CostPerDistanceEval +
+		float64(st.FabricMessages)*CostPerFabricMessage +
+		float64(st.Wall)/float64(time.Millisecond)*CostPerWallMilli
+}
+
+// ErrQuotaExhausted is returned for a query rejected because the
+// scheduler's token bucket holds fewer cost units than the query is
+// estimated to need. Like every admission rejection it is decided
+// before the query touches the fabric — a quota-rejected query spends
+// zero messages. The bucket refills at the configured rate; callers
+// should back off for roughly EstimatedCost/RefillPerSec and retry.
+var ErrQuotaExhausted = errors.New("core: per-tenant quota exhausted")
+
+// QuotaConfig configures one scheduler's token bucket, in cost units
+// (see CostOf). The bucket starts full. A nil *QuotaConfig on
+// SchedulerConfig disables quota enforcement entirely; a zero Capacity
+// with quotas enabled admits nothing — useful for draining a tenant.
+// A Capacity below one query's estimated cost does not lock the tenant
+// out: a full bucket always admits, so throughput degrades to one
+// query per Capacity/RefillPerSec interval.
+type QuotaConfig struct {
+	// Capacity is the bucket size: the largest burst of cost a tenant
+	// may spend at once.
+	Capacity float64
+	// RefillPerSec is the sustained spend rate: cost units restored per
+	// second, accrued lazily at admission time (no background
+	// goroutine). 0 means the bucket never refills.
+	RefillPerSec float64
+}
+
+// quotaBucket is a lazily refilled token bucket. Refill happens under
+// the same mutex as the take, on the admission path — one time.Now per
+// admission, nothing in the background. The level is clamped to
+// [0, Capacity] at every transition, so estimate-vs-observed
+// reconciliation can never drive it negative (which would silently
+// extend the tenant's penalty beyond its configured burst).
+type quotaBucket struct {
+	mu       sync.Mutex
+	capacity float64
+	refill   float64
+	level    float64
+	last     time.Time
+	now      func() time.Time // injectable for tests; time.Now in production
+}
+
+func newQuotaBucket(cfg QuotaConfig, now func() time.Time) *quotaBucket {
+	b := &quotaBucket{capacity: cfg.Capacity, refill: cfg.RefillPerSec, now: now}
+	b.level = b.capacity
+	b.last = now()
+	return b
+}
+
+// refillLocked accrues tokens for the time elapsed since the last
+// transition. Callers hold b.mu.
+func (b *quotaBucket) refillLocked() {
+	t := b.now()
+	if b.refill > 0 {
+		if dt := t.Sub(b.last).Seconds(); dt > 0 {
+			b.level = min(b.capacity, b.level+dt*b.refill)
+		}
+	}
+	b.last = t
+}
+
+// take admits one query estimated to cost est units: it refills lazily,
+// then charges the estimate, returning what was actually deducted. An
+// empty bucket admits nothing, even at a zero estimate (a cold cost
+// model must not grant free queries to an exhausted tenant). A *full*
+// bucket admits even an estimate above its capacity, charging whatever
+// it holds — an undersized bucket (or a cost-model estimate that
+// drifted past Capacity) degrades to one query per full-refill
+// interval instead of locking the tenant out forever.
+func (b *quotaBucket) take(est float64) (charged float64, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.level <= 0 || (b.level < est && b.level < b.capacity) {
+		return 0, false
+	}
+	charged = est
+	if charged > b.level {
+		charged = b.level // oversized estimate admitted on a full bucket
+	}
+	b.level -= charged
+	return charged, true
+}
+
+// refund returns an admission charge for a query that was charged but
+// never ran (shed at the in-flight limit, or its context died while
+// queued).
+func (b *quotaBucket) refund(x float64) {
+	b.mu.Lock()
+	b.level = min(b.capacity, b.level+x)
+	b.mu.Unlock()
+}
+
+// reconcile settles a completed query: the admission charge was an
+// estimate, the observed ExecStats are the truth. Underestimates drain
+// the remaining difference, overestimates are refunded; either way the
+// level stays within [0, Capacity]. Because charged is what take
+// actually deducted, the net effect of take+reconcile is exactly
+// clamp(level − observed).
+func (b *quotaBucket) reconcile(charged, observed float64) {
+	b.mu.Lock()
+	b.level += charged - observed
+	if b.level < 0 {
+		b.level = 0
+	} else if b.level > b.capacity {
+		b.level = b.capacity
+	}
+	b.mu.Unlock()
+}
+
+// snapshot reports the current level (after lazy refill) and capacity.
+func (b *quotaBucket) snapshot() (level, capacity float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	return b.level, b.capacity
+}

@@ -77,9 +77,17 @@ type SchedulerConfig struct {
 	// soon as MaxInFlight is saturated). Ignored when MaxInFlight is 0.
 	QueueDepth int
 	// Admission enables the deadline-budget check: a query whose
-	// context deadline leaves less time than the estimated query cost
+	// context deadline leaves less time than the estimated query cost —
+	// including the expected wait behind the queries already queued —
 	// is rejected with ErrDeadlineBudget instead of executed.
 	Admission bool
+	// Quota, when non-nil, enforces a per-scheduler (i.e. per-tenant)
+	// token-bucket cost quota: each admission charges the cost model's
+	// estimate of the query against the bucket and the completed
+	// query's observed ExecStats settle the difference. An exhausted
+	// bucket rejects with ErrQuotaExhausted before any fabric message
+	// is spent. See QuotaConfig and CostOf for the cost-unit scale.
+	Quota *QuotaConfig
 }
 
 // Scheduler runs queries against a Tree under one admission policy:
@@ -97,12 +105,22 @@ type Scheduler struct {
 	cfg        SchedulerConfig
 	queueDepth int64
 	slots      chan struct{} // nil when MaxInFlight is unlimited
+	quota      *quotaBucket  // nil when no quota is configured
 
 	queued         atomic.Int64 // currently waiting for a slot
 	inFlight       atomic.Int64 // currently executing
 	admitted       atomic.Int64
 	rejectedLoad   atomic.Int64
 	rejectedBudget atomic.Int64
+	rejectedQuota  atomic.Int64
+
+	// Cost metering: cumulative observed cost of every query this
+	// scheduler executed (admitted and run, whether it succeeded or
+	// not), drawn from the ExecStats stream. Per-scheduler, so a
+	// Searcher-per-tenant facade gets per-tenant totals for free.
+	meterDists atomic.Int64
+	meterMsgs  atomic.Int64
+	meterWall  atomic.Int64 // nanoseconds
 }
 
 // NewScheduler returns a scheduler over the tree. Schedulers share the
@@ -111,6 +129,9 @@ type Scheduler struct {
 // facade can run one per tenant or per traffic class.
 func (t *Tree) NewScheduler(cfg SchedulerConfig) *Scheduler {
 	s := &Scheduler{t: t, cfg: cfg}
+	if cfg.Quota != nil {
+		s.quota = newQuotaBucket(*cfg.Quota, time.Now)
+	}
 	if cfg.MaxInFlight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInFlight)
 		switch {
@@ -134,6 +155,8 @@ type SchedulerStats struct {
 	RejectedLoad int64
 	// RejectedBudget counts ErrDeadlineBudget rejections.
 	RejectedBudget int64
+	// RejectedQuota counts ErrQuotaExhausted rejections.
+	RejectedQuota int64
 	// Queued is the number of queries currently waiting for an
 	// in-flight slot; InFlight the number currently executing.
 	Queued   int64
@@ -160,6 +183,26 @@ type SchedulerStats struct {
 	// forcing the protocol). The histogram is shared across every
 	// scheduler of the same tree.
 	Choices map[string]int64
+	// MeteredDistanceEvals, MeteredFabricMessages and MeteredWall are
+	// the cumulative observed cost of every query this scheduler
+	// executed — the ExecStats stream summed per scheduler, i.e. per
+	// tenant when the facade runs a Searcher per tenant. Rejected
+	// queries contribute nothing (they did no work).
+	MeteredDistanceEvals  int64
+	MeteredFabricMessages int64
+	MeteredWall           time.Duration
+	// MeteredCost is the metered totals priced on the cost-unit scale:
+	// CostOf applied to the summed stats (CostOf is linear, so the sum
+	// of per-query costs equals the cost of the sums).
+	MeteredCost float64
+	// QuotaCapacity and QuotaLevel describe the scheduler's token
+	// bucket: the configured burst capacity and the cost units
+	// currently available (after lazy refill). Both are zero when no
+	// quota is configured — distinguish "no quota" from a configured
+	// zero-capacity bucket via QuotaEnabled.
+	QuotaEnabled  bool
+	QuotaCapacity float64
+	QuotaLevel    float64
 }
 
 // Stats snapshots the scheduler.
@@ -167,10 +210,11 @@ func (s *Scheduler) Stats() SchedulerStats {
 	parts := s.t.PartitionCount()
 	hop, cmp, seqWall, fanWall, choices := s.t.model.snapshot(parts)
 	estSeq, estFan := s.t.model.estimates(parts)
-	return SchedulerStats{
+	st := SchedulerStats{
 		Admitted:               s.admitted.Load(),
 		RejectedLoad:           s.rejectedLoad.Load(),
 		RejectedBudget:         s.rejectedBudget.Load(),
+		RejectedQuota:          s.rejectedQuota.Load(),
 		Queued:                 s.queued.Load(),
 		InFlight:               s.inFlight.Load(),
 		HopLatency:             hop,
@@ -180,7 +224,20 @@ func (s *Scheduler) Stats() SchedulerStats {
 		ObservedSequentialWall: seqWall,
 		ObservedFanOutWall:     fanWall,
 		Choices:                choices,
+		MeteredDistanceEvals:   s.meterDists.Load(),
+		MeteredFabricMessages:  s.meterMsgs.Load(),
+		MeteredWall:            time.Duration(s.meterWall.Load()),
 	}
+	st.MeteredCost = CostOf(ExecStats{
+		DistanceEvals:  st.MeteredDistanceEvals,
+		FabricMessages: st.MeteredFabricMessages,
+		Wall:           st.MeteredWall,
+	})
+	if s.quota != nil {
+		st.QuotaEnabled = true
+		st.QuotaLevel, st.QuotaCapacity = s.quota.snapshot()
+	}
+	return st
 }
 
 // resolve maps the configured protocol to the one a query would run
@@ -193,35 +250,66 @@ func (s *Scheduler) resolve() Protocol {
 }
 
 // admit is the admission decision for one query about to run under
-// protocol p. It returns a release closure on success, or a typed
-// rejection. Order: the deadline-budget check first (rejecting there
-// costs nothing and frees no slot), then the in-flight limit with its
-// bounded queue. A context that dies while queued returns its error.
-func (s *Scheduler) admit(ctx context.Context, p Protocol) (release func(), err error) {
+// protocol p. It returns a release closure and the quota charge on
+// success, or a typed rejection. Order: the deadline-budget check first
+// (rejecting there costs nothing and frees no slot), then the quota
+// bucket (charged with the cost model's estimate; refunded if a later
+// stage rejects), then the in-flight limit with its bounded queue. A
+// context that dies while queued returns its error. Every rejection
+// happens before the query touches the fabric — a rejected query
+// spends zero messages.
+func (s *Scheduler) admit(ctx context.Context, p Protocol) (release func(), charged float64, err error) {
 	if s.cfg.Admission {
 		if dl, ok := ctx.Deadline(); ok {
-			if est := s.t.model.estimateWall(p, s.t.PartitionCount()); est > 0 && time.Until(dl) < est {
-				s.rejectedBudget.Add(1)
-				return nil, ErrDeadlineBudget
+			if est := s.t.model.estimateWall(p, s.t.PartitionCount()); est > 0 {
+				// Queue-aware budget: a saturated scheduler makes the
+				// query wait behind the ones already queued, so the
+				// expected queue wait (Queued × EstWall / MaxInFlight)
+				// is charged against the deadline alongside the query's
+				// own estimated wall.
+				wait := time.Duration(0)
+				if s.cfg.MaxInFlight > 0 {
+					wait = time.Duration(s.queued.Load()) * est / time.Duration(s.cfg.MaxInFlight)
+				}
+				if time.Until(dl) < est+wait {
+					s.rejectedBudget.Add(1)
+					return nil, 0, ErrDeadlineBudget
+				}
 			}
+		}
+	}
+	if s.quota != nil {
+		est := s.t.model.estimateCost(p)
+		var ok bool
+		if charged, ok = s.quota.take(est); !ok {
+			s.rejectedQuota.Add(1)
+			return nil, 0, ErrQuotaExhausted
 		}
 	}
 	if s.slots != nil {
 		select {
 		case s.slots <- struct{}{}:
 		default:
-			// Saturated: join the bounded admission queue, or shed.
+			// Saturated: join the bounded admission queue, or shed. A
+			// query charged against the quota but shed here never ran,
+			// so its charge is refunded.
 			if s.queued.Add(1) > s.queueDepth {
 				s.queued.Add(-1)
 				s.rejectedLoad.Add(1)
-				return nil, ErrAdmissionRejected
+				if s.quota != nil {
+					s.quota.refund(charged)
+				}
+				return nil, 0, ErrAdmissionRejected
 			}
 			select {
 			case s.slots <- struct{}{}:
 				s.queued.Add(-1)
 			case <-ctx.Done():
 				s.queued.Add(-1)
-				return nil, ctx.Err()
+				if s.quota != nil {
+					s.quota.refund(charged)
+				}
+				return nil, 0, ctx.Err()
 			}
 		}
 	}
@@ -232,7 +320,20 @@ func (s *Scheduler) admit(ctx context.Context, p Protocol) (release func(), err 
 		if s.slots != nil {
 			<-s.slots
 		}
-	}, nil
+	}, charged, nil
+}
+
+// complete settles one executed query: the observed ExecStats are
+// metered into the scheduler's cumulative totals and, under a quota,
+// reconciled against the admission charge. Runs for every admitted
+// query — failed and cut-off queries did their work too.
+func (s *Scheduler) complete(charged float64, st ExecStats) {
+	s.meterDists.Add(st.DistanceEvals)
+	s.meterMsgs.Add(st.FabricMessages)
+	s.meterWall.Add(int64(st.Wall))
+	if s.quota != nil {
+		s.quota.reconcile(charged, CostOf(st))
+	}
 }
 
 // KNearest answers one k-nearest query through the scheduler: protocol
@@ -282,24 +383,26 @@ func (s *Scheduler) RangeBatch(ctx context.Context, qs [][]float64, d float64, w
 // choose() runs once per query, not twice.
 func (s *Scheduler) knnOne(ctx context.Context, q []float64, k int) QueryResult {
 	p := s.resolve()
-	release, err := s.admit(ctx, p)
+	release, charged, err := s.admit(ctx, p)
 	if err != nil {
 		return QueryResult{Err: err}
 	}
 	defer release()
 	var r QueryResult
 	r.Neighbors, r.Stats, r.Err = s.t.knnResolved(ctx, q, k, p, s.cfg.Protocol == ProtocolAuto)
+	s.complete(charged, r.Stats)
 	return r
 }
 
 // rangeOne runs one admission-controlled range query.
 func (s *Scheduler) rangeOne(ctx context.Context, q []float64, d float64) QueryResult {
-	release, err := s.admit(ctx, ProtocolRange)
+	release, charged, err := s.admit(ctx, ProtocolRange)
 	if err != nil {
 		return QueryResult{Err: err}
 	}
 	defer release()
 	var r QueryResult
 	r.Neighbors, r.Stats, r.Err = s.t.RangeSearchStats(ctx, q, d)
+	s.complete(charged, r.Stats)
 	return r
 }

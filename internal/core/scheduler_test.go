@@ -103,15 +103,15 @@ func TestAdmissionMaxInFlight(t *testing.T) {
 
 	// Direct: MaxInFlight=1, no queue.
 	s := tr.NewScheduler(SchedulerConfig{MaxInFlight: 1, QueueDepth: -1})
-	release, err := s.admit(context.Background(), ProtocolSequential)
+	release, _, err := s.admit(context.Background(), ProtocolSequential)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.admit(context.Background(), ProtocolSequential); !errors.Is(err, ErrAdmissionRejected) {
+	if _, _, err := s.admit(context.Background(), ProtocolSequential); !errors.Is(err, ErrAdmissionRejected) {
 		t.Fatalf("saturated no-queue admit: err = %v, want ErrAdmissionRejected", err)
 	}
 	release()
-	if release, err = s.admit(context.Background(), ProtocolSequential); err != nil {
+	if release, _, err = s.admit(context.Background(), ProtocolSequential); err != nil {
 		t.Fatalf("slot not released: %v", err)
 	}
 	release()
@@ -122,13 +122,13 @@ func TestAdmissionMaxInFlight(t *testing.T) {
 	// Direct: MaxInFlight=1 with a one-deep queue. The queued admit
 	// must block until the slot frees, and a third arrival must shed.
 	s = tr.NewScheduler(SchedulerConfig{MaxInFlight: 1, QueueDepth: 1})
-	release, err = s.admit(context.Background(), ProtocolSequential)
+	release, _, err = s.admit(context.Background(), ProtocolSequential)
 	if err != nil {
 		t.Fatal(err)
 	}
 	queuedDone := make(chan error, 1)
 	go func() {
-		rel, err := s.admit(context.Background(), ProtocolSequential)
+		rel, _, err := s.admit(context.Background(), ProtocolSequential)
 		if err == nil {
 			rel()
 		}
@@ -142,7 +142,7 @@ func TestAdmissionMaxInFlight(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if _, err := s.admit(context.Background(), ProtocolSequential); !errors.Is(err, ErrAdmissionRejected) {
+	if _, _, err := s.admit(context.Background(), ProtocolSequential); !errors.Is(err, ErrAdmissionRejected) {
 		t.Fatalf("queue overflow: err = %v, want ErrAdmissionRejected", err)
 	}
 	release()

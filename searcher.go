@@ -66,9 +66,17 @@ type SearchOptions struct {
 	QueueDepth int
 	// AdmissionControl enables the deadline-budget check: a query
 	// whose context deadline leaves less time than the cost model's
-	// estimate of the query is rejected with ErrDeadlineBudget instead
-	// of executed. See WithAdmissionControl.
+	// estimate of the query — plus the expected wait behind the
+	// searcher's admission queue — is rejected with ErrDeadlineBudget
+	// instead of executed. See WithAdmissionControl.
 	AdmissionControl bool
+	// Quota, when non-nil, enforces a per-searcher (i.e. per-tenant)
+	// token-bucket cost quota in cost units (see CostOf): admissions
+	// are charged with the cost model's estimate of the query, the
+	// observed ExecStats settle the difference on completion, and an
+	// exhausted bucket rejects with ErrQuotaExhausted before any
+	// fabric message is spent. See WithQuota.
+	Quota *QuotaConfig
 }
 
 // SearchOption mutates SearchOptions; pass options to Index.Searcher
@@ -101,7 +109,24 @@ var (
 	// ErrDeadlineBudget marks a query rejected because its deadline
 	// budget was provably below the estimated execution cost.
 	ErrDeadlineBudget = core.ErrDeadlineBudget
+	// ErrQuotaExhausted marks a query rejected because the searcher's
+	// token-bucket quota held fewer cost units than the query's
+	// estimated cost. The bucket refills at the configured rate; back
+	// off and retry.
+	ErrQuotaExhausted = core.ErrQuotaExhausted
 )
+
+// QuotaConfig configures a Searcher's token-bucket cost quota
+// (core.QuotaConfig): Capacity is the burst budget and RefillPerSec the
+// sustained spend rate, both in cost units. See CostOf for the scale.
+type QuotaConfig = core.QuotaConfig
+
+// CostOf prices one query's observed execution on the quota cost-unit
+// scale (core.CostOf): distance evaluations, fabric messages and wall
+// time at fixed relative prices. Use it to size QuotaConfig from
+// measured traffic — e.g. Capacity = 4×CostOf(typical query) and
+// RefillPerSec = CostOf(typical query) × target QPS.
+func CostOf(st ExecStats) float64 { return core.CostOf(st) }
 
 // WithProtocol pins the cross-partition k-NN protocol (or restores
 // ProtocolAuto, the default).
@@ -123,6 +148,19 @@ func WithMaxInFlight(n int) SearchOption {
 // WithAdmissionControl toggles the deadline-budget admission check.
 func WithAdmissionControl(on bool) SearchOption {
 	return func(o *SearchOptions) { o.AdmissionControl = on }
+}
+
+// WithQuota enforces a per-searcher token-bucket cost quota: capacity
+// is the burst budget and refillPerSec the sustained spend rate, both
+// in cost units (see CostOf). The bucket starts full and refills
+// lazily at admission time; an exhausted bucket rejects queries with
+// ErrQuotaExhausted before any fabric message is spent. A zero
+// capacity admits nothing (drains the tenant); to disable quotas,
+// leave SearchOptions.Quota nil instead.
+func WithQuota(capacity, refillPerSec float64) SearchOption {
+	return func(o *SearchOptions) {
+		o.Quota = &QuotaConfig{Capacity: capacity, RefillPerSec: refillPerSec}
+	}
 }
 
 // SchedulerStats is a snapshot of the searcher's query scheduler:
@@ -187,15 +225,19 @@ func (ix *Index) Searcher(opts SearchOptions, extra ...SearchOption) *Searcher {
 		MaxInFlight: opts.MaxInFlight,
 		QueueDepth:  opts.QueueDepth,
 		Admission:   opts.AdmissionControl,
+		Quota:       opts.Quota,
 	})
 	return &Searcher{ix: ix, opts: opts, rangeMode: rangeMode, sched: sched}
 }
 
 // SchedulerStats snapshots the searcher's scheduler: how many queries
-// were admitted, shed (ErrAdmissionRejected) or budget-rejected
-// (ErrDeadlineBudget), how many are queued and in flight right now,
-// the cost model's current estimates, and the protocol-choice
-// histogram.
+// were admitted, shed (ErrAdmissionRejected), budget-rejected
+// (ErrDeadlineBudget) or quota-rejected (ErrQuotaExhausted), how many
+// are queued and in flight right now, the cost model's current
+// estimates, the protocol-choice histogram, the searcher's cumulative
+// metered cost (distance evaluations, fabric messages, wall time and
+// their cost-unit total), and — under WithQuota — the token bucket's
+// current level and capacity.
 func (s *Searcher) SchedulerStats() SchedulerStats { return s.sched.Stats() }
 
 // Search answers a single query under the searcher's options. The

@@ -402,3 +402,76 @@ func TestSearcherSchedulerOptions(t *testing.T) {
 		t.Fatalf("err = %v, want ErrDeadlineBudget or DeadlineExceeded", gres[0].Err)
 	}
 }
+
+// TestSearcherQuota: the WithQuota option enforces a per-searcher cost
+// quota through the facade — a zero-capacity tenant is fully rejected
+// with ErrQuotaExhausted and metered at zero, a quota'd tenant
+// hammering past its budget is throttled while an unthrottled searcher
+// over the same index is untouched, and SchedulerStats reports the
+// bucket and the metered totals.
+func TestSearcherQuota(t *testing.T) {
+	ix, g := buildTestIndex(t, 600, Options{
+		Seed: 7, PartitionCapacity: 100, MaxPartitions: 5, BucketSize: 8,
+	})
+	qs := make([]triple.Triple, 30)
+	for i := range qs {
+		qs[i] = g.RandomTriple()
+	}
+
+	// Zero capacity admits nothing and spends nothing.
+	drained := ix.Searcher(SearchOptions{K: 3}, WithQuota(0, 1000))
+	res, err := drained.SearchBatch(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if !errors.Is(r.Err, ErrQuotaExhausted) {
+			t.Fatalf("query %d: err = %v, want ErrQuotaExhausted", i, r.Err)
+		}
+	}
+	dst := drained.SchedulerStats()
+	if dst.RejectedQuota != int64(len(qs)) || dst.Admitted != 0 || dst.MeteredCost != 0 {
+		t.Fatalf("drained stats = %+v, want all quota-rejected, nothing metered", dst)
+	}
+	if !dst.QuotaEnabled || dst.QuotaCapacity != 0 {
+		t.Fatalf("drained quota snapshot = %+v, want enabled zero bucket", dst)
+	}
+
+	// A small bucket with no refill throttles a hammering tenant after
+	// its burst; an unthrottled searcher on the same index is unaffected.
+	throttled := ix.Searcher(SearchOptions{K: 3, Quota: &QuotaConfig{Capacity: 2000}})
+	open := ix.Searcher(SearchOptions{K: 3})
+	okCount, shed := 0, 0
+	for _, q := range qs {
+		_, err := throttled.Search(context.Background(), q)
+		switch {
+		case err == nil:
+			okCount++
+		case errors.Is(err, ErrQuotaExhausted):
+			shed++
+		default:
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+	if okCount == 0 || shed == 0 {
+		t.Fatalf("ok=%d shed=%d, want a burst then throttling", okCount, shed)
+	}
+	for i, q := range qs {
+		if _, err := open.Search(context.Background(), q); err != nil {
+			t.Fatalf("open tenant query %d: %v", i, err)
+		}
+	}
+	tst, ost := throttled.SchedulerStats(), open.SchedulerStats()
+	if tst.Admitted != int64(okCount) || tst.RejectedQuota != int64(shed) {
+		t.Fatalf("throttled stats %+v vs ok=%d shed=%d", tst, okCount, shed)
+	}
+	if ost.RejectedQuota != 0 || ost.Admitted != int64(len(qs)) {
+		t.Fatalf("open tenant polluted: %+v", ost)
+	}
+	if tst.MeteredCost <= 0 || tst.MeteredFabricMessages == 0 {
+		t.Fatalf("throttled tenant metered nothing: %+v", tst)
+	}
+	if tst.QuotaLevel < 0 || tst.QuotaLevel > tst.QuotaCapacity {
+		t.Fatalf("bucket level %v outside [0, %v]", tst.QuotaLevel, tst.QuotaCapacity)
+	}
+}
