@@ -12,6 +12,7 @@
 //	semtree-bench -fig deadline -deadline 1ms -latency 200µs
 //	semtree-bench -fig scheduler -hops 0,1ms,10ms,50ms
 //	semtree-bench -fig quota -tenants 2
+//	semtree-bench -fig pruning -dims 2,4,8,16,32
 package main
 
 import (
@@ -40,6 +41,7 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "per-query deadline for the deadline experiment: reports p50/p99 latency and the fraction of queries cut off (default 8x latency)")
 		hops       = flag.String("hops", "", "comma-separated per-hop latencies for the scheduler experiment, e.g. 0,1ms,50ms (default 0,1ms,5ms,20ms,50ms)")
 		tenants    = flag.Int("tenants", 0, "tenant count for the quota experiment: 1 quota-throttled aggressor plus N-1 unthrottled victims (default 2)")
+		dims       = flag.String("dims", "", "comma-separated dimensionalities for the pruning experiment, e.g. 2,4,8,16 (default 2,4,8,16)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		csvDir     = flag.String("csv", "", "also write <dir>/<fig>.csv")
 	)
@@ -66,6 +68,9 @@ func main() {
 	if params.Hops, err = parseDurations(*hops); err != nil {
 		fatal(err)
 	}
+	if params.DimsSweep, err = parseInts(*dims); err != nil {
+		fatal(err)
+	}
 
 	runners := bench.Runners()
 	var ids []string
@@ -81,10 +86,15 @@ func main() {
 		}
 	}
 
+	// Per-figure wall time brackets each run (announced up front,
+	// reported on completion — and on failure, where a nightly job
+	// needs it most) so CI logs show where a job's time budget goes.
 	for _, id := range ids {
+		fmt.Printf("running %s...\n", id)
 		start := time.Now()
 		figure, err := runners[id](params)
 		if err != nil {
+			fmt.Printf("(%s failed after %v)\n", id, time.Since(start).Round(time.Millisecond))
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
 		fmt.Println(figure.Table())

@@ -48,7 +48,7 @@ func TestRunnersRegistryComplete(t *testing.T) {
 	ids := RunnerIDs()
 	want := []string{"ablation-bucket", "ablation-dims", "ablation-measure",
 		"ablation-weights", "complexity", "deadline", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"quota", "scheduler", "throughput"}
+		"pruning", "quota", "scheduler", "throughput"}
 	if len(ids) != len(want) {
 		t.Fatalf("runner ids = %v", ids)
 	}
@@ -343,5 +343,39 @@ func TestQuotaShape(t *testing.T) {
 		if y <= 0 {
 			t.Fatalf("victim p50 window %d not positive:\n%s", i+1, fig.Table())
 		}
+	}
+}
+
+func TestPruningShape(t *testing.T) {
+	p := tinyParams()
+	p.Partitions = []int{1, 5}
+	p.DimsSweep = []int{2, 8}
+	fig, err := Pruning(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range fig.Series {
+		byName[s.Name] = s
+	}
+	planeMsgs, regionMsgs := byName["plane msgs/q"], byName["region msgs/q"]
+	planeMisses, regionMisses := byName["plane misses/q"], byName["region misses/q"]
+	if len(planeMsgs.Y) != 2 || len(regionMsgs.Y) != 2 {
+		t.Fatalf("missing series: %+v", fig.Series)
+	}
+	// The region guard never spends more than the plane guard, and at
+	// dims >= 8 — where the one-dimensional plane bound has degraded —
+	// it is strictly cheaper on both messages and probe misses.
+	for i := range planeMsgs.Y {
+		if regionMsgs.Y[i] > planeMsgs.Y[i] {
+			t.Fatalf("region msgs above plane at dims=%v:\n%s", planeMsgs.X[i], fig.Table())
+		}
+	}
+	last := len(planeMsgs.Y) - 1
+	if regionMsgs.Y[last] >= planeMsgs.Y[last] {
+		t.Fatalf("region msgs not strictly below plane at dims=8:\n%s", fig.Table())
+	}
+	if regionMisses.Y[last] >= planeMisses.Y[last] {
+		t.Fatalf("region misses not strictly below plane at dims=8:\n%s", fig.Table())
 	}
 }

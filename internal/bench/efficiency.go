@@ -16,6 +16,14 @@ import (
 // when ~M−1 leaves exist, leaving it the shallow 2M−1-node routing
 // trunk of §III-C.
 func buildDistributed(pts []kdtree.Point, m int, p Params, fabric cluster.Fabric, unbalanced bool) (*core.Tree, error) {
+	return buildDistributedGuard(pts, m, p, fabric, unbalanced, false)
+}
+
+// buildDistributedGuard is buildDistributed with the pruning guard
+// selectable: planeGuard pins the paper's splitting-plane bound (the
+// pruning experiment's baseline), the default is the region
+// min-distance guard.
+func buildDistributedGuard(pts []kdtree.Point, m int, p Params, fabric cluster.Fabric, unbalanced, planeGuard bool) (*core.Tree, error) {
 	capacity := 0
 	if m > 1 {
 		capacity = (m - 1) * p.BucketSize
@@ -27,6 +35,7 @@ func buildDistributed(pts []kdtree.Point, m int, p Params, fabric cluster.Fabric
 		MaxPartitions:     m,
 		Fabric:            fabric,
 		Unbalanced:        unbalanced,
+		PlaneGuardOnly:    planeGuard,
 	})
 	if err != nil {
 		return nil, err

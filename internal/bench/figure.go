@@ -148,6 +148,7 @@ type Params struct {
 	Deadline   time.Duration   // per-query deadline for the deadline experiment (default 8× latency)
 	Hops       []time.Duration // per-hop latency sweep for the scheduler experiment (default 0..50ms)
 	Tenants    int             // tenant count for the quota experiment: 1 throttled aggressor + N−1 victims (default 2)
+	DimsSweep  []int           // dimensionality sweep for the pruning experiment (default 2, 4, 8, 16)
 	Seed       int64
 }
 
@@ -190,6 +191,12 @@ func (p Params) withDefaults() Params {
 	if p.Tenants < 2 {
 		p.Tenants = 2 // the quota experiment needs an aggressor and a victim
 	}
+	if len(p.DimsSweep) == 0 {
+		// From the low dimensions where the splitting-plane bound still
+		// holds its own through the regime where only the region bound
+		// prunes, for the pruning experiment.
+		p.DimsSweep = []int{2, 4, 8, 16}
+	}
 	return p
 }
 
@@ -210,6 +217,7 @@ func Runners() map[string]Runner {
 		"deadline":         Deadline,
 		"scheduler":        Scheduler,
 		"quota":            Quota,
+		"pruning":          Pruning,
 		"complexity":       Complexity,
 		"ablation-weights": AblationWeights,
 		"ablation-dims":    AblationDims,

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"semtree/internal/cluster"
+	"semtree/internal/core"
+)
+
+// Pruning measures the region (bounding-box) min-distance guard
+// against the paper's splitting-plane bound (§III-B.3) across a
+// dimensionality sweep (Params.DimsSweep): per-query fabric messages
+// and probe misses for the fan-out protocol on two trees that differ
+// only in Config.PlaneGuardOnly — same points, same partitions, same
+// queries, byte-identical results (equivalence-tested in
+// internal/core). The expected shape: the plane bound measures the gap
+// to a region along one dimension only, so its curves grow with
+// dimensionality while the region bound — which accumulates the gap
+// over every dimension the query falls outside of — keeps probes it
+// can rule out off the fabric; by dims >= 8 both region curves sit
+// strictly below the plane curves.
+func Pruning(p Params) (*Figure, error) {
+	p = p.withDefaults()
+	n := maxSize(p.Sizes)
+	m := 1
+	for _, c := range p.Partitions {
+		if c > m {
+			m = c
+		}
+	}
+	fig := &Figure{
+		ID: "pruning", Title: fmt.Sprintf("Region vs splitting-plane pruning guard (K=%d, %d points, %d partitions, fan-out protocol)", p.K, n, m),
+		XLabel: "dims", YLabel: "msgs/query | misses/query", YFmt: "%.2f",
+		Notes: []string{
+			"same tree topology, points and queries per column; only the pruning guard differs",
+			"expected: region <= plane everywhere, strictly below at dims >= 8 where the one-dimensional plane bound degrades",
+		},
+	}
+	guards := []struct {
+		name       string
+		planeGuard bool
+	}{{"plane", true}, {"region", false}}
+	msgs := make([]Series, len(guards))
+	misses := make([]Series, len(guards))
+	for i, g := range guards {
+		msgs[i] = Series{Name: g.name + " msgs/q"}
+		misses[i] = Series{Name: g.name + " misses/q"}
+	}
+	for _, dims := range p.DimsSweep {
+		pd := p
+		pd.Dims = dims
+		data, err := makeSweep(n, p.Queries, dims, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for i, g := range guards {
+			fabric := cluster.NewInProc(cluster.InProcOptions{})
+			tr, err := buildDistributedGuard(data.prefix(n), m, pd, fabric, false, g.planeGuard)
+			if err != nil {
+				fabric.Close()
+				return nil, err
+			}
+			// Pin the fan-out protocol: it is the latency path the
+			// probe ranking and the remote guards exist for, and
+			// pinning keeps both trees on identical message patterns.
+			sched := tr.NewScheduler(core.SchedulerConfig{Protocol: core.ProtocolFanOut})
+			var totMsgs, totMisses int64
+			for _, q := range data.queries {
+				_, st, err := sched.KNearest(context.Background(), q, p.K)
+				if err != nil {
+					tr.Close()
+					fabric.Close()
+					return nil, err
+				}
+				totMsgs += st.FabricMessages
+				totMisses += st.ProbeMisses
+			}
+			queries := float64(len(data.queries))
+			msgs[i].X = append(msgs[i].X, float64(dims))
+			msgs[i].Y = append(msgs[i].Y, float64(totMsgs)/queries)
+			misses[i].X = append(misses[i].X, float64(dims))
+			misses[i].Y = append(misses[i].Y, float64(totMisses)/queries)
+			tr.Close()
+			fabric.Close()
+		}
+	}
+	fig.Series = append(fig.Series, msgs...)
+	fig.Series = append(fig.Series, misses...)
+	return fig, nil
+}

@@ -18,8 +18,13 @@ import (
 //	fan-out wall    ≈ waves    × hop + nodes × compute   (≤ 3 waves)
 //
 // The shape parameters (messages and nodes per query, per protocol) are
-// structural: they depend on the tree and the workload, not on the
-// network, so their EWMAs stay valid when the fabric's latency changes.
+// structural: they depend on the tree, the workload and the pruning
+// guard, not on the network, so their EWMAs stay valid when the
+// fabric's latency changes — and when the region (bounding-box) guard
+// cuts messages and nodes below what the splitting-plane bound needed,
+// the savings flow into these same EWMAs from the ExecStats stream and
+// ProtocolAuto re-prices both protocols on the pruned shapes
+// automatically.
 // Only hop and compute are re-observed continuously — hop from the
 // round-trip time of leaf calls (calls whose response reports zero
 // downstream messages, so RTT = transit + local compute), compute from

@@ -63,13 +63,15 @@ type insertBatchReq struct {
 
 // knnEntry is one guarded subtree of a fanned-out k-nearest
 // continuation: the node index in the receiving partition, plus the
-// squared distance from the query to the splitting plane the subtree
-// lies behind (< 0: unconditional). The receiver re-checks the guard
-// against its evolving result set, so a subtree another entry already
-// ruled out costs nothing.
+// subtree's pruning guard — the exact squared minimum distance from
+// the query to the subtree's bounding box when the sender knows it,
+// falling back to the squared splitting-plane distance (§III-B.3) for
+// a subtree whose region metadata is unknown; < 0 is unconditional.
+// The receiver re-checks the guard against its evolving result set, so
+// a subtree another entry already ruled out costs nothing.
 type knnEntry struct {
 	Node    int32
-	PlaneSq float64
+	GuardSq float64
 }
 
 // knnReq asks a partition to continue a k-nearest search. Rs carries
@@ -109,6 +111,7 @@ type queryStats struct {
 	Dists   int64 // point distance evaluations
 	Msgs    int64 // fabric calls issued downstream on behalf of the query
 	Parts   int64 // partition handler executions (this one + downstream)
+	Misses  int64 // downstream k-NN calls whose reply did not improve the Rs they were sent
 }
 
 // merge adds another partition's stats field-by-field.
@@ -118,6 +121,7 @@ func (s *queryStats) merge(o queryStats) {
 	s.Dists += o.Dists
 	s.Msgs += o.Msgs
 	s.Parts += o.Parts
+	s.Misses += o.Misses
 }
 
 // fold accumulates a downstream response's stats, charging the one
@@ -158,9 +162,13 @@ type rangeResp struct {
 }
 
 // adoptReq moves a leaf bucket into a (newly created) partition during
-// the build-partition algorithm (Figure 2's Lc relocation).
+// the build-partition algorithm (Figure 2's Lc relocation). Lo/Hi is
+// the bucket's exact bounding box: the remote subtree's region ships
+// in its registration message, so the source partition can cache it
+// and keep pruning the relocated subtree by true min-distance.
 type adoptReq struct {
 	Bucket []kdtree.Point
+	Lo, Hi []float64
 }
 
 // adoptResp returns the node index of the adopted leaf, which becomes

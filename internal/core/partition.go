@@ -20,6 +20,14 @@ import (
 //   - moved:   tombstone left behind by the build-partition algorithm;
 //     fwd is the direct link to the adopting partition, so in-flight
 //     operations that resolved this node keep working.
+//
+// lo/hi is the node's region metadata: the exact bounding box of every
+// point in its *logical* subtree — including points hosted by other
+// partitions beneath cross-partition children — maintained exactly
+// like the sequential tree's (expanded on the insert descent path,
+// recomputed from buckets on splits, shipped with relocations). The
+// box is the k-NN/range pruning guard; a tombstone's box is cleared
+// (its region lives on in the parent's edge and the remote-box cache).
 type pnode struct {
 	leaf     bool
 	moved    bool
@@ -29,6 +37,7 @@ type pnode struct {
 	left     childRef
 	right    childRef
 	bucket   []kdtree.Point
+	lo, hi   []float64
 }
 
 // partition is one fabric-hosted piece of the SemTree. Nodes live in an
@@ -44,6 +53,17 @@ type partition struct {
 	mu     sync.RWMutex
 	nodes  []pnode
 	points int
+
+	// remoteBoxes caches the bounding box of every cross-partition
+	// subtree this partition links to, keyed by the edge's childRef.
+	// Entries are installed when a subtree registers (buildPartition's
+	// adopt handshake, rebalance's trunk install) and expanded when an
+	// insert forwards through the edge, so the search guard for a
+	// remote child is the same exact min-distance bound a local child
+	// gets. Guarded by mu like the arena; boxes are owned copies, never
+	// aliased with another partition's (the remote side keeps expanding
+	// its own).
+	remoteBoxes map[childRef]box
 
 	navSteps atomic.Int64 // nodes traversed by insert descents
 	inserts  atomic.Int64 // insertions applied locally
@@ -91,9 +111,13 @@ func (p *partition) addNode(n pnode) int32 {
 }
 
 // descend walks from idx towards the leaf that should hold pt, under
-// the read lock. It stops at a local leaf (remote == false) or at the
-// first reference leaving the partition (remote == true).
-func (p *partition) descend(idx int32, pt []float64) (leafIdx int32, ref childRef, remote bool) {
+// at least the read lock. It stops at a local leaf (remote == false)
+// or at the first reference leaving the partition (remote == true),
+// appending every non-tombstone node it routes through to path — the
+// nodes whose bounding boxes must grow when the insert lands (routing
+// decisions are immutable once made, so a recorded path stays the
+// point's route even if a later lock upgrade raced a leaf split).
+func (p *partition) descend(idx int32, pt []float64, path *[]int32) (leafIdx int32, ref childRef, remote bool) {
 	steps := int64(0)
 	defer func() { p.navSteps.Add(steps) }()
 	for {
@@ -102,6 +126,7 @@ func (p *partition) descend(idx int32, pt []float64) (leafIdx int32, ref childRe
 		if n.moved {
 			return 0, n.fwd, true
 		}
+		*path = append(*path, idx)
 		if n.leaf {
 			return idx, childRef{}, false
 		}
@@ -122,7 +147,17 @@ func (p *partition) descend(idx int32, pt []float64) (leafIdx int32, ref childRe
 // (§III-B.1). Navigation runs under the read lock; the leaf mutation
 // re-validates under the write lock (a concurrent split or spill may
 // have changed the node in between) and loops or forwards as needed.
-// No lock is held while forwarding to another partition.
+// No lock is held while forwarding to another partition. Whatever the
+// outcome — local landing or cross-partition forward — every box on
+// the descent path expands to include the point (the point belongs to
+// each of those logical subtrees), and a forward additionally grows
+// the cached box of the edge it leaves through. Expansion precedes the
+// forward, so on a lossy or failing fabric a dropped point can leave
+// boxes covering a point that never landed: dilation is always
+// pruning-safe (a looser box only skips less), and exactness — what
+// the consistency checks assert — holds under reliable delivery,
+// matching the async path's at-most-once contract (a drop already
+// loses the point itself).
 func (p *partition) handleInsert(r insertReq) (any, error) {
 	forward := func(ref childRef) error {
 		req := insertReq{Node: ref.Node, Point: r.Point, Async: r.Async}
@@ -133,11 +168,21 @@ func (p *partition) handleInsert(r insertReq) (any, error) {
 		return err
 	}
 	idx := r.Node
+	var path []int32
 	for {
 		p.mu.RLock()
-		leafIdx, ref, remote := p.descend(idx, r.Point.Coords)
+		leafIdx, ref, remote := p.descend(idx, r.Point.Coords, &path)
+		needsExpand := remote && p.forwardNeedsExpand(path, ref, r.Point.Coords)
 		p.mu.RUnlock()
 		if remote {
+			// Warm path: a point inside every region it routes through
+			// forwards without the write lock.
+			if needsExpand {
+				p.mu.Lock()
+				p.expandPathBoxes(path, r.Point.Coords)
+				p.expandRemoteBox(ref, r.Point.Coords)
+				p.mu.Unlock()
+			}
 			return insertResp{}, forward(ref)
 		}
 
@@ -146,14 +191,19 @@ func (p *partition) handleInsert(r insertReq) (any, error) {
 		switch {
 		case n.moved:
 			ref := n.fwd
+			p.expandPathBoxes(path, r.Point.Coords)
+			p.expandRemoteBox(ref, r.Point.Coords)
 			p.mu.Unlock()
 			return insertResp{}, forward(ref)
 		case !n.leaf:
-			// A concurrent insert split this leaf; resume from it.
+			// A concurrent insert split this leaf; resume from it. The
+			// path keeps accumulating — descend re-appends leafIdx, and
+			// box expansion is idempotent.
 			idx = leafIdx
 			p.mu.Unlock()
 			continue
 		}
+		p.expandPathBoxes(path, r.Point.Coords)
 		n.bucket = append(n.bucket, r.Point)
 		p.points++
 		p.inserts.Add(1)
@@ -176,10 +226,14 @@ func (p *partition) handleInsert(r insertReq) (any, error) {
 // lock is released.
 func (p *partition) handleInsertBatch(r insertBatchReq) (any, error) {
 	var forwards map[cluster.NodeID][]batchEntry
+	var path []int32
 	p.mu.Lock()
 	for _, e := range r.Entries {
-		leafIdx, ref, remote := p.descend(e.Node, e.Point.Coords)
+		path = path[:0]
+		leafIdx, ref, remote := p.descend(e.Node, e.Point.Coords, &path)
+		p.expandPathBoxes(path, e.Point.Coords)
 		if remote {
+			p.expandRemoteBox(ref, e.Point.Coords)
 			if forwards == nil {
 				forwards = make(map[cluster.NodeID][]batchEntry)
 			}
@@ -231,8 +285,10 @@ func (p *partition) splitLeaf(idx int32) {
 			rb = append(rb, pt)
 		}
 	}
-	li := p.addNode(pnode{leaf: true, bucket: lb})
-	ri := p.addNode(pnode{leaf: true, bucket: rb})
+	llo, lhi := kdtree.BoxOf(lb)
+	rlo, rhi := kdtree.BoxOf(rb)
+	li := p.addNode(pnode{leaf: true, bucket: lb, lo: llo, hi: lhi})
+	ri := p.addNode(pnode{leaf: true, bucket: rb, lo: rlo, hi: rhi})
 	n := &p.nodes[idx] // re-take: addNode may have grown the arena
 	n.leaf = false
 	n.bucket = nil
@@ -370,11 +426,22 @@ func (p *partition) buildPartition() {
 	for k, mv := range moves {
 		target := targets[k%len(targets)]
 		leaf := &p.nodes[mv.leaf]
-		resp, err := p.t.call(p.id, target, adoptReq{Bucket: leaf.bucket})
+		// The subtree's region ships with its registration: the adopted
+		// side installs it as the new root's box, and the cached copy
+		// here keeps pruning the relocated subtree by exact
+		// min-distance (and grows when inserts forward through the
+		// direct link).
+		resp, err := p.t.call(p.id, target, adoptReq{Bucket: leaf.bucket, Lo: leaf.lo, Hi: leaf.hi})
 		if err != nil {
 			continue // leaf stays local; a later spill may retry
 		}
 		ref := childRef{Part: target, Node: resp.(adoptResp).Node}
+		if leaf.lo != nil {
+			if p.remoteBoxes == nil {
+				p.remoteBoxes = make(map[childRef]box)
+			}
+			p.remoteBoxes[ref] = copyBox(leaf.lo, leaf.hi)
+		}
 		if mv.right {
 			p.nodes[mv.parent].right = ref
 		} else {
@@ -385,15 +452,27 @@ func (p *partition) buildPartition() {
 		leaf.moved = true
 		leaf.leaf = false
 		leaf.fwd = ref
+		leaf.lo, leaf.hi = nil, nil
 	}
 }
 
 // handleAdopt installs a moved leaf bucket as a new subtree root and
 // returns its node index (the other end of Figure 2's direct link).
+// The shipped region becomes the new root's box — recomputed from the
+// bucket when an older sender did not provide one — and is copied, so
+// this partition's future expansions never alias the sender's cache.
 func (p *partition) handleAdopt(r adoptReq) (any, error) {
+	lo, hi := r.Lo, r.Hi
+	if lo == nil {
+		lo, hi = kdtree.BoxOf(r.Bucket)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	idx := p.addNode(pnode{leaf: true, bucket: r.Bucket})
+	idx := p.addNode(pnode{
+		leaf: true, bucket: r.Bucket,
+		lo: append([]float64(nil), lo...),
+		hi: append([]float64(nil), hi...),
+	})
 	p.points += len(r.Bucket)
 	return adoptResp{Node: idx}, nil
 }

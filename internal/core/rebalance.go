@@ -41,14 +41,19 @@ type resetResp struct{}
 
 // wireChild addresses a child in an installReq: an index into the
 // request's Nodes when Internal >= 0, a cross-partition reference
-// otherwise.
+// otherwise. A cross-partition reference carries the remote subtree's
+// bounding box (Lo/Hi, nil when unknown) so the installing partition
+// can seed its remote-box cache — the region registers together with
+// the link, exactly like the adopt handshake.
 type wireChild struct {
 	Internal int32
 	Part     cluster.NodeID
 	Node     int32
+	Lo, Hi   []float64
 }
 
-// wireNode is one serialized tree node.
+// wireNode is one serialized tree node. Lo/Hi is the subtree's exact
+// bounding box (nil when empty).
 type wireNode struct {
 	Leaf     bool
 	SplitDim int32
@@ -56,6 +61,7 @@ type wireNode struct {
 	Left     wireChild
 	Right    wireChild
 	Bucket   []kdtree.Point
+	Lo, Hi   []float64
 }
 
 // installReq installs a serialized tree fragment into a partition's
@@ -119,19 +125,24 @@ func (p *partition) remoteCollect(ref childRef, out *[]kdtree.Point) error {
 	return nil
 }
 
-// handleReset clears the partition.
+// handleReset clears the partition, remote-box cache included (the
+// links it guarded are gone with the arena).
 func (p *partition) handleReset(r resetReq) (any, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.nodes = nil
 	p.points = 0
+	p.remoteBoxes = nil
 	if r.RootLeaf {
 		p.nodes = []pnode{{leaf: true}}
 	}
 	return resetResp{}, nil
 }
 
-// handleInstall appends a serialized fragment to the arena.
+// handleInstall appends a serialized fragment to the arena. Box slices
+// are copied — wire fragments may alias the client-side flat tree,
+// whose frontier boxes also travel to other partitions, and no two
+// partitions may share a mutable box.
 func (p *partition) handleInstall(r installReq) (any, error) {
 	if len(r.Nodes) == 0 {
 		return nil, fmt.Errorf("core: empty install fragment")
@@ -146,10 +157,23 @@ func (p *partition) handleInstall(r installReq) (any, error) {
 			}
 			return childRef{Part: p.id, Node: base + c.Internal}, nil
 		}
-		return childRef{Part: c.Part, Node: c.Node}, nil
+		ref := childRef{Part: c.Part, Node: c.Node}
+		if c.Lo != nil {
+			// The cross-partition subtree's region registers with its
+			// link, as in the adopt handshake.
+			if p.remoteBoxes == nil {
+				p.remoteBoxes = make(map[childRef]box)
+			}
+			p.remoteBoxes[ref] = copyBox(c.Lo, c.Hi)
+		}
+		return ref, nil
 	}
 	for _, wn := range r.Nodes {
 		n := pnode{leaf: wn.Leaf, splitDim: wn.SplitDim, splitVal: wn.SplitVal}
+		if wn.Lo != nil {
+			n.lo = append([]float64(nil), wn.Lo...)
+			n.hi = append([]float64(nil), wn.Hi...)
+		}
 		if wn.Leaf {
 			n.bucket = append([]kdtree.Point(nil), wn.Bucket...)
 			p.points += len(n.bucket)
@@ -263,7 +287,8 @@ func (t *Tree) Rebalance() error {
 	return nil
 }
 
-// wireNodes converts a self-contained flat fragment to wire form.
+// wireNodes converts a self-contained flat fragment to wire form,
+// boxes included.
 func wireNodes(flat []kdtree.FlatNode) []wireNode {
 	out := make([]wireNode, len(flat))
 	for i, n := range flat {
@@ -272,6 +297,7 @@ func wireNodes(flat []kdtree.FlatNode) []wireNode {
 			Left:   wireChild{Internal: n.Left},
 			Right:  wireChild{Internal: n.Right},
 			Bucket: n.Bucket,
+			Lo:     n.Lo, Hi: n.Hi,
 		}
 	}
 	return out
@@ -279,17 +305,21 @@ func wireNodes(flat []kdtree.FlatNode) []wireNode {
 
 // trunkNodes serializes the nodes above the frontier in preorder (trunk
 // root first), replacing frontier children with their cross-partition
-// refs. The flat root must not itself be in the frontier.
+// refs — each ref carrying its subtree's box so the root partition's
+// remote-box cache covers the whole frontier. The flat root must not
+// itself be in the frontier.
 func trunkNodes(flat []kdtree.FlatNode, frontier map[int32]childRef) []wireNode {
 	var out []wireNode
 	var walk func(idx int32) wireChild
 	walk = func(idx int32) wireChild {
 		if ref, ok := frontier[idx]; ok {
-			return wireChild{Internal: -1, Part: ref.Part, Node: ref.Node}
+			return wireChild{Internal: -1, Part: ref.Part, Node: ref.Node,
+				Lo: flat[idx].Lo, Hi: flat[idx].Hi}
 		}
 		n := flat[idx]
 		at := int32(len(out))
-		out = append(out, wireNode{Leaf: n.Leaf, SplitDim: n.SplitDim, SplitVal: n.SplitVal, Bucket: n.Bucket})
+		out = append(out, wireNode{Leaf: n.Leaf, SplitDim: n.SplitDim, SplitVal: n.SplitVal,
+			Bucket: n.Bucket, Lo: n.Lo, Hi: n.Hi})
 		if !n.Leaf {
 			out[at].Left = walk(n.Left)
 			out[at].Right = walk(n.Right)

@@ -27,8 +27,9 @@ const ctxCheckMask = 63
 type queryCtx struct {
 	rs      resultSet
 	stack   []knnFrame
-	pending []knnFrame // remote subtrees deferred until the local bound is final
-	steps   int64      // visited-node counter driving the periodic ctx check
+	pending []knnFrame        // remote subtrees deferred until the local bound is final
+	fp      []kdtree.Neighbor // scratch Rs snapshot for probe-miss detection
+	steps   int64             // visited-node counter driving the periodic ctx check
 
 	// stats accumulates this partition's own traversal work plus the
 	// folded stats of every downstream response. Plain increments are
@@ -42,21 +43,32 @@ type queryCtx struct {
 	err      error
 }
 
-// knnFrame is one pending subtree visit. planeSq >= 0 guards the visit:
-// the subtree lies beyond a splitting plane at that squared distance,
-// and is skipped when the result ball no longer crosses the plane. The
-// guard is evaluated at pop time — after the nearer sibling's subtree
-// has been fully explored — which is the backtracking condition of
-// §III-B.3 (visit the unexplored side when Rs.length() < K or the
-// worst kept distance still crosses the splitting plane). We skip only
-// when the plane is *strictly* beyond the worst kept candidate: at
-// exact equality a point on the far side could tie the k-th best with
-// a smaller ID, and both protocols must keep the same winner for the
-// parallel mode to stay bit-identical to the sequential one. planeSq
-// < 0 marks an unconditional visit.
+// knnFrame is one pending subtree visit. guardSq >= 0 guards the
+// visit: no point of the subtree can lie closer to the query than
+// sqrt(guardSq), so the subtree is skipped when the result ball no
+// longer reaches it. The guard is the exact squared min distance from
+// the query to the subtree's bounding box (falling back to the squared
+// splitting-plane distance when a remote region is unknown, or always
+// under Config.PlaneGuardOnly) and is evaluated at pop time — after
+// the nearer sibling's subtree has been fully explored — which is the
+// backtracking condition of §III-B.3 (visit the unexplored side when
+// Rs.length() < K or the worst kept distance still reaches the
+// region). We skip only when the guard is *strictly* beyond the worst
+// kept candidate: at exact equality a point on the region's boundary
+// could tie the k-th best with a smaller ID, and every guard
+// (plane or box, sequential or fan-out) must keep the same winner for
+// all modes to stay bit-identical. guardSq < 0 marks an unconditional
+// visit.
 type knnFrame struct {
 	ref     childRef
-	planeSq float64
+	guardSq float64
+	// home marks a subtree the traversal reached unconditionally — the
+	// query's own descent path lies in it. Deferred home subtrees are
+	// re-guarded by their region like any sibling (a provably-worse one
+	// is pruned outright), but while one survives it keeps the paper's
+	// probe priority: the partition holding the query's own region is
+	// probed first, which tightens the ball best.
+	home bool
 }
 
 var queryCtxPool = sync.Pool{New: func() any { return new(queryCtx) }}
@@ -77,11 +89,47 @@ func putQueryCtx(c *queryCtx) {
 		c.partials[i] = nil // drop wire slices; only the scratch is pooled
 	}
 	c.partials = c.partials[:0]
+	for i := range c.fp {
+		c.fp[i] = kdtree.Neighbor{} // likewise: snapshots alias result points
+	}
+	c.fp = c.fp[:0]
 	queryCtxPool.Put(c)
 }
 
-func (c *queryCtx) push(ref childRef, planeSq float64) {
-	c.stack = append(c.stack, knnFrame{ref: ref, planeSq: planeSq})
+func (c *queryCtx) push(ref childRef, guardSq float64) {
+	c.stack = append(c.stack, knnFrame{ref: ref, guardSq: guardSq})
+}
+
+// snapshotRs copies the current result set into the scratch
+// fingerprint buffer, for comparing against the post-merge set.
+func (c *queryCtx) snapshotRs() {
+	c.fp = append(c.fp[:0], c.rs.Items...)
+}
+
+// noteMiss counts a probe miss when the downstream reply left the
+// result set exactly as the snapshot it was seeded with: the remote
+// region was probed and contributed nothing — the work a tighter
+// guard would have skipped outright. Each call is judged against its
+// own seed, never against what other partials found, so the count is
+// deterministic regardless of fan-out completion order.
+func (c *queryCtx) noteMiss() {
+	if neighborsEqual(c.fp, c.rs.Items) {
+		c.stats.Misses++
+	}
+}
+
+// neighborsEqual compares two result slices entry-by-entry on the
+// (ID, Dist) identity the equivalence contract is stated in.
+func neighborsEqual(a, b []kdtree.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Point.ID != b[i].Point.ID || a[i].Dist != b[i].Dist {
+			return false
+		}
+	}
+	return true
 }
 
 func (c *queryCtx) fail(err error) {
@@ -92,10 +140,13 @@ func (c *queryCtx) fail(err error) {
 	c.mu.Unlock()
 }
 
-func (c *queryCtx) collect(items []kdtree.Neighbor, st queryStats) {
+func (c *queryCtx) collect(items []kdtree.Neighbor, st queryStats, miss bool) {
 	c.mu.Lock()
 	c.partials = append(c.partials, items)
 	c.stats.fold(st)
+	if miss {
+		c.stats.Misses++
+	}
 	c.mu.Unlock()
 }
 
@@ -182,7 +233,7 @@ func (p *partition) knnTraverse(ctx context.Context, r knnReq, c *queryCtx) erro
 		// Fan-out continuation: seed the stack with every guarded
 		// entry, reversed so the first entry pops first.
 		for i := len(r.Entries) - 1; i >= 0; i-- {
-			c.push(childRef{Part: p.id, Node: r.Entries[i].Node}, r.Entries[i].PlaneSq)
+			c.push(childRef{Part: p.id, Node: r.Entries[i].Node}, r.Entries[i].GuardSq)
 		}
 	} else {
 		c.push(childRef{Part: p.id, Node: r.Node}, -1)
@@ -190,15 +241,15 @@ func (p *partition) knnTraverse(ctx context.Context, r knnReq, c *queryCtx) erro
 	for len(c.stack) > 0 {
 		f := c.stack[len(c.stack)-1]
 		c.stack = c.stack[:len(c.stack)-1]
-		if f.planeSq >= 0 && c.rs.Full() && c.rs.Worst() < f.planeSq {
-			continue // backtracking prune: the result ball stays inside the plane
+		if f.guardSq >= 0 && c.rs.Full() && c.rs.Worst() < f.guardSq {
+			continue // backtracking prune: the result ball cannot reach the region
 		}
 		if err := c.checkCtx(ctx); err != nil {
 			return err
 		}
 		c.stats.Nodes++
 		if !p.local(f.ref) {
-			if err := p.remoteKNN(ctx, f.ref, f.planeSq, r, c); err != nil {
+			if err := p.remoteKNN(ctx, f.ref, f.guardSq, r, c); err != nil {
 				return err
 			}
 			continue
@@ -206,7 +257,7 @@ func (p *partition) knnTraverse(ctx context.Context, r knnReq, c *queryCtx) erro
 		n := &p.nodes[f.ref.Node]
 		switch {
 		case n.moved:
-			if err := p.remoteKNN(ctx, n.fwd, f.planeSq, r, c); err != nil {
+			if err := p.remoteKNN(ctx, n.fwd, f.guardSq, r, c); err != nil {
 				return err
 			}
 		case n.leaf:
@@ -221,9 +272,10 @@ func (p *partition) knnTraverse(ctx context.Context, r knnReq, c *queryCtx) erro
 				near, far = far, near
 			}
 			plane := r.Query[n.splitDim] - n.splitVal
-			// LIFO: far is guarded and pops only after near's whole
-			// subtree has been explored.
-			c.push(far, plane*plane)
+			// LIFO: far is guarded by its region's exact min-distance
+			// (plane² fallback for an unknown remote region) and pops
+			// only after near's whole subtree has been explored.
+			c.push(far, p.guardSq(far, r.Query, plane*plane))
 			c.push(near, -1)
 		}
 	}
@@ -236,8 +288,25 @@ func (p *partition) knnTraverse(ctx context.Context, r knnReq, c *queryCtx) erro
 // the subtree joins the pending list — with the guard it already
 // passed, so the final local bound can still rule it out — for the
 // per-partition fan-out after the local traversal.
-func (p *partition) remoteKNN(ctx context.Context, ref childRef, planeSq float64, r knnReq, c *queryCtx) error {
+func (p *partition) remoteKNN(ctx context.Context, ref childRef, guardSq float64, r knnReq, c *queryCtx) error {
+	// A near-side subtree reaches here unconditional (guardSq < 0) —
+	// the traversal had to descend toward it — but crossing the
+	// partition boundary is a message either way, and the remote
+	// region's exact min-distance can rule the hop out like any guarded
+	// sibling. Re-guard it with its cached box; it stays unconditional
+	// when the region is unknown, or under the plane-guard ablation,
+	// whose baseline must keep the paper's semantics.
+	home := guardSq < 0
+	if home && !p.t.cfg.PlaneGuardOnly {
+		if minSq, ok := p.childBoxMinSq(ref, r.Query); ok {
+			guardSq = minSq
+		}
+	}
+	if guardSq >= 0 && c.rs.Full() && c.rs.Worst() < guardSq {
+		return nil // provably beyond the k-th best: no message spent
+	}
 	if r.Seq {
+		c.snapshotRs()
 		resp, err := p.t.callCtx(ctx, p.id, ref.Part,
 			knnReq{Node: ref.Node, Query: r.Query, K: r.K, Rs: c.rs.Items, Seq: true})
 		if err != nil {
@@ -246,9 +315,10 @@ func (p *partition) remoteKNN(ctx context.Context, ref childRef, planeSq float64
 		kr := resp.(knnResp)
 		c.rs.replace(kr.Rs)
 		c.stats.fold(kr.Stats)
+		c.noteMiss()
 		return nil
 	}
-	c.pending = append(c.pending, knnFrame{ref: ref, planeSq: planeSq})
+	c.pending = append(c.pending, knnFrame{ref: ref, guardSq: guardSq, home: home})
 	return nil
 }
 
@@ -261,7 +331,9 @@ func (p *partition) remoteKNN(ctx context.Context, ref childRef, planeSq float64
 //     operations, and the remote side prunes across its entries with
 //     its own evolving bound).
 //  2. Probe the most promising partition — the one holding the subtree
-//     with the smallest plane-distance guard — *synchronously*, exactly
+//     whose region has the smallest exact min-distance to the query
+//     (true min-distance ranking; the splitting-plane distance is only
+//     the fallback for an unknown region) — *synchronously*, exactly
 //     like the sequential protocol's first hop. Its merged set tightens
 //     the search ball, which usually rules most other partitions out;
 //     when only one partition qualifies this degrades to the sequential
@@ -279,18 +351,21 @@ func (p *partition) dispatchPending(ctx context.Context, r knnReq, c *queryCtx) 
 	groups := make(map[cluster.NodeID][]knnEntry)
 	minGuard := make(map[cluster.NodeID]float64)
 	for _, f := range c.pending {
-		if f.planeSq >= 0 && c.rs.Full() && c.rs.Worst() < f.planeSq {
+		if f.guardSq >= 0 && c.rs.Full() && c.rs.Worst() < f.guardSq {
 			continue
 		}
-		guard := f.planeSq
-		if guard < 0 {
-			guard = math.Inf(-1) // unconditional: the query's own region lives there
+		guard := f.guardSq
+		if f.home || guard < 0 {
+			// The query's own region lives there: a surviving home
+			// subtree keeps first probe priority regardless of its
+			// re-guard — it tightens the ball best.
+			guard = math.Inf(-1)
 		}
 		if cur, ok := minGuard[f.ref.Part]; !ok || guard < cur {
 			minGuard[f.ref.Part] = guard
 		}
 		groups[f.ref.Part] = append(groups[f.ref.Part],
-			knnEntry{Node: f.ref.Node, PlaneSq: f.planeSq})
+			knnEntry{Node: f.ref.Node, GuardSq: f.guardSq})
 	}
 	if len(groups) == 0 {
 		return
@@ -306,6 +381,7 @@ func (p *partition) dispatchPending(ctx context.Context, r knnReq, c *queryCtx) 
 			probe = part
 		}
 	}
+	c.snapshotRs()
 	resp, err := p.t.callCtx(ctx, p.id, probe,
 		knnReq{Query: r.Query, K: r.K, Rs: c.rs.Items, Entries: groups[probe]})
 	if err != nil {
@@ -315,6 +391,7 @@ func (p *partition) dispatchPending(ctx context.Context, r knnReq, c *queryCtx) 
 	kr := resp.(knnResp)
 	c.rs.replace(kr.Rs)
 	c.stats.fold(kr.Stats)
+	c.noteMiss()
 	delete(groups, probe)
 
 	if err := ctx.Err(); err != nil {
@@ -327,7 +404,7 @@ func (p *partition) dispatchPending(ctx context.Context, r knnReq, c *queryCtx) 
 	for part, entries := range groups {
 		kept := entries[:0]
 		for _, e := range entries {
-			if e.PlaneSq >= 0 && c.rs.Full() && c.rs.Worst() < e.PlaneSq {
+			if e.GuardSq >= 0 && c.rs.Full() && c.rs.Worst() < e.GuardSq {
 				continue // the probe's tightened ball rules it out
 			}
 			kept = append(kept, e)
@@ -348,7 +425,10 @@ func (p *partition) dispatchPending(ctx context.Context, r knnReq, c *queryCtx) 
 				return
 			}
 			kr := resp.(knnResp)
-			c.collect(kr.Rs, kr.Stats)
+			// A wave reply is judged a miss against the shared seed it
+			// was sent — not against the evolving merged set — so the
+			// count does not depend on completion order.
+			c.collect(kr.Rs, kr.Stats, neighborsEqual(seed, kr.Rs))
 		}(part, kept)
 	}
 }
@@ -455,16 +535,32 @@ func (p *partition) rangeVisit(ctx context.Context, idx int32, q []float64, d fl
 		}
 		return
 	}
-	if math.Abs(q[n.splitDim]-n.splitVal) <= d {
-		// Border node: both subtrees qualify; remote ones in parallel.
-		p.rangeChild(ctx, n.left, q, d, col, true)
-		p.rangeChild(ctx, n.right, q, d, col, true)
-		return
+	// Border node (the ball crosses the splitting plane): both subtrees
+	// qualify on the plane bound, remote ones in parallel. The region
+	// guard then skips any qualifying child whose bounding box provably
+	// holds no match — the exact min-distance form of the same test —
+	// unless the ablation pins the plane bound.
+	border := math.Abs(q[n.splitDim]-n.splitVal) <= d
+	left := border || q[n.splitDim] <= n.splitVal
+	right := border || q[n.splitDim] > n.splitVal
+	if !p.t.cfg.PlaneGuardOnly {
+		dd := d * d
+		if left {
+			if minSq, ok := p.childBoxMinSq(n.left, q); ok && minSq > dd {
+				left = false
+			}
+		}
+		if right {
+			if minSq, ok := p.childBoxMinSq(n.right, q); ok && minSq > dd {
+				right = false
+			}
+		}
 	}
-	if q[n.splitDim] <= n.splitVal {
-		p.rangeChild(ctx, n.left, q, d, col, false)
-	} else {
-		p.rangeChild(ctx, n.right, q, d, col, false)
+	if left {
+		p.rangeChild(ctx, n.left, q, d, col, border)
+	}
+	if right {
+		p.rangeChild(ctx, n.right, q, d, col, border)
 	}
 }
 

@@ -16,6 +16,13 @@ import (
 )
 
 func benchQueryTree(b *testing.B, m int) (*Tree, [][]float64) {
+	return benchQueryTreeGuard(b, m, false)
+}
+
+// benchQueryTreeGuard is benchQueryTree with the pruning guard
+// selectable: planeGuard pins the paper's splitting-plane bound, the
+// default is the region (bounding-box) min-distance guard.
+func benchQueryTreeGuard(b *testing.B, m int, planeGuard bool) (*Tree, [][]float64) {
 	b.Helper()
 	r := rand.New(rand.NewSource(1))
 	pts := make([]kdtree.Point, 20000)
@@ -30,7 +37,8 @@ func benchQueryTree(b *testing.B, m int) (*Tree, [][]float64) {
 	if m > 1 {
 		capacity = (m - 1) * 16
 	}
-	tr, err := New(Config{Dim: 8, BucketSize: 16, PartitionCapacity: capacity, MaxPartitions: m})
+	tr, err := New(Config{Dim: 8, BucketSize: 16, PartitionCapacity: capacity,
+		MaxPartitions: m, PlaneGuardOnly: planeGuard})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -66,4 +74,25 @@ func BenchmarkKNNProtocols(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkKNNRegionPrune measures the region (bounding-box)
+// min-distance guard against the paper's splitting-plane bound on the
+// same multi-partition workload: identical results, fewer nodes and
+// messages per query. Part of CI's bench-baseline regression gate.
+func BenchmarkKNNRegionPrune(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		planeGuard bool
+	}{{"region", false}, {"plane", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			tr, qs := benchQueryTreeGuard(b, 5, mode.planeGuard)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tr.knn(context.Background(), qs[i%len(qs)], 3, ProtocolFanOut); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -49,6 +49,13 @@ type Config struct {
 	// CapacityCheck, when set, replaces the static points>capacity
 	// condition with a dynamic one.
 	CapacityCheck func(PartitionInfo) bool
+	// PlaneGuardOnly restores the paper's one-dimensional
+	// splitting-plane pruning bound (§III-B.3) in place of the exact
+	// region (bounding-box) min-distance guard. Results are identical
+	// either way — the region guard is never looser, so it only skips
+	// work — which makes this flag the ablation lever the `pruning`
+	// bench figure and the equivalence tests measure the guard with.
+	PlaneGuardOnly bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -343,6 +350,18 @@ type ExecStats struct {
 	// FabricMessages counts fabric calls issued for the query,
 	// including the client's own call to the root partition.
 	FabricMessages int64
+	// ProbeMisses counts downstream k-NN calls whose reply did not
+	// improve the result-set snapshot they were sent: partitions probed
+	// for nothing. A guarded probe that misses is exactly the work a
+	// tight enough bound would have skipped, so the count is the direct
+	// measure of pruning quality (the `pruning` bench figure plots it
+	// against the plane-guard baseline as dimensionality grows) — with
+	// an irreducible floor: mandatory routing hops (the partition
+	// hosting the query's own region, whose min-distance guard is 0)
+	// count as misses when the caller's seed already held all k best,
+	// and no bound can skip those. Each call is judged against its own
+	// seed, so the count is deterministic for a fixed tree and query.
+	ProbeMisses int64
 	// Wall is the client-observed execution time of the query,
 	// including all fabric transit.
 	Wall time.Duration
@@ -359,6 +378,7 @@ func (s *ExecStats) fromWire(w queryStats) {
 	s.DistanceEvals = w.Dists
 	s.Partitions = int(w.Parts)
 	s.FabricMessages = w.Msgs + 1
+	s.ProbeMisses = w.Misses
 }
 
 // QueryResult is one per-query outcome of a batched search: the

@@ -1,0 +1,118 @@
+package kdtree
+
+// Axis-aligned bounding boxes are the region metadata behind the
+// min-distance pruning guard: every subtree carries the exact box of
+// its points, and a subtree is skipped when the box provably cannot
+// hold a better candidate. The box bound subsumes the paper's
+// splitting-plane bound (§III-B.3): the plane distance measures the gap
+// along one dimension only, while BoxMinSq accumulates it over every
+// dimension the query falls outside of, so the guard tightens with
+// dimensionality exactly where the plane guard degrades.
+
+// BoxMinSq returns the exact squared Euclidean distance from q to the
+// axis-aligned box [lo, hi] — zero when q lies inside. It is the
+// single min-distance kernel of the index: the local tree and the
+// distributed engine both prune with it, like EuclideanSq for the
+// point metric.
+func BoxMinSq(q, lo, hi []float64) float64 {
+	s := 0.0
+	for i, v := range q {
+		if v < lo[i] {
+			d := lo[i] - v
+			s += d * d
+		} else if v > hi[i] {
+			d := v - hi[i]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// BoxOf returns the tight bounding box of pts (nil, nil when pts is
+// empty). The returned slices are freshly allocated.
+func BoxOf(pts []Point) (lo, hi []float64) {
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	lo = append([]float64(nil), pts[0].Coords...)
+	hi = append([]float64(nil), pts[0].Coords...)
+	for _, p := range pts[1:] {
+		for d, v := range p.Coords {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// ExpandBox grows [lo, hi] to include c — in place when the box is
+// already materialized, freshly allocated from c when lo is nil. It is
+// the single grow-to-include kernel of the region metadata (like
+// BoxOf/BoxMinSq): every layer that maintains the exactness invariant
+// expands through it, so the rule cannot silently diverge.
+func ExpandBox(lo, hi, c []float64) ([]float64, []float64) {
+	if lo == nil {
+		return append([]float64(nil), c...), append([]float64(nil), c...)
+	}
+	for d, v := range c {
+		if v < lo[d] {
+			lo[d] = v
+		}
+		if v > hi[d] {
+			hi[d] = v
+		}
+	}
+	return lo, hi
+}
+
+// expandBox grows the node's box to include c; the first point
+// materializes the box.
+func (n *node) expandBox(c []float64) {
+	n.lo, n.hi = ExpandBox(n.lo, n.hi, c)
+}
+
+// computeBoxes derives every subtree box bottom-up: a leaf's box from
+// its bucket, a routing node's as the union of its children's. The
+// bulk builders call it once after shaping the tree.
+func computeBoxes(n *node) (lo, hi []float64) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.leaf {
+		n.lo, n.hi = BoxOf(n.bucket)
+		return n.lo, n.hi
+	}
+	llo, lhi := computeBoxes(n.left)
+	rlo, rhi := computeBoxes(n.right)
+	n.lo, n.hi = unionBox(llo, lhi, rlo, rhi)
+	return n.lo, n.hi
+}
+
+// unionBox returns a fresh box covering both inputs; either side may be
+// nil (empty subtree).
+func unionBox(alo, ahi, blo, bhi []float64) (lo, hi []float64) {
+	if alo == nil {
+		if blo == nil {
+			return nil, nil
+		}
+		return append([]float64(nil), blo...), append([]float64(nil), bhi...)
+	}
+	lo = append([]float64(nil), alo...)
+	hi = append([]float64(nil), ahi...)
+	if blo == nil {
+		return lo, hi
+	}
+	for d := range lo {
+		if blo[d] < lo[d] {
+			lo[d] = blo[d]
+		}
+		if bhi[d] > hi[d] {
+			hi[d] = bhi[d]
+		}
+	}
+	return lo, hi
+}

@@ -20,6 +20,7 @@ func BulkLoad(pts []Point, dim, bucketSize int) (*Tree, error) {
 	}
 	t.root = buildBalanced(pts, dim, t.bucketSize)
 	t.size = len(pts)
+	computeBoxes(t.root)
 	return t, nil
 }
 
@@ -89,6 +90,7 @@ func BuildChain(pts []Point, dim, bucketSize int) (*Tree, error) {
 	sort.Slice(pts, func(i, j int) bool { return pts[i].Coords[0] < pts[j].Coords[0] })
 	t.root = buildChain(pts, t.bucketSize)
 	t.size = len(pts)
+	computeBoxes(t.root)
 	return t, nil
 }
 

@@ -19,7 +19,11 @@ import (
 //  3. leaf buckets respect the bucket size unless unsplittable (all
 //     points equal on every dimension);
 //  4. the tree size equals the number of points in the leaves;
-//  5. every point has the tree's dimensionality.
+//  5. every point has the tree's dimensionality;
+//  6. every node's bounding box is the exact (tight, per-dimension)
+//     bound of the points in its subtree — nil for an empty subtree —
+//     so the min-distance pruning guard is never looser than the data
+//     and never admits a skip it cannot prove (CheckBoxes).
 func (t *Tree) Check() error {
 	counted := 0
 	// Per-dimension bounds implied by the ancestor chain.
@@ -34,6 +38,63 @@ func (t *Tree) Check() error {
 	}
 	if counted != t.size {
 		return fmt.Errorf("kdtree: size %d but %d points in leaves", t.size, counted)
+	}
+	return t.CheckBoxes()
+}
+
+// CheckBoxes validates the region-metadata invariant on its own: every
+// node's box must exactly equal the per-dimension min/max of the points
+// in its subtree. Exactness matters in both directions — a box looser
+// than the data weakens pruning silently, a box tighter than the data
+// prunes live candidates and corrupts results. It is also run by the
+// distributed core's consistency checks after splits, spills and
+// rebalances.
+func (t *Tree) CheckBoxes() error {
+	_, _, err := checkBox(t.root)
+	return err
+}
+
+func checkBox(n *node) (lo, hi []float64, err error) {
+	if n == nil {
+		return nil, nil, fmt.Errorf("kdtree: nil node")
+	}
+	if n.leaf {
+		lo, hi = BoxOf(n.bucket)
+	} else {
+		llo, lhi, err := checkBox(n.left)
+		if err != nil {
+			return nil, nil, err
+		}
+		rlo, rhi, err := checkBox(n.right)
+		if err != nil {
+			return nil, nil, err
+		}
+		lo, hi = unionBox(llo, lhi, rlo, rhi)
+	}
+	if err := boxExact(n.lo, n.hi, lo, hi); err != nil {
+		return nil, nil, err
+	}
+	return lo, hi, nil
+}
+
+// boxExact compares a stored box against the recomputed ground truth.
+// Malformed shapes (one side nil, wrong dimensionality) are reported
+// as errors too — the checker must diagnose corruption, not panic on
+// it.
+func boxExact(gotLo, gotHi, wantLo, wantHi []float64) error {
+	if (gotLo == nil) != (wantLo == nil) || (gotHi == nil) != (wantLo == nil) {
+		return fmt.Errorf("kdtree: box nil-ness lo=%v hi=%v, want %v",
+			gotLo == nil, gotHi == nil, wantLo == nil)
+	}
+	if len(gotLo) != len(wantLo) || len(gotHi) != len(wantLo) {
+		return fmt.Errorf("kdtree: box dims lo=%d hi=%d, want %d",
+			len(gotLo), len(gotHi), len(wantLo))
+	}
+	for d := range wantLo {
+		if gotLo[d] != wantLo[d] || gotHi[d] != wantHi[d] {
+			return fmt.Errorf("kdtree: box dim %d [%g, %g], want exact [%g, %g]",
+				d, gotLo[d], gotHi[d], wantLo[d], wantHi[d])
+		}
 	}
 	return nil
 }

@@ -12,7 +12,8 @@ type FlatNode struct {
 	SplitVal float64
 	Left     int32 // index into the flat slice, -1 when leaf
 	Right    int32
-	Bucket   []Point // shared with the tree; treat as read-only
+	Bucket   []Point   // shared with the tree; treat as read-only
+	Lo, Hi   []float64 // subtree bounding box; shared, read-only, nil when empty
 }
 
 // Flatten returns the tree's nodes in preorder, root at index 0.
@@ -21,7 +22,7 @@ func (t *Tree) Flatten() []FlatNode {
 	var walk func(n *node) int32
 	walk = func(n *node) int32 {
 		idx := int32(len(out))
-		out = append(out, FlatNode{Leaf: n.leaf, Left: -1, Right: -1})
+		out = append(out, FlatNode{Leaf: n.leaf, Left: -1, Right: -1, Lo: n.lo, Hi: n.hi})
 		if n.leaf {
 			out[idx].Bucket = n.bucket
 			return idx
@@ -52,7 +53,7 @@ func Subtree(flat []FlatNode, root int32) ([]FlatNode, error) {
 		at := int32(len(out))
 		out = append(out, FlatNode{
 			Leaf: n.Leaf, SplitDim: n.SplitDim, SplitVal: n.SplitVal,
-			Left: -1, Right: -1, Bucket: n.Bucket,
+			Left: -1, Right: -1, Bucket: n.Bucket, Lo: n.Lo, Hi: n.Hi,
 		})
 		if n.Leaf {
 			return at, nil

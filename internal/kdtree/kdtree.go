@@ -47,12 +47,21 @@ type Stats struct {
 // node is either a routing node (leaf == false: splitDim/splitVal/
 // children valid) or a leaf (bucket valid). Points with
 // coords[splitDim] <= splitVal belong to the left subtree.
+//
+// lo/hi is the node's region metadata: the exact d-dimensional
+// bounding box of every point in the subtree (nil for an empty
+// subtree). The box is the search guard — its minimum distance to the
+// query (BoxMinSq) subsumes the splitting-plane bound of §III-B.3,
+// which only measures one dimension — and is kept exactly tight:
+// expanded point-by-point on insert (points are never removed), and
+// recomputed from buckets on splits and bulk loads.
 type node struct {
 	splitDim    int
 	splitVal    float64
 	left, right *node
 	leaf        bool
 	bucket      []Point
+	lo, hi      []float64
 }
 
 // Tree is a sequential bucket KD-tree. It is not safe for concurrent
@@ -116,12 +125,17 @@ func (t *Tree) Insert(p Point) error {
 		return fmt.Errorf("kdtree: point has %d coords, tree dimension is %d", len(p.Coords), t.dim)
 	}
 	n := t.root
+	// Every node on the descent path gains the point, so every box on
+	// the path expands; expansion keeps boxes exactly tight because
+	// points are never removed.
+	n.expandBox(p.Coords)
 	for !n.leaf {
 		if p.Coords[n.splitDim] <= n.splitVal {
 			n = n.left
 		} else {
 			n = n.right
 		}
+		n.expandBox(p.Coords)
 	}
 	n.bucket = append(n.bucket, p)
 	t.size++
@@ -151,6 +165,8 @@ func (t *Tree) splitLeaf(n *node) {
 			right.bucket = append(right.bucket, p)
 		}
 	}
+	left.lo, left.hi = BoxOf(left.bucket)
+	right.lo, right.hi = BoxOf(right.bucket)
 	n.leaf = false
 	n.bucket = nil
 	n.splitDim = dim

@@ -81,14 +81,19 @@ func (r *ResultSet) drain() []Neighbor {
 }
 
 // visit is one pending subtree on the explicit traversal stack.
-// planeSq >= 0 guards the visit: the subtree lies beyond a splitting
-// plane at that squared distance and is skipped when the result ball no
-// longer crosses it. The guard is evaluated at pop time — after the
-// nearer sibling's subtree has been fully explored — which is exactly
-// the backtracking condition of §III-B.3. planeSq < 0 is unconditional.
+// guardSq >= 0 guards the visit: no point of the subtree can lie closer
+// to the query than sqrt(guardSq), so the subtree is skipped when the
+// result ball no longer reaches it. The guard is the exact squared
+// minimum distance from the query to the subtree's bounding box
+// (BoxMinSq), which subsumes the splitting-plane distance of §III-B.3 —
+// the box lies entirely beyond the plane, so the box bound is never
+// looser and grows strictly tighter with dimensionality. The guard is
+// evaluated at pop time — after the nearer sibling's subtree has been
+// fully explored — which is exactly the paper's backtracking condition.
+// guardSq < 0 is unconditional.
 type visit struct {
 	n       *node
-	planeSq float64
+	guardSq float64
 }
 
 // searchCtx is the pooled per-query execution context: the scratch
@@ -137,27 +142,31 @@ func (t *Tree) KNearest(q []float64, k int) []Neighbor {
 // KNearestWithStats is KNearest recording traversal work into stats
 // (which may be nil). The descent/backtrack structure follows §III-B.3:
 // navigate to the leaf containing q, add its bucket to Rs, then walk
-// back up; at each node the unexplored subtree is visited when
-// |max(Rs) − P[SI]| > |P[SI] − Sv| — i.e. the hypersphere of the
-// current worst result crosses the splitting hyperplane — or when Rs is
-// not yet full (Rs.length() < K). The recursion is run as an explicit
-// stack so the whole traversal state lives in one pooled context.
+// back up; at each node the unexplored subtree is visited when the
+// hypersphere of the current worst result reaches the subtree's
+// bounding box — the exact min-distance form of the paper's
+// |max(Rs) − P[SI]| > |P[SI] − Sv| splitting-plane test, which the box
+// bound subsumes — or when Rs is not yet full (Rs.length() < K). The
+// recursion is run as an explicit stack so the whole traversal state
+// lives in one pooled context.
 func (t *Tree) KNearestWithStats(q []float64, k int, stats *Stats) []Neighbor {
 	if k <= 0 || t.size == 0 {
 		return nil
 	}
 	ctx := getSearchCtx(k)
 	defer searchCtxPool.Put(ctx)
-	ctx.stack = append(ctx.stack, visit{n: t.root, planeSq: -1})
+	ctx.stack = append(ctx.stack, visit{n: t.root, guardSq: -1})
 	for len(ctx.stack) > 0 {
 		v := ctx.stack[len(ctx.stack)-1]
 		ctx.stack = ctx.stack[:len(ctx.stack)-1]
-		// Skip only when the plane is strictly beyond the worst kept
-		// candidate: at exact equality a far-side point could tie the
-		// k-th best with a smaller ID, and tie-breaks are part of the
-		// result contract.
-		if v.planeSq >= 0 && ctx.rs.Full() && ctx.rs.Worst() < v.planeSq {
-			continue // backtracking prune: the result ball stays inside the plane
+		// Skip only when the guard is strictly beyond the worst kept
+		// candidate: at exact equality a point on the box boundary could
+		// tie the k-th best with a smaller ID, and tie-breaks are part
+		// of the result contract. Pruning on the strict inequality
+		// keeps results byte-identical to the plane-guard traversal —
+		// every skipped point is strictly worse than the kept k-th.
+		if v.guardSq >= 0 && ctx.rs.Full() && ctx.rs.Worst() < v.guardSq {
+			continue // backtracking prune: the result ball cannot reach the region
 		}
 		n := v.n
 		if stats != nil {
@@ -177,10 +186,15 @@ func (t *Tree) KNearestWithStats(q []float64, k int, stats *Stats) []Neighbor {
 		if q[n.splitDim] > n.splitVal {
 			near, far = far, near
 		}
-		plane := q[n.splitDim] - n.splitVal
-		// LIFO: far is guarded and pops only after near's whole subtree
-		// has been explored.
-		ctx.stack = append(ctx.stack, visit{n: far, planeSq: plane * plane}, visit{n: near, planeSq: -1})
+		// LIFO: far is guarded by its region's exact min-distance and
+		// pops only after near's whole subtree has been explored. An
+		// empty far subtree (nil box) can never contribute; an infinite
+		// guard prunes it as soon as the result set fills.
+		guard := math.Inf(1)
+		if far.lo != nil {
+			guard = BoxMinSq(q, far.lo, far.hi)
+		}
+		ctx.stack = append(ctx.stack, visit{n: far, guardSq: guard}, visit{n: near, guardSq: -1})
 	}
 	return ctx.rs.drain()
 }
@@ -192,17 +206,19 @@ func (t *Tree) RangeSearch(q []float64, d float64) []Neighbor {
 }
 
 // RangeSearchWithStats is RangeSearch recording traversal work into
-// stats (which may be nil). Per §III-B.4: while descending, when
-// |P[SI] − Sv| < D both children are visited, otherwise navigation
-// proceeds on one side as in the insertion algorithm; results are
-// gathered on the way back, compared on squared distances, and sorted
-// plus square-rooted exactly once at the end.
+// stats (which may be nil). Per §III-B.4: while descending, every
+// child whose region intersects the query ball is visited — the exact
+// min-distance form of the paper's |P[SI] − Sv| < D border test, so
+// both children are visited at a border node and provably-empty
+// regions are skipped outright; results are gathered on the way back,
+// compared on squared distances, and sorted plus square-rooted exactly
+// once at the end.
 func (t *Tree) RangeSearchWithStats(q []float64, d float64, stats *Stats) []Neighbor {
 	if d < 0 || t.size == 0 {
 		return nil
 	}
 	var out []Neighbor
-	t.rangeVisit(t.root, q, d, d*d, &out, stats)
+	t.rangeVisit(t.root, q, d*d, &out, stats)
 	sort.Slice(out, func(i, j int) bool { return NeighborLess(out[i], out[j]) })
 	for i := range out {
 		out[i].Dist = math.Sqrt(out[i].Dist)
@@ -210,7 +226,7 @@ func (t *Tree) RangeSearchWithStats(q []float64, d float64, stats *Stats) []Neig
 	return out
 }
 
-func (t *Tree) rangeVisit(n *node, q []float64, d, dd float64, out *[]Neighbor, stats *Stats) {
+func (t *Tree) rangeVisit(n *node, q []float64, dd float64, out *[]Neighbor, stats *Stats) {
 	if stats != nil {
 		stats.NodesVisited++
 	}
@@ -226,17 +242,16 @@ func (t *Tree) rangeVisit(n *node, q []float64, d, dd float64, out *[]Neighbor, 
 		}
 		return
 	}
-	// The paper states the both-children condition as strict <; we use
-	// <= so that points lying at distance exactly D across the
-	// splitting plane are not missed (results use dist <= D).
-	if math.Abs(q[n.splitDim]-n.splitVal) <= d {
-		t.rangeVisit(n.left, q, d, dd, out, stats)
-		t.rangeVisit(n.right, q, d, dd, out, stats)
-		return
+	// The paper states the descend-both condition on the splitting
+	// plane (|P[SI] − Sv| < D); the region guard is its exact form: a
+	// child is visited iff its bounding box comes within D of the query
+	// (<=, not <, so points lying at distance exactly D are not missed
+	// — results use dist <= D). Children whose region provably holds no
+	// match are skipped even on the navigation side.
+	if n.left.lo != nil && BoxMinSq(q, n.left.lo, n.left.hi) <= dd {
+		t.rangeVisit(n.left, q, dd, out, stats)
 	}
-	if q[n.splitDim] <= n.splitVal {
-		t.rangeVisit(n.left, q, d, dd, out, stats)
-	} else {
-		t.rangeVisit(n.right, q, d, dd, out, stats)
+	if n.right.lo != nil && BoxMinSq(q, n.right.lo, n.right.hi) <= dd {
+		t.rangeVisit(n.right, q, dd, out, stats)
 	}
 }

@@ -172,7 +172,7 @@ type SchedulerStats = core.SchedulerStats
 // Result — the paper's cost model (messages and nodes visited per
 // query, §V) surfaced per request. It is the distributed engine's
 // core.ExecStats: NodesVisited, BucketsScanned, DistanceEvals,
-// Partitions, FabricMessages, Wall and Protocol. At this facade,
+// Partitions, FabricMessages, ProbeMisses, Wall and Protocol. At this facade,
 // DistanceEvals additionally includes the exact Eq. 1 re-rank
 // evaluations when ExactFactor is set; Wall covers the index execution
 // of the query (the batch-amortized FastMap embedding and triple
