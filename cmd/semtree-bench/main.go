@@ -16,9 +16,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -89,10 +91,16 @@ func main() {
 	// Per-figure wall time brackets each run (announced up front,
 	// reported on completion — and on failure, where a nightly job
 	// needs it most) so CI logs show where a job's time budget goes.
+	// The cancellation root for every runner: ^C interrupts a long sweep
+	// instead of orphaning it. Runners thread this context down to each
+	// KNearest/RangeSearch call.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	for _, id := range ids {
 		fmt.Printf("running %s...\n", id)
 		start := time.Now()
-		figure, err := runners[id](params)
+		figure, err := runners[id](ctx, params)
 		if err != nil {
 			fmt.Printf("(%s failed after %v)\n", id, time.Since(start).Round(time.Millisecond))
 			fatal(fmt.Errorf("%s: %w", id, err))

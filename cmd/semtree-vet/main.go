@@ -1,0 +1,148 @@
+// Command semtree-vet runs the semtree analyzer suite (internal/analysis):
+// custom invariant checkers for context propagation, fabric calls under
+// locks, the sort/sqrt client boundary, typed sentinel errors, exact
+// region-guard pruning, and the injected-clock seam.
+//
+// It runs in two modes:
+//
+//	semtree-vet ./...                 standalone, via `go list -export`
+//	go vet -vettool=$(which semtree-vet) ./...   unitchecker protocol
+//
+// The vettool mode speaks the protocol cmd/go expects of -vettool
+// binaries (-V=full, -flags, then one invocation per package with a
+// vet.cfg), so semtree-vet slots into `go vet` caching and analyzes
+// test files too. Both modes run the identical analyzers.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"semtree/internal/analysis"
+)
+
+func main() {
+	// The -vettool protocol invokes us as:
+	//   semtree-vet -V=full          print a stable tool ID for caching
+	//   semtree-vet -flags           print supported flags as JSON
+	//   semtree-vet <path>/vet.cfg   analyze one package
+	if len(os.Args) == 2 {
+		switch {
+		case os.Args[1] == "-V=full":
+			fmt.Printf("semtree-vet version %s\n", toolID())
+			return
+		case os.Args[1] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(os.Args[1], ".cfg"):
+			os.Exit(unitchecker(os.Args[1]))
+		}
+	}
+	os.Exit(standalone(os.Args[1:]))
+}
+
+// toolID returns a fingerprint of this executable. go vet caches vet
+// results keyed on the tool's -V=full output, so the ID must change
+// whenever the analyzers change; hashing the binary itself guarantees
+// that.
+func toolID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+// standalone loads patterns via `go list -export` and analyzes each
+// matched package from source. Exit codes: 0 clean, 1 usage/load error,
+// 2 diagnostics reported.
+func standalone(args []string) int {
+	flags := flag.NewFlagSet("semtree-vet", flag.ExitOnError)
+	list := flags.Bool("list", false, "list analyzers and exit")
+	run := flags.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flags.Usage = func() {
+		fmt.Fprintf(flags.Output(), "usage: semtree-vet [-list] [-run=names] [packages]\n\n")
+		fmt.Fprintf(flags.Output(), "Analyzers:\n")
+		for _, a := range analysis.AllAnalyzers() {
+			fmt.Fprintf(flags.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flags.PrintDefaults()
+	}
+	if err := flags.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		for _, a := range analysis.AllAnalyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := selectAnalyzers(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semtree-vet:", err)
+		return 1
+	}
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semtree-vet:", err)
+		return 1
+	}
+	fset, pkgs, err := analysis.LoadPackages(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semtree-vet:", err)
+		return 1
+	}
+	exit := 0
+	for _, cp := range pkgs {
+		if len(cp.TypeErrors) > 0 {
+			for _, terr := range cp.TypeErrors {
+				fmt.Fprintf(os.Stderr, "%v\n", terr)
+			}
+			fmt.Fprintf(os.Stderr, "semtree-vet: %s does not type-check; fix the build first\n", cp.Listed.ImportPath)
+			return 1
+		}
+		diags, err := analysis.Run(fset, cp.Files, cp.Types, cp.Info, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semtree-vet:", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+func selectAnalyzers(run string) ([]*analysis.Analyzer, error) {
+	if run == "" {
+		return analysis.AllAnalyzers(), nil
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(run, ",") {
+		name = strings.TrimSpace(name)
+		a := analysis.ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,202 @@
+package main
+
+// End-to-end tests for both drivers against a scratch module, proving
+// the acceptance property the CI lint job depends on: deliberately
+// reintroducing a context.TODO() in library code or a Fabric.Call
+// under a held mutex makes both `semtree-vet ./...` and
+// `go vet -vettool=semtree-vet ./...` fail.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles semtree-vet once per test binary.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	tool := filepath.Join(dir, "semtree-vet")
+	cmd := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building semtree-vet: %v\n%s", err, out)
+	}
+	return tool
+}
+
+// scratchModule writes a throwaway module; files maps relative path to
+// source.
+func scratchModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module scratch\n\ngo 1.23\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const fakeCluster = `package cluster
+
+import "context"
+
+type NodeID int
+
+type Fabric interface {
+	Call(ctx context.Context, from, to NodeID, req any) (any, error)
+	Send(from, to NodeID, req any) error
+}
+`
+
+// dirtyEngine reintroduces both banned patterns at once.
+const dirtyEngine = `package engine
+
+import (
+	"context"
+	"sync"
+
+	"scratch/cluster"
+)
+
+type Partition struct {
+	mu  sync.Mutex
+	fab cluster.Fabric
+}
+
+func (p *Partition) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := p.fab.Call(context.TODO(), 1, 2, nil)
+	return err
+}
+`
+
+const cleanEngine = `package engine
+
+import (
+	"context"
+
+	"scratch/cluster"
+)
+
+func Flush(ctx context.Context, fab cluster.Fabric) error {
+	_, err := fab.Call(ctx, 1, 2, nil)
+	return err
+}
+`
+
+func runIn(t *testing.T, dir string, name string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	return buf.String(), err
+}
+
+func TestStandaloneFlagsReintroducedViolations(t *testing.T) {
+	tool := buildTool(t)
+	dir := scratchModule(t, map[string]string{
+		"cluster/cluster.go": fakeCluster,
+		"engine/engine.go":   dirtyEngine,
+	})
+	out, err := runIn(t, dir, tool, "./...")
+	if err == nil {
+		t.Fatalf("semtree-vet passed a module with known violations:\n%s", out)
+	}
+	for _, want := range []string{"ctxfirst", "lockedcall", "context.TODO", "fabric Call while p.mu held"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStandalonePassesCleanModule(t *testing.T) {
+	tool := buildTool(t)
+	dir := scratchModule(t, map[string]string{
+		"cluster/cluster.go": fakeCluster,
+		"engine/engine.go":   cleanEngine,
+	})
+	if out, err := runIn(t, dir, tool, "./..."); err != nil {
+		t.Fatalf("semtree-vet failed a clean module: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolProtocol drives the same two modules through
+// `go vet -vettool=` — the exact CI invocation.
+func TestVettoolProtocol(t *testing.T) {
+	tool := buildTool(t)
+
+	dirty := scratchModule(t, map[string]string{
+		"cluster/cluster.go": fakeCluster,
+		"engine/engine.go":   dirtyEngine,
+	})
+	out, err := runIn(t, dirty, "go", "vet", "-vettool="+tool, "./...")
+	if err == nil {
+		t.Fatalf("go vet -vettool passed a module with known violations:\n%s", out)
+	}
+	for _, want := range []string{"context.TODO", "fabric Call while p.mu held"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("go vet output missing %q:\n%s", want, out)
+		}
+	}
+
+	clean := scratchModule(t, map[string]string{
+		"cluster/cluster.go": fakeCluster,
+		"engine/engine.go":   cleanEngine,
+	})
+	if out, err := runIn(t, clean, "go", "vet", "-vettool="+tool, "./..."); err != nil {
+		t.Fatalf("go vet -vettool failed a clean module: %v\n%s", err, out)
+	}
+}
+
+// TestSuppressionRequiresJustification: a bare allow directive does not
+// suppress; a justified one does.
+func TestSuppressionRequiresJustification(t *testing.T) {
+	tool := buildTool(t)
+
+	justified := scratchModule(t, map[string]string{
+		"lib/lib.go": `package lib
+
+import "context"
+
+func Root() context.Context {
+	//semtree:allow ctxfirst: detached maintenance runs to completion by documented contract
+	return context.Background()
+}
+`,
+	})
+	if out, err := runIn(t, justified, tool, "./..."); err != nil {
+		t.Fatalf("justified directive did not suppress: %v\n%s", err, out)
+	}
+
+	bare := scratchModule(t, map[string]string{
+		"lib/lib.go": `package lib
+
+import "context"
+
+func Root() context.Context {
+	//semtree:allow ctxfirst
+	return context.Background()
+}
+`,
+	})
+	out, err := runIn(t, bare, tool, "./...")
+	if err == nil {
+		t.Fatalf("bare directive suppressed without a justification:\n%s", out)
+	}
+	if !strings.Contains(out, "needs a justification") {
+		t.Errorf("output missing the justification diagnostic:\n%s", out)
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+// The -vettool side of semtree-vet. cmd/go drives vet tools with a
+// unitchecker-style protocol: after the -V=full / -flags handshake, the
+// tool is invoked once per package in dependency order with the path to
+// a JSON config describing the compilation unit — source files, the
+// import map, and gc export-data files for every dependency. The tool
+// must write its "vetx" facts file (ours is empty: these analyzers are
+// purely local) and exit 0 on success or nonzero with diagnostics on
+// stderr.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+
+	"semtree/internal/analysis"
+)
+
+// vetConfig mirrors the JSON written by cmd/go for each vet'd package.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitchecker(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semtree-vet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "semtree-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Dependencies are visited only so their (empty) facts file exists;
+	// all our analyzers are package-local.
+	if cfg.VetxOnly {
+		if err := writeVetx(cfg.VetxOutput); err != nil {
+			fmt.Fprintln(os.Stderr, "semtree-vet:", err)
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := analysis.ExportImporter(fset, resolveExports(&cfg))
+
+	var filenames []string
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		filenames = append(filenames, f)
+	}
+	cp, err := analysis.TypeCheck(fset, cfg.ImportPath, filenames, imp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semtree-vet:", err)
+		return 1
+	}
+	if len(cp.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput)
+			return 0
+		}
+		for _, terr := range cp.TypeErrors {
+			fmt.Fprintf(os.Stderr, "%v\n", terr)
+		}
+		return 1
+	}
+
+	diags, err := analysis.Run(fset, cp.Files, cp.Types, cp.Info, analysis.AllAnalyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semtree-vet:", err)
+		return 1
+	}
+	if err := writeVetx(cfg.VetxOutput); err != nil {
+		fmt.Fprintln(os.Stderr, "semtree-vet:", err)
+		return 1
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+		}
+		return 2
+	}
+	return 0
+}
+
+// resolveExports flattens the config's two-level import resolution
+// (source path → canonical path → export file) into the single map the
+// importer consumes, keyed by the path as it appears in source.
+func resolveExports(cfg *vetConfig) map[string]string {
+	exports := map[string]string{}
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for src, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[src] = file
+		}
+	}
+	return exports
+}
+
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, []byte{}, 0o666)
+}

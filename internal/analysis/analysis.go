@@ -1,0 +1,186 @@
+// Package analysis is a dependency-free mini framework in the spirit of
+// golang.org/x/tools/go/analysis, hosting the semtree-vet analyzer suite.
+//
+// The repo builds offline with a stdlib-only module graph, so we cannot
+// vendor x/tools; instead this package defines the minimal Analyzer/Pass
+// surface the suite needs, and cmd/semtree-vet provides two drivers: a
+// standalone one built on `go list -export` and a `go vet -vettool`
+// unitchecker-protocol one. Analyzers are pure functions of parsed,
+// type-checked syntax, so they run identically under both drivers and
+// under the golden-file test harness in this package.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker in the suite.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //semtree:allow directives. Lowercase, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced,
+	// shown by `semtree-vet -help`.
+	Doc string
+
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Both drivers
+// may feed test files into a pass (go vet compiles the test-augmented
+// variant), so analyzers that scope themselves to library code must
+// filter here rather than assume the file set is pre-filtered.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// A Diagnostic is one finding, with its position already resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Run applies each analyzer to the package and returns the surviving
+// diagnostics after //semtree:allow suppression, sorted by position.
+// Directive problems (missing justification, unknown analyzer, unused
+// directive) are themselves reported, attributed to DirectiveAnalyzer.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	diags = applyDirectives(fset, files, analyzers, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// pkgPathIs reports whether pkg's import path is name or ends in /name.
+// Analyzer scoping works on path suffixes so the same analyzers apply to
+// the real module ("semtree/internal/core") and to golden-test fixtures
+// ("core").
+func pkgPathIs(pkg *types.Package, name string) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == name || strings.HasSuffix(path, "/"+name)
+}
+
+// calleeFunc resolves the static callee of call, if it is a declared
+// function or method (not a builtin, conversion, or indirect call
+// through a plain function value).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeIsPkgFunc reports whether call statically resolves to the
+// package-level function pkgName.funcName (pkgName matched by path
+// suffix, so "cluster" matches semtree/internal/cluster).
+func calleeIsPkgFunc(info *types.Info, call *ast.CallExpr, pkgName string, funcNames ...string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !pkgPathIs(fn.Pkg(), pkgName) {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	for _, name := range funcNames {
+		if fn.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// namedOf unwraps pointers and aliases down to a *types.Named, if any.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isNamedType reports whether t (or *t) is the named type pkgName.typeName,
+// with pkgName matched by import-path suffix.
+func isNamedType(t types.Type, pkgName, typeName string) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && pkgPathIs(obj.Pkg(), pkgName)
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectiveAnalyzer is the name under which problems with suppression
+// directives themselves are reported. It is not a runnable analyzer and
+// its diagnostics cannot be suppressed.
+const DirectiveAnalyzer = "allowdirective"
+
+// allowPrefix introduces a suppression: //semtree:allow <names>: <why>.
+// The directive suppresses matching diagnostics on its own line or, when
+// it is the only thing on its line, on the next line. Names may be a
+// comma-separated list. The justification after the colon is mandatory:
+// a suppression with no recorded reason is itself a diagnostic.
+const allowPrefix = "//semtree:allow"
+
+// ClockSealedDirective marks a whole file as clock-sealed for the
+// injectedclock analyzer (see injectedclock.go).
+const ClockSealedDirective = "//semtree:clocksealed"
+
+type allowDirective struct {
+	pos       token.Position // of the comment
+	line      int            // line the directive applies to
+	analyzers []string
+	used      bool
+}
+
+// parseAllowDirectives extracts //semtree:allow directives from files,
+// reporting malformed ones through report.
+func parseAllowDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool, report func(Diagnostic)) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' && rest[0] != ':' {
+					// e.g. //semtree:allowed — not ours.
+					continue
+				}
+				names, why, ok := strings.Cut(rest, ":")
+				if !ok || strings.TrimSpace(why) == "" {
+					report(Diagnostic{
+						Analyzer: DirectiveAnalyzer,
+						Pos:      pos,
+						Message:  "semtree:allow directive needs a justification: //semtree:allow <analyzer>: <why>",
+					})
+					continue
+				}
+				d := &allowDirective{pos: pos, line: pos.Line}
+				// A comment alone on its line guards the next line;
+				// a trailing comment guards its own line.
+				if pos.Column == 1 || onlyWhitespaceBefore(fset, f, c) {
+					d.line = pos.Line + 1
+				}
+				valid := true
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					if !known[name] {
+						report(Diagnostic{
+							Analyzer: DirectiveAnalyzer,
+							Pos:      pos,
+							Message:  "semtree:allow names unknown analyzer \"" + name + "\"",
+						})
+						valid = false
+						continue
+					}
+					d.analyzers = append(d.analyzers, name)
+				}
+				if valid && len(d.analyzers) == 0 {
+					report(Diagnostic{
+						Analyzer: DirectiveAnalyzer,
+						Pos:      pos,
+						Message:  "semtree:allow directive names no analyzer",
+					})
+					continue
+				}
+				if len(d.analyzers) > 0 {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// onlyWhitespaceBefore reports whether comment c is the first token on
+// its line, i.e. a standalone directive guarding the following line.
+func onlyWhitespaceBefore(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	// Walk the file for any node ending on the same line before the comment.
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || found {
+			return false
+		}
+		if n.End() <= c.Pos() && fset.Position(n.End()).Line == pos.Line {
+			switch n.(type) {
+			case *ast.Comment, *ast.CommentGroup:
+			default:
+				found = true
+			}
+		}
+		return !found
+	})
+	return !found
+}
+
+// applyDirectives filters diags through the //semtree:allow directives
+// found in files, appends diagnostics for malformed or unused
+// directives, and returns the result. Only analyzers present in the run
+// set participate in the unused-directive check, so a single-analyzer
+// run does not complain about directives aimed at its siblings.
+func applyDirectives(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	known := map[string]bool{}
+	ran := map[string]bool{}
+	for _, a := range AllAnalyzers() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+		ran[a.Name] = true
+	}
+
+	var extra []Diagnostic
+	directives := parseAllowDirectives(fset, files, known, func(d Diagnostic) { extra = append(extra, d) })
+
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == DirectiveAnalyzer {
+			out = append(out, d)
+			continue
+		}
+		suppressed := false
+		for _, dir := range directives {
+			if dir.pos.Filename != d.Pos.Filename || dir.line != d.Pos.Line {
+				continue
+			}
+			for _, name := range dir.analyzers {
+				if name == d.Analyzer {
+					dir.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range directives {
+		if dir.used {
+			continue
+		}
+		// Only call a directive unused if every analyzer it names was
+		// actually part of this run; otherwise we cannot know.
+		allRan := true
+		for _, name := range dir.analyzers {
+			if !ran[name] {
+				allRan = false
+			}
+		}
+		if allRan {
+			extra = append(extra, Diagnostic{
+				Analyzer: DirectiveAnalyzer,
+				Pos:      dir.pos,
+				Message:  "unused semtree:allow directive (nothing to suppress here); delete it",
+			})
+		}
+	}
+	return append(out, extra...)
+}

@@ -1,0 +1,234 @@
+package analysis
+
+// Golden-file tests in the style of x/tools' analysistest: each fixture
+// package under testdata/src/ annotates the lines where diagnostics are
+// expected with `// want "regexp"` comments. Fixtures are type-checked
+// for real — stdlib dependencies resolve through gc export data from
+// the build cache, and fixture-local dependencies (like the fake
+// cluster package) resolve from testdata/src.
+
+import (
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	goldenFset  = token.NewFileSet()
+	goldenCache = map[string]*CheckedPackage{}
+	stdExports  = map[string]string{}
+	stdImporter = ExportImporter(goldenFset, stdExports)
+)
+
+// ensureStdExports resolves export-data files for stdlib import paths
+// via one `go list -export -deps` call per batch of new paths.
+func ensureStdExports(t *testing.T, paths []string) {
+	t.Helper()
+	var need []string
+	for _, p := range paths {
+		if _, ok := stdExports[p]; !ok {
+			need = append(need, p)
+		}
+	}
+	if len(need) == 0 {
+		return
+	}
+	listed, err := GoList(".", append([]string{"-export", "-deps", "-json"}, need...)...)
+	if err != nil {
+		t.Fatalf("resolving stdlib exports: %v", err)
+	}
+	for _, p := range listed {
+		if p.Export != "" {
+			stdExports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+type goldenImporter struct {
+	t       *testing.T
+	srcRoot string
+}
+
+func (gi *goldenImporter) Import(path string) (*types.Package, error) {
+	if cp, ok := goldenCache[path]; ok {
+		return cp.Types, nil
+	}
+	if dirExists(filepath.Join(gi.srcRoot, path)) {
+		return loadGolden(gi.t, gi.srcRoot, path).Types, nil
+	}
+	return stdImporter.Import(path)
+}
+
+func dirExists(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// loadGolden parses and type-checks the fixture package at
+// srcRoot/path, loading fixture-local imports recursively.
+func loadGolden(t *testing.T, srcRoot, path string) *CheckedPackage {
+	t.Helper()
+	if cp, ok := goldenCache[path]; ok {
+		return cp
+	}
+	dir := filepath.Join(srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(filenames)
+	if len(filenames) == 0 {
+		t.Fatalf("fixture %s has no Go files", path)
+	}
+
+	// Resolve imports first: fixture-local packages recurse, the rest
+	// resolve as stdlib export data.
+	var std []string
+	for _, name := range filenames {
+		f, err := parser.ParseFile(goldenFset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		for _, spec := range f.Imports {
+			impPath, _ := strconv.Unquote(spec.Path.Value)
+			if dirExists(filepath.Join(srcRoot, impPath)) {
+				loadGolden(t, srcRoot, impPath)
+			} else {
+				std = append(std, impPath)
+			}
+		}
+	}
+	ensureStdExports(t, std)
+
+	cp, err := TypeCheck(goldenFset, path, filenames, &goldenImporter{t: t, srcRoot: srcRoot})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	for _, terr := range cp.TypeErrors {
+		t.Errorf("fixture %s: %v", path, terr)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	goldenCache[path] = cp
+	return cp
+}
+
+type wantExp struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants extracts `// want "re" ["re" ...]` expectations. The
+// marker may appear inside another comment (e.g. trailing a directive
+// under test).
+func collectWants(t *testing.T, cp *CheckedPackage) []*wantExp {
+	t.Helper()
+	const marker = "// want "
+	var wants []*wantExp
+	for _, f := range cp.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, marker)
+				if idx < 0 {
+					continue
+				}
+				pos := goldenFset.Position(c.Pos())
+				rest := strings.TrimSpace(c.Text[idx+len(marker):])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want expectation %q", pos, rest)
+					}
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %q", pos, q)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp: %v", pos, err)
+					}
+					wants = append(wants, &wantExp{file: pos.Filename, line: pos.Line, re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden analyzes one fixture package and matches the produced
+// diagnostics against its want expectations, both ways.
+func runGolden(t *testing.T, analyzers []*Analyzer, path string) {
+	t.Helper()
+	cp := loadGolden(t, "testdata/src", path)
+	diags, err := Run(goldenFset, cp.Files, cp.Types, cp.Info, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, cp)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestCtxFirstGolden(t *testing.T)   { runGolden(t, []*Analyzer{CtxFirst}, "ctxfirst") }
+func TestLockedCallGolden(t *testing.T) { runGolden(t, []*Analyzer{LockedCall}, "lockedcall") }
+func TestBoundaryOnceGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{BoundaryOnce}, "boundaryonce/core")
+}
+func TestTypedErrGolden(t *testing.T) { runGolden(t, []*Analyzer{TypedErr}, "typederr") }
+func TestGuardExactGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{GuardExact}, "guardexact/core")
+}
+func TestInjectedClockGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{InjectedClock}, "injectedclock")
+}
+
+// TestAllowDirectiveGolden exercises the directive machinery itself:
+// missing justification, unknown analyzer names, unused directives.
+func TestAllowDirectiveGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{CtxFirst}, "allowdirective")
+}
+
+// TestByName keeps the registry and the directive vocabulary in sync.
+func TestByName(t *testing.T) {
+	for _, a := range AllAnalyzers() {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) does not round-trip", a.Name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) should be nil")
+	}
+}

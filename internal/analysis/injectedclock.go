@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// InjectedClock guards the fake-clock seam from PR 4: scheduler, quota,
+// and cost-model logic read time exclusively through an injected
+// `func() time.Time`, so tests can drive refill/admission decisions
+// deterministically. A stray time.Now() in those paths silently
+// bypasses the fake clock, making quota tests flaky and admission
+// estimates untestable.
+//
+// Two signals seal a scope:
+//   - a file-level //semtree:clocksealed directive seals every function
+//     in the file;
+//   - a method whose receiver struct carries a `func() time.Time` field
+//     is sealed implicitly — the seam is right there, use it.
+//
+// Bare references to time.Now (no call) stay legal: `clock: time.Now`
+// is exactly how the production clock is injected.
+var InjectedClock = &Analyzer{
+	Name: "injectedclock",
+	Doc: "no time.Now/Since/Until calls in clock-sealed files or in methods of types " +
+		"that carry an injected func() time.Time seam",
+	Run: runInjectedClock,
+}
+
+func runInjectedClock(pass *Pass) error {
+	for _, file := range pass.Files {
+		sealedFile := fileIsClockSealed(file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			sealed := sealedFile || receiverHasClockSeam(pass, fd)
+			if !sealed {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if calleeIsPkgFunc(pass.TypesInfo, call, "time", "Now", "Since", "Until") {
+					fn := calleeFunc(pass.TypesInfo, call)
+					pass.Reportf(call.Pos(),
+						"time.%s in clock-sealed code; read time through the injected clock seam so fake-clock tests stay deterministic",
+						fn.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// fileIsClockSealed reports whether file carries a
+// //semtree:clocksealed directive.
+func fileIsClockSealed(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if c.Text == ClockSealedDirective ||
+				strings.HasPrefix(c.Text, ClockSealedDirective+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// receiverHasClockSeam reports whether fd is a method on a struct type
+// that has a direct field of type func() time.Time.
+func receiverHasClockSeam(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	named := namedOf(pass.TypeOf(fd.Recv.List[0].Type))
+	if named == nil {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		sig, ok := st.Field(i).Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		if isNamedType(sig.Results().At(0).Type(), "time", "Time") {
+			return true
+		}
+	}
+	return false
+}

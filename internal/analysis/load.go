@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// This file is the standalone package loader behind
+// `semtree-vet ./...`: it shells out to `go list -export -deps -json`
+// for the build plan, parses each target package from source, and
+// type-checks it against the gc export data of its dependencies. That
+// keeps the whole pipeline on the standard library — no x/tools — while
+// matching the compiler's view of the code exactly.
+
+// A ListedPackage is the subset of `go list -json` output the loader
+// consumes.
+type ListedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// A CheckedPackage is one fully parsed and type-checked target package.
+type CheckedPackage struct {
+	Listed     *ListedPackage
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []types.Error
+}
+
+// GoList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func GoList(dir string, args ...string) ([]*ListedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []*ListedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter returns a types.Importer that resolves import paths
+// through exports, a map from import path to gc export-data file (as
+// produced by `go list -export`). Resolved packages are cached for the
+// life of the importer.
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// NewTypesInfo allocates a types.Info with every map the analyzers use.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// TypeCheck parses filenames and type-checks them as package importPath
+// using imp for dependencies. Type errors are collected, not fatal: the
+// analyzers degrade gracefully on partial type information, and the
+// driver decides whether to surface them.
+func TypeCheck(fset *token.FileSet, importPath string, filenames []string, imp types.Importer) (*CheckedPackage, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	cp := &CheckedPackage{Files: files, Info: NewTypesInfo()}
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if terr, ok := err.(types.Error); ok {
+				cp.TypeErrors = append(cp.TypeErrors, terr)
+			}
+		},
+	}
+	// Check returns the package even on soft errors.
+	cp.Types, _ = conf.Check(importPath, fset, files, cp.Info)
+	return cp, nil
+}
+
+// LoadPackages loads, parses, and type-checks the packages matching
+// patterns in module directory dir. Dependencies are consumed as gc
+// export data; only the matched (non-dep-only) packages are parsed from
+// source and returned.
+func LoadPackages(dir string, patterns []string) (*token.FileSet, []*CheckedPackage, error) {
+	listArgs := append([]string{"-export", "-deps", "-json"}, patterns...)
+	listed, err := GoList(dir, listArgs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+
+	var out []*CheckedPackage
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		var filenames []string
+		for _, f := range p.GoFiles {
+			if !filepath.IsAbs(f) {
+				f = filepath.Join(p.Dir, f)
+			}
+			filenames = append(filenames, f)
+		}
+		cp, err := TypeCheck(fset, p.ImportPath, filenames, imp)
+		if err != nil {
+			return nil, nil, err
+		}
+		cp.Listed = p
+		out = append(out, cp)
+	}
+	return fset, out, nil
+}

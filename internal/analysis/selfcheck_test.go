@@ -1,0 +1,34 @@
+package analysis
+
+import "testing"
+
+// TestRepoIsAnalyzerClean runs the full suite over the repository
+// itself — the same gate as the CI semtree-vet job, but inside the
+// tier-1 test run, so a violation cannot land even when CI is skipped.
+// Intentional exceptions carry //semtree:allow directives and are
+// therefore invisible here; an unused or unjustified directive fails
+// too.
+func TestRepoIsAnalyzerClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	fset, pkgs, err := LoadPackages("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading the repository: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	for _, cp := range pkgs {
+		for _, terr := range cp.TypeErrors {
+			t.Errorf("%s: %v", cp.Listed.ImportPath, terr)
+		}
+		diags, err := Run(fset, cp.Files, cp.Types, cp.Info, AllAnalyzers())
+		if err != nil {
+			t.Fatalf("%s: %v", cp.Listed.ImportPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

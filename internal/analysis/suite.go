@@ -1,0 +1,25 @@
+package analysis
+
+// AllAnalyzers returns the full semtree-vet suite, one analyzer per
+// documented invariant (see the "Invariants → analyzers" table in
+// ARCHITECTURE.md).
+func AllAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		CtxFirst,
+		LockedCall,
+		BoundaryOnce,
+		TypedErr,
+		GuardExact,
+		InjectedClock,
+	}
+}
+
+// ByName resolves a comma-free analyzer name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range AllAnalyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

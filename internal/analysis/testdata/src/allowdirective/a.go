@@ -1,0 +1,18 @@
+package allowdirective
+
+import "context"
+
+func missingWhy() context.Context {
+	//semtree:allow ctxfirst // want "needs a justification"
+	return context.Background() // want "context.Background in library code"
+}
+
+func unknownName() {
+	var x int
+	_ = x //semtree:allow nosuchanalyzer: misremembered the name // want "unknown analyzer"
+}
+
+func unusedDirective(ctx context.Context) context.Context {
+	//semtree:allow ctxfirst: nothing on the next line actually violates // want "unused semtree:allow directive"
+	return ctx
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+func worstDistance(dists []float64) float64 {
+	out := 0.0
+	for _, d := range dists {
+		out = math.Max(out, math.Sqrt(d)) // want "math.Sqrt outside the client boundary"
+	}
+	return out
+}
+
+func orderResults(xs []float64) {
+	sort.Float64s(xs) // want "sorting outside the client boundary"
+}
+
+func rankCandidates(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "sorting outside the client boundary"
+}
+
+func buildOrder(xs []float64) {
+	//semtree:allow boundaryonce: construction-time median sort, not on the query-result path
+	sort.Float64s(xs)
+}

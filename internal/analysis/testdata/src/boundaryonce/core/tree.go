@@ -1,0 +1,16 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// tree.go is the allowlisted client boundary for package core: the one
+// place where squared distances become distances and results get their
+// final order.
+func Finalize(dists []float64) {
+	for i, d := range dists {
+		dists[i] = math.Sqrt(d)
+	}
+	sort.Float64s(dists)
+}

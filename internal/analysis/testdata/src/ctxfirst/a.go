@@ -1,0 +1,32 @@
+package ctxfirst
+
+import "context"
+
+// Query is the legal shape: context first, threaded through.
+func Query(ctx context.Context, k int) error {
+	return probe(ctx, k)
+}
+
+func probe(ctx context.Context, k int) error {
+	_ = ctx
+	_ = k
+	return nil
+}
+
+func Bad(k int, ctx context.Context) error { // want "context.Context must be the first parameter"
+	return probe(ctx, k)
+}
+
+func badLit() {
+	f := func(n int, ctx context.Context) { _ = n } // want "context.Context must be the first parameter"
+	f(1, context.TODO())                            // want "context.TODO in library code"
+}
+
+func root() context.Context {
+	return context.Background() // want "context.Background in library code"
+}
+
+func detachedRoot() context.Context {
+	//semtree:allow ctxfirst: detached maintenance op runs to completion by documented contract
+	return context.Background()
+}

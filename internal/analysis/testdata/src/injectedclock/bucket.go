@@ -1,0 +1,24 @@
+package injectedclock
+
+import "time"
+
+type bucket struct {
+	now    func() time.Time // the injected clock seam
+	tokens float64
+	last   time.Time
+}
+
+func (b *bucket) refill() {
+	t := b.now() // legal: reading through the seam
+	elapsed := t.Sub(b.last)
+	b.tokens += elapsed.Seconds()
+	b.last = time.Now() // want "time.Now in clock-sealed code"
+}
+
+func (b *bucket) resetClock() {
+	b.now = time.Now // legal: a bare reference injects the production clock
+}
+
+func newBucket() *bucket {
+	return &bucket{now: time.Now, last: time.Now()} // legal: constructor is not a method of the sealed type
+}

@@ -1,0 +1,17 @@
+// sealed.go exercises the file-level seal: every function here is
+// clock-sealed regardless of receiver.
+
+//semtree:clocksealed
+
+package injectedclock
+
+import "time"
+
+func wallLatency(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in clock-sealed code"
+}
+
+func observedLatency(start time.Time) time.Duration {
+	//semtree:allow injectedclock: boundary metric exported to the operator dashboard
+	return time.Since(start)
+}

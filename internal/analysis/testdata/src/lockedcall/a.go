@@ -1,0 +1,80 @@
+package lockedcall
+
+import (
+	"context"
+	"sync"
+
+	"cluster"
+)
+
+type part struct {
+	mu     sync.Mutex
+	state  sync.RWMutex
+	fab    cluster.Fabric
+	notify chan int
+}
+
+func (p *part) bad(ctx context.Context) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := p.fab.Call(ctx, 1, 2, nil) // want "fabric Call while p.mu held"
+	return err
+}
+
+func (p *part) badRLock() {
+	p.state.RLock()
+	defer p.state.RUnlock()
+	_ = p.fab.Send(1, 2, nil) // want "fabric Send while p.state held"
+}
+
+func (p *part) badSend() {
+	p.mu.Lock()
+	p.notify <- 1 // want "channel send while p.mu held"
+	p.mu.Unlock()
+}
+
+func (p *part) remote(ctx context.Context) error {
+	_, err := cluster.CallRetry(ctx, p.fab, 1, 2, nil, 3)
+	return err
+}
+
+func (p *part) badTransitive(ctx context.Context) {
+	p.mu.Lock()
+	_ = p.remote(ctx) // want "call to remote, which reaches the fabric, while p.mu held"
+	p.mu.Unlock()
+}
+
+func (p *part) legalAfterUnlock(ctx context.Context) error {
+	p.mu.Lock()
+	p.mu.Unlock()
+	_, err := p.fab.Call(ctx, 1, 2, nil)
+	return err
+}
+
+func (p *part) legalEarlyReturnBranch(ctx context.Context, empty bool) error {
+	p.mu.Lock()
+	if empty {
+		p.mu.Unlock()
+		_, err := p.fab.Call(ctx, 1, 2, nil)
+		return err
+	}
+	_ = p.remote // method value, not a call
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *part) legalAsync(ctx context.Context) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		_, _ = p.fab.Call(ctx, 1, 2, nil)
+	}()
+}
+
+func (p *part) allowed(ctx context.Context) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//semtree:allow lockedcall: remote hops strictly descend the partition DAG; no lock cycle is possible
+	_, err := p.fab.Call(ctx, 1, 2, nil)
+	return err
+}

@@ -1,0 +1,31 @@
+package typederr
+
+import (
+	"errors"
+	"strings"
+)
+
+var ErrQuotaExhausted = errors.New("quota exhausted")
+
+func classify(err error) int {
+	if errors.Is(err, ErrQuotaExhausted) { // legal: survives wrapping
+		return 1
+	}
+	if err == ErrQuotaExhausted { // want "on sentinel ErrQuotaExhausted"
+		return 2
+	}
+	if err != nil && strings.Contains(err.Error(), "quota") { // want "matching err.Error"
+		return 3
+	}
+	if err != nil && err.Error() == "quota exhausted" { // want "comparing err.Error"
+		return 4
+	}
+	if err == nil { // legal: nil checks are not sentinel comparisons
+		return 0
+	}
+	//semtree:allow typederr: interop with a legacy API that never wraps
+	if err == ErrQuotaExhausted {
+		return 5
+	}
+	return -1
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TypedErr enforces the typed-sentinel contract from PRs 3–4: callers
+// classify admission/quota/deadline failures with errors.Is against the
+// exported sentinels (ErrAdmissionRejected, ErrQuotaExhausted,
+// ErrDeadlineBudget, ...), never with == on a sentinel or by matching
+// error strings. The scheduler wraps sentinels with %w to attach
+// context, so == silently stops matching the moment a call site gains a
+// wrap — errors.Is is the only check that survives refactoring.
+var TypedErr = &Analyzer{
+	Name: "typederr",
+	Doc: "error classification uses errors.Is against exported sentinels; " +
+		"== on Err* values and error-string matching are banned",
+	Run: runTypedErr,
+}
+
+func runTypedErr(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				x, y := ast.Unparen(n.X), ast.Unparen(n.Y)
+				if sentinelName(pass, x) != "" || sentinelName(pass, y) != "" {
+					name := sentinelName(pass, x)
+					if name == "" {
+						name = sentinelName(pass, y)
+					}
+					pass.Reportf(n.OpPos,
+						"%s on sentinel %s breaks once the error is wrapped; use errors.Is(err, %s)",
+						n.Op, name, name)
+					return true
+				}
+				if isErrorStringCall(pass, x) || isErrorStringCall(pass, y) {
+					pass.Reportf(n.OpPos,
+						"comparing err.Error() text; classify with errors.Is against the exported sentinel")
+				}
+			case *ast.CallExpr:
+				if calleeIsPkgFunc(pass.TypesInfo, n, "strings",
+					"Contains", "HasPrefix", "HasSuffix", "EqualFold") {
+					for _, arg := range n.Args {
+						if isErrorStringCall(pass, ast.Unparen(arg)) {
+							pass.Reportf(n.Pos(),
+								"matching err.Error() text with strings.%s; classify with errors.Is against the exported sentinel",
+								calleeFunc(pass.TypesInfo, n).Name())
+							break
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelName returns the name of e when e references an exported (or
+// package-local) error sentinel — a package-level var of type error
+// whose name starts with "Err" — and "" otherwise. Comparisons against
+// nil are not sentinel comparisons and stay legal.
+func sentinelName(pass *Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.Parent() == nil || obj.Pkg() == nil {
+		return ""
+	}
+	// Package-level only: obj's parent scope is the package scope.
+	if obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") || len(obj.Name()) <= 3 {
+		return ""
+	}
+	if !types.Implements(obj.Type(), errorInterface(pass)) &&
+		!types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+		return ""
+	}
+	return obj.Name()
+}
+
+// isErrorStringCall reports whether e is a call of the form err.Error().
+func isErrorStringCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	return t != nil && types.Implements(t, errorInterface(pass)) ||
+		t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func errorInterface(pass *Pass) *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}

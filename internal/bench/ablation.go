@@ -21,7 +21,7 @@ const ablationK = 5
 // AblationWeights sweeps Eq. 1's predicate weight β (with α = γ =
 // (1−β)/2) and reports precision/recall at K=5: DESIGN.md's claim that
 // the inconsistency case study hinges on the predicate component.
-func AblationWeights(p Params) (*Figure, error) {
+func AblationWeights(ctx context.Context, p Params) (*Figure, error) {
 	p = p.withDefaults()
 	fig := &Figure{
 		ID: "ablation-weights", Title: fmt.Sprintf("Effectiveness vs predicate weight β (K=%d)", ablationK),
@@ -39,7 +39,7 @@ func AblationWeights(p Params) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		points, err := reqcheck.Evaluate(context.Background(), idx, bundle.Corpus.Store, vocab.DefaultRegistry(), queries, []int{ablationK})
+		points, err := reqcheck.Evaluate(ctx, idx, bundle.Corpus.Store, vocab.DefaultRegistry(), queries, []int{ablationK})
 		idx.Close()
 		if err != nil {
 			return nil, err
@@ -56,7 +56,7 @@ func AblationWeights(p Params) (*Figure, error) {
 // AblationDims sweeps the FastMap dimensionality and reports embedding
 // stress plus neighborhood recall (fraction of the exact semantic top-5
 // recovered in the embedded top-10).
-func AblationDims(p Params) (*Figure, error) {
+func AblationDims(ctx context.Context, p Params) (*Figure, error) {
 	p = p.withDefaults()
 	const n = 4000
 	gen := synth.New(synth.Config{Seed: p.Seed}, nil)
@@ -145,7 +145,7 @@ func exactTopIdx(triples []triple.Triple, q triple.Triple, metric *semdist.Metri
 
 // AblationBucket sweeps the bucket size Bs and reports virtual build
 // time (M = max partitions) and sequential query cost.
-func AblationBucket(p Params) (*Figure, error) {
+func AblationBucket(ctx context.Context, p Params) (*Figure, error) {
 	p = p.withDefaults()
 	const n = 20000
 	data, err := makeSweep(n, p.Queries, p.Dims, p.Seed)
@@ -191,7 +191,7 @@ func AblationBucket(p Params) (*Figure, error) {
 // AblationMeasure compares the six concept measures on the
 // effectiveness task at K=5. X is the measure's ordinal; the mapping is
 // in the notes.
-func AblationMeasure(p Params) (*Figure, error) {
+func AblationMeasure(ctx context.Context, p Params) (*Figure, error) {
 	p = p.withDefaults()
 	names := semdist.MeasureNames()
 	fig := &Figure{
@@ -208,7 +208,7 @@ func AblationMeasure(p Params) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		points, err := reqcheck.Evaluate(context.Background(), idx, bundle.Corpus.Store, vocab.DefaultRegistry(), queries, []int{ablationK})
+		points, err := reqcheck.Evaluate(ctx, idx, bundle.Corpus.Store, vocab.DefaultRegistry(), queries, []int{ablationK})
 		idx.Close()
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -60,7 +61,7 @@ func TestRunnersRegistryComplete(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
-	fig, err := Fig3(tinyParams())
+	fig, err := Fig3(context.Background(), tinyParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func chainVsBalancedWork(t *testing.T, n int, run func(tr *kdtree.Tree, q []floa
 }
 
 func TestFig4ChainWorse(t *testing.T) {
-	fig, err := Fig4(tinyParams())
+	fig, err := Fig4(context.Background(), tinyParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestFig4ChainWorse(t *testing.T) {
 }
 
 func TestFig5Runs(t *testing.T) {
-	fig, err := Fig5(tinyParams())
+	fig, err := Fig5(context.Background(), tinyParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestFig5Runs(t *testing.T) {
 }
 
 func TestFig6ChainWorse(t *testing.T) {
-	if _, err := Fig6(tinyParams()); err != nil {
+	if _, err := Fig6(context.Background(), tinyParams()); err != nil {
 		t.Fatal(err)
 	}
 	// As in TestFig4ChainWorse: assert the paper's shape on
@@ -160,13 +161,13 @@ func TestFig6ChainWorse(t *testing.T) {
 }
 
 func TestFig7Runs(t *testing.T) {
-	if _, err := Fig7(tinyParams()); err != nil {
+	if _, err := Fig7(context.Background(), tinyParams()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestFig8Shape(t *testing.T) {
-	fig, err := Fig8(tinyParams())
+	fig, err := Fig8(context.Background(), tinyParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestComplexityTracksModel(t *testing.T) {
-	fig, err := Complexity(tinyParams())
+	fig, err := Complexity(context.Background(), tinyParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestComplexityTracksModel(t *testing.T) {
 }
 
 func TestAblationDimsRecallImproves(t *testing.T) {
-	fig, err := AblationDims(tinyParams())
+	fig, err := AblationDims(context.Background(), tinyParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestAblationBucketRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow ablation")
 	}
-	fig, err := AblationBucket(tinyParams())
+	fig, err := AblationBucket(context.Background(), tinyParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestAblationBucketRuns(t *testing.T) {
 }
 
 func TestThroughputShape(t *testing.T) {
-	fig, err := Throughput(tinyParams())
+	fig, err := Throughput(context.Background(), tinyParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestThroughputShape(t *testing.T) {
 }
 
 func TestDeadlineShape(t *testing.T) {
-	fig, err := Deadline(tinyParams())
+	fig, err := Deadline(context.Background(), tinyParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestSchedulerShape(t *testing.T) {
 	p := tinyParams()
 	p.Partitions = []int{1, 5}
 	p.Hops = []time.Duration{0, time.Millisecond}
-	fig, err := Scheduler(p)
+	fig, err := Scheduler(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +308,7 @@ func TestSchedulerShape(t *testing.T) {
 // cmd/semtree-bench — but the enforcement itself must be visible.
 func TestQuotaShape(t *testing.T) {
 	p := tinyParams()
-	fig, err := Quota(p)
+	fig, err := Quota(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +351,7 @@ func TestPruningShape(t *testing.T) {
 	p := tinyParams()
 	p.Partitions = []int{1, 5}
 	p.DimsSweep = []int{2, 8}
-	fig, err := Pruning(p)
+	fig, err := Pruning(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -12,7 +13,7 @@ import (
 // insertion path length (tree nodes traversed per inserted point,
 // summed across partitions) against the model's prediction
 // log₂(M) + log₂(N/(M·Bs)).
-func Complexity(p Params) (*Figure, error) {
+func Complexity(ctx context.Context, p Params) (*Figure, error) {
 	p = p.withDefaults()
 	data, err := makeSweep(maxSize(p.Sizes), 0, p.Dims, p.Seed)
 	if err != nil {

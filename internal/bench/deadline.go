@@ -20,7 +20,7 @@ import (
 // partition replies, so the tail latency of a cut-off query is bounded
 // by the deadline, not by the slowest partition chain — and is the
 // measurement the ROADMAP's admission-control work will budget against.
-func Deadline(p Params) (*Figure, error) {
+func Deadline(ctx context.Context, p Params) (*Figure, error) {
 	p = p.withDefaults()
 	data, err := makeSweep(maxSize(p.Sizes), p.Queries, p.Dims, p.Seed)
 	if err != nil {
@@ -57,7 +57,7 @@ func Deadline(p Params) (*Figure, error) {
 		lat := make([]time.Duration, 0, len(data.queries))
 		cutOff := 0
 		for _, q := range data.queries {
-			ctx, cancel := context.WithTimeout(context.Background(), p.Deadline)
+			ctx, cancel := context.WithTimeout(ctx, p.Deadline)
 			start := time.Now()
 			_, _, qerr := sched.KNearest(ctx, q, p.K)
 			lat = append(lat, time.Since(start))

@@ -60,7 +60,7 @@ func effectivenessSetup(p Params, opts semtree.Options) (*semtree.Index, *synth.
 // Fig8 regenerates Figure 8: average precision and recall of the
 // k-nearest inconsistency retrieval over 100 requirement queries, as K
 // varies.
-func Fig8(p Params) (*Figure, error) {
+func Fig8(ctx context.Context, p Params) (*Figure, error) {
 	p = p.withDefaults()
 	idx, bundle, queries, err := effectivenessSetup(p, semtree.Options{Seed: p.Seed})
 	if err != nil {
@@ -69,7 +69,7 @@ func Fig8(p Params) (*Figure, error) {
 	defer idx.Close()
 
 	reg := vocab.DefaultRegistry()
-	points, err := reqcheck.Evaluate(context.Background(), idx, bundle.Corpus.Store, reg, queries, effectivenessKs)
+	points, err := reqcheck.Evaluate(ctx, idx, bundle.Corpus.Store, reg, queries, effectivenessKs)
 	if err != nil {
 		return nil, err
 	}

@@ -60,7 +60,7 @@ func buildDistributedGuard(pts []kdtree.Point, m int, p Params, fabric cluster.F
 // for 1 balanced partition, 3/5/9 partitions, and 1 totally unbalanced
 // partition. Building runs on the virtual-clock fabric, so partition
 // ranks overlap as on the paper's 8-node cluster.
-func Fig3(p Params) (*Figure, error) {
+func Fig3(ctx context.Context, p Params) (*Figure, error) {
 	p = p.withDefaults()
 	data, err := makeSweep(maxSize(p.Sizes), 0, p.Dims, p.Seed)
 	if err != nil {
@@ -133,7 +133,7 @@ func Fig3(p Params) (*Figure, error) {
 
 // Fig4 regenerates Figure 4: sequential k-nearest time (K=3) vs number
 // of points, balanced vs totally unbalanced (chain) tree.
-func Fig4(p Params) (*Figure, error) {
+func Fig4(ctx context.Context, p Params) (*Figure, error) {
 	p = p.withDefaults()
 	data, err := makeSweep(maxSize(p.Sizes), p.Queries, p.Dims, p.Seed)
 	if err != nil {
@@ -172,7 +172,7 @@ func Fig4(p Params) (*Figure, error) {
 // of points for 1/3/5/9 partitions. Per-query cost is measured compute
 // time plus messages × latency (the k-nearest protocol is a sequential
 // cross-partition traversal, §III-B.3).
-func Fig5(p Params) (*Figure, error) {
+func Fig5(ctx context.Context, p Params) (*Figure, error) {
 	return distributedQueryFigure(p, "fig5",
 		fmt.Sprintf("Distributed k-nearest time (K=%d)", p.withDefaults().K),
 		func(tr *core.Tree, q []float64, p Params) error {
@@ -182,7 +182,7 @@ func Fig5(p Params) (*Figure, error) {
 			// serial-hop latency model below would mis-charge the
 			// fan-out's overlapped hops.
 			sched := tr.NewScheduler(core.SchedulerConfig{Protocol: core.ProtocolSequential})
-			_, _, err := sched.KNearest(context.Background(), q, p.K)
+			_, _, err := sched.KNearest(ctx, q, p.K)
 			return err
 		},
 		// The sequential k-nearest protocol pays every message as a
@@ -192,7 +192,7 @@ func Fig5(p Params) (*Figure, error) {
 
 // Fig6 regenerates Figure 6: sequential range query time vs number of
 // points, balanced vs unbalanced.
-func Fig6(p Params) (*Figure, error) {
+func Fig6(ctx context.Context, p Params) (*Figure, error) {
 	p = p.withDefaults()
 	data, err := makeSweep(maxSize(p.Sizes), p.Queries, p.Dims, p.Seed)
 	if err != nil {
@@ -230,11 +230,11 @@ func Fig6(p Params) (*Figure, error) {
 // Fig7 regenerates Figure 7: distributed range query time vs number of
 // points for 1/3/5/9 partitions (border nodes fan out in parallel,
 // §III-B.4).
-func Fig7(p Params) (*Figure, error) {
+func Fig7(ctx context.Context, p Params) (*Figure, error) {
 	return distributedQueryFigure(p, "fig7",
 		fmt.Sprintf("Distributed range query time (D=%.2f)", p.withDefaults().RangeD),
 		func(tr *core.Tree, q []float64, p Params) error {
-			_, err := tr.RangeSearch(context.Background(), q, p.RangeD)
+			_, err := tr.RangeSearch(ctx, q, p.RangeD)
 			return err
 		},
 		// Border nodes fan out in parallel (§III-B.4): with the bench's
@@ -256,7 +256,7 @@ func Fig7(p Params) (*Figure, error) {
 // partitions, we can perform in the best case M−1 parallel operations
 // maximizing our throughput") applied to the query path; the loop
 // series is the baseline a single synchronous client achieves.
-func Throughput(p Params) (*Figure, error) {
+func Throughput(ctx context.Context, p Params) (*Figure, error) {
 	p = p.withDefaults()
 	data, err := makeSweep(maxSize(p.Sizes), p.Queries, p.Dims, p.Seed)
 	if err != nil {
@@ -286,7 +286,7 @@ func Throughput(p Params) (*Figure, error) {
 			}
 			loopQPS, err := measureQPS(data.queries, func(qs [][]float64) error {
 				for _, q := range qs {
-					if _, err := tr.KNearest(context.Background(), q, p.K); err != nil {
+					if _, err := tr.KNearest(ctx, q, p.K); err != nil {
 						return err
 					}
 				}
@@ -301,7 +301,7 @@ func Throughput(p Params) (*Figure, error) {
 						if end > len(qs) {
 							end = len(qs)
 						}
-						if _, berr := tr.KNearestBatch(context.Background(), qs[start:end], p.K, workers); berr != nil {
+						if _, berr := tr.KNearestBatch(ctx, qs[start:end], p.K, workers); berr != nil {
 							return berr
 						}
 					}

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -201,7 +202,7 @@ func (p Params) withDefaults() Params {
 }
 
 // Runner regenerates one experiment.
-type Runner func(Params) (*Figure, error)
+type Runner func(context.Context, Params) (*Figure, error)
 
 // Runners maps experiment IDs to their runners; cmd/semtree-bench
 // iterates this registry.

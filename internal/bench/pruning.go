@@ -20,7 +20,7 @@ import (
 // over every dimension the query falls outside of — keeps probes it
 // can rule out off the fabric; by dims >= 8 both region curves sit
 // strictly below the plane curves.
-func Pruning(p Params) (*Figure, error) {
+func Pruning(ctx context.Context, p Params) (*Figure, error) {
 	p = p.withDefaults()
 	n := maxSize(p.Sizes)
 	m := 1
@@ -67,7 +67,7 @@ func Pruning(p Params) (*Figure, error) {
 			sched := tr.NewScheduler(core.SchedulerConfig{Protocol: core.ProtocolFanOut})
 			var totMsgs, totMisses int64
 			for _, q := range data.queries {
-				_, st, err := sched.KNearest(context.Background(), q, p.K)
+				_, st, err := sched.KNearest(ctx, q, p.K)
 				if err != nil {
 					tr.Close()
 					fabric.Close()

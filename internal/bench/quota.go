@@ -31,7 +31,7 @@ const quotaTargetQPS = 25.0
 // QPS spends its burst in the first window and then converges onto the
 // target line, and the victims' p50 stays within a few percent of the
 // solo baseline — quota rejections cost the fabric nothing.
-func Quota(p Params) (*Figure, error) {
+func Quota(ctx context.Context, p Params) (*Figure, error) {
 	p = p.withDefaults()
 	n := maxSize(p.Sizes)
 	m := 1
@@ -64,7 +64,7 @@ func Quota(p Params) (*Figure, error) {
 	}
 	var totalCost float64
 	for i := 0; i < warmN; i++ {
-		_, st, err := warm.KNearest(context.Background(), data.queries[i], p.K)
+		_, st, err := warm.KNearest(ctx, data.queries[i], p.K)
 		if err != nil {
 			return nil, err
 		}
@@ -93,7 +93,7 @@ func Quota(p Params) (*Figure, error) {
 	// the line the contended p50 is held against.
 	var soloRecs []quotaRec
 	for _, v := range victims {
-		recs, err := hammerQuota(v, data.queries, p.K, 1, window, 0)
+		recs, err := hammerQuota(ctx, v, data.queries, p.K, 1, window, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -121,14 +121,14 @@ func Quota(p Params) (*Figure, error) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		recs, err := hammerQuota(aggressor, data.queries, p.K, aggrWork, windows*window, backoff)
+		recs, err := hammerQuota(ctx, aggressor, data.queries, p.K, aggrWork, windows*window, backoff)
 		record(&aggrRecs, recs, err)
 	}()
 	for _, v := range victims {
 		wg.Add(1)
 		go func(v *core.Scheduler) {
 			defer wg.Done()
-			recs, err := hammerQuota(v, data.queries, p.K, 1, windows*window, 0)
+			recs, err := hammerQuota(ctx, v, data.queries, p.K, 1, windows*window, 0)
 			record(&vicRecs, recs, err)
 		}(v)
 	}
@@ -205,7 +205,7 @@ type quotaRec struct {
 // given worker count for duration d, recording every attempt.
 // Quota rejections optionally back off (a polite client's retry
 // behavior); any other error aborts the loop.
-func hammerQuota(s *core.Scheduler, qs [][]float64, k, workers int, d, backoff time.Duration) ([]quotaRec, error) {
+func hammerQuota(ctx context.Context, s *core.Scheduler, qs [][]float64, k, workers int, d, backoff time.Duration) ([]quotaRec, error) {
 	var (
 		mu       sync.Mutex
 		recs     []quotaRec
@@ -223,7 +223,7 @@ func hammerQuota(s *core.Scheduler, qs [][]float64, k, workers int, d, backoff t
 					return
 				}
 				t0 := time.Now()
-				_, _, err := s.KNearest(context.Background(), qs[i%len(qs)], k)
+				_, _, err := s.KNearest(ctx, qs[i%len(qs)], k)
 				wall := time.Since(t0)
 				switch {
 				case err == nil:

@@ -22,7 +22,7 @@ import (
 // adaptation: the cost model re-learns each latency point from a short
 // warmup plus the fixed-protocol runs that precede it, exactly as it
 // would in production from its own traffic.
-func Scheduler(p Params) (*Figure, error) {
+func Scheduler(ctx context.Context, p Params) (*Figure, error) {
 	p = p.withDefaults()
 	n := maxSize(p.Sizes)
 	m := 1
@@ -77,7 +77,7 @@ func Scheduler(p Params) (*Figure, error) {
 			// measured queries run with a converged choice.
 			if i == len(scheds)-1 {
 				for w := 0; w < schedWarmup && w < len(qs); w++ {
-					if _, _, err := s.sched.KNearest(context.Background(), qs[w], p.K); err != nil {
+					if _, _, err := s.sched.KNearest(ctx, qs[w], p.K); err != nil {
 						return nil, err
 					}
 				}
@@ -85,7 +85,7 @@ func Scheduler(p Params) (*Figure, error) {
 			lat := make([]time.Duration, 0, len(qs))
 			var dists int64
 			for _, q := range qs {
-				_, st, err := s.sched.KNearest(context.Background(), q, p.K)
+				_, st, err := s.sched.KNearest(ctx, q, p.K)
 				if err != nil {
 					return nil, err
 				}

@@ -129,6 +129,7 @@ func (f *InProc) work(n *inprocNode, id NodeID) {
 			time.Sleep(f.opts.WorkCost)
 		}
 		// One-way: response discarded; no caller context to honor.
+		//semtree:allow ctxfirst: mailbox deliveries run detached by the documented Fabric.Send contract
 		_, _ = n.handler(context.Background(), msg.from, msg.req)
 		f.pending.Done()
 	}

@@ -100,6 +100,7 @@ func (f *TCP) serve(n *tcpNode, conn net.Conn) {
 	// Rebuild the caller's deadline context: cancellation cannot cross
 	// a one-connection-per-call wire, but the deadline can, and it is
 	// what lets the remote side stop traversing an expired query.
+	//semtree:allow ctxfirst: the server side of the wire has no caller context; the deadline is rebuilt from the frame below
 	ctx := context.Background()
 	if req.Deadline > 0 {
 		var cancel context.CancelFunc
@@ -199,6 +200,7 @@ func (f *TCP) Send(from, to NodeID, req any) error {
 		defer f.pending.Done()
 		// One-way semantics: the response and any error are discarded;
 		// Call already accounts transport failures.
+		//semtree:allow ctxfirst: Send is detached by contract; there is no caller context to propagate
 		_, _ = f.Call(context.Background(), from, to, req)
 	}()
 	return nil

@@ -157,6 +157,7 @@ func (f *Virtual) Flush() {
 		f.running = true
 		f.outbox = f.outbox[:0]
 		t0 := time.Now()
+		//semtree:allow ctxfirst: simulated one-way delivery; response discarded, no caller context exists
 		_, _ = f.handlers[e.to](context.Background(), e.from, e.req) // one-way: response discarded
 		real := time.Since(t0)
 		f.running = false

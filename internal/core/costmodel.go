@@ -1,3 +1,5 @@
+//semtree:clocksealed — scheduler, quota, and cost-model logic reads time only through the injected clock seam
+
 package core
 
 import (

@@ -325,6 +325,7 @@ func medianSplit(bucket []kdtree.Point, dims int) (dim int, splitVal float64, ok
 	for i, p := range bucket {
 		vals[i] = p.Coords[dim]
 	}
+	//semtree:allow boundaryonce: construction-time median selection when splitting a leaf; not on the query-result path
 	sort.Float64s(vals)
 	med := vals[(len(vals)-1)/2]
 	if med < hi {
@@ -431,6 +432,7 @@ func (p *partition) buildPartition() {
 		// here keeps pruning the relocated subtree by exact
 		// min-distance (and grows when inserts forward through the
 		// direct link).
+		//semtree:allow lockedcall: adoption targets are fresh partitions that never call back into this one; the spill lock cannot cycle
 		resp, err := p.t.call(p.id, target, adoptReq{Bucket: leaf.bucket, Lo: leaf.lo, Hi: leaf.hi})
 		if err != nil {
 			continue // leaf stays local; a later spill may retry

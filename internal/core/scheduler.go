@@ -1,3 +1,5 @@
+//semtree:clocksealed — scheduler, quota, and cost-model logic reads time only through the injected clock seam
+
 package core
 
 import (
@@ -107,6 +109,11 @@ type Scheduler struct {
 	slots      chan struct{} // nil when MaxInFlight is unlimited
 	quota      *quotaBucket  // nil when no quota is configured
 
+	// clock is the injected time source for admission decisions —
+	// time.Now in production, a fake in tests — shared with the quota
+	// bucket so deadline-budget checks and refills advance together.
+	clock func() time.Time
+
 	queued         atomic.Int64 // currently waiting for a slot
 	inFlight       atomic.Int64 // currently executing
 	admitted       atomic.Int64
@@ -128,9 +135,9 @@ type Scheduler struct {
 // enforce their own admission policy and keep their own counters, so a
 // facade can run one per tenant or per traffic class.
 func (t *Tree) NewScheduler(cfg SchedulerConfig) *Scheduler {
-	s := &Scheduler{t: t, cfg: cfg}
+	s := &Scheduler{t: t, cfg: cfg, clock: time.Now}
 	if cfg.Quota != nil {
-		s.quota = newQuotaBucket(*cfg.Quota, time.Now)
+		s.quota = newQuotaBucket(*cfg.Quota, s.clock)
 	}
 	if cfg.MaxInFlight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInFlight)
@@ -271,7 +278,7 @@ func (s *Scheduler) admit(ctx context.Context, p Protocol) (release func(), char
 				if s.cfg.MaxInFlight > 0 {
 					wait = time.Duration(s.queued.Load()) * est / time.Duration(s.cfg.MaxInFlight)
 				}
-				if time.Until(dl) < est+wait {
+				if dl.Sub(s.clock()) < est+wait {
 					s.rejectedBudget.Add(1)
 					return nil, 0, ErrDeadlineBudget
 				}

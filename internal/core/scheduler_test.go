@@ -345,3 +345,45 @@ func TestSchedulerStatsSnapshot(t *testing.T) {
 		t.Fatalf("choice histogram undercounts: %+v", st.Choices)
 	}
 }
+
+// TestAdmissionClockSeam: the deadline-budget check reads time through
+// the scheduler's injected clock (the same seam the quota bucket uses),
+// so a test can flip one admission decision deterministically: with the
+// context deadline fixed, only the fake clock's position decides.
+func TestAdmissionClockSeam(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	tr, fabric, _ := latencyTree(t, r, 1500, 3)
+	fabric.SetLatency(20 * time.Millisecond)
+	s := tr.NewScheduler(SchedulerConfig{Admission: true})
+	// Warm the model so estimateWall is meaningful.
+	for i := 0; i < 3; i++ {
+		q := randomPoints(r, 1, 3)[0].Coords
+		if _, _, err := s.KNearest(context.Background(), q, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := tr.model.estimateWall(ProtocolSequential, tr.PartitionCount())
+	if est <= 0 {
+		t.Fatal("cost model learned nothing; cannot exercise the budget check")
+	}
+	// A real-clock deadline far in the future: the context itself never
+	// expires, the fake clock alone decides the budget.
+	dl := time.Now().Add(time.Hour)
+	ctx, cancel := context.WithDeadline(context.Background(), dl)
+	defer cancel()
+
+	s.clock = func() time.Time { return dl.Add(-10 * est) }
+	release, _, err := s.admit(ctx, ProtocolSequential)
+	if err != nil {
+		t.Fatalf("admit with 10x the estimated budget: %v", err)
+	}
+	release()
+
+	s.clock = func() time.Time { return dl.Add(-est / 2) }
+	if _, _, err := s.admit(ctx, ProtocolSequential); !errors.Is(err, ErrDeadlineBudget) {
+		t.Fatalf("admit with half the estimated budget: err = %v, want ErrDeadlineBudget", err)
+	}
+	if st := s.Stats(); st.RejectedBudget != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 budget rejection", st)
+	}
+}

@@ -201,6 +201,7 @@ func (p *partition) handleKNN(ctx context.Context, r knnReq) (any, error) {
 	defer putQueryCtx(c)
 	p.mu.RLock()
 	start := time.Now()
+	//semtree:allow lockedcall: Seq-mode remote hops only descend the partition DAG (child partitions never call back up), so the read lock cannot cycle
 	err := p.knnTraverse(ctx, r, c)
 	elapsed := time.Since(start)
 	p.mu.RUnlock()
@@ -448,6 +449,7 @@ func (p *partition) handleRange(ctx context.Context, r rangeReq) (any, error) {
 	}
 	col := &rangeCollector{}
 	p.mu.RLock()
+	//semtree:allow lockedcall: remote range hops only descend the partition DAG, so the read lock cannot cycle
 	p.rangeVisit(ctx, r.Node, r.Query, r.D, col)
 	p.mu.RUnlock()
 	col.wg.Wait()

@@ -195,6 +195,7 @@ func (t *Tree) allocPartitions(want int) []cluster.NodeID {
 // any query context (inserts, maintenance, stats — operations that run
 // to completion once started).
 func (t *Tree) call(from, to cluster.NodeID, req any) (any, error) {
+	//semtree:allow ctxfirst: inserts and maintenance run to completion once started, by documented contract
 	return t.callCtx(context.Background(), from, to, req)
 }
 

@@ -33,6 +33,7 @@ func buildBalanced(pts []Point, dims, bucketSize int) *node {
 		// All points identical: unsplittable oversized leaf.
 		return &node{leaf: true, bucket: append([]Point(nil), pts...)}
 	}
+	//semtree:allow boundaryonce: construction-time sort to pick the median cut; not on the query-result path
 	sort.Slice(pts, func(i, j int) bool { return pts[i].Coords[d] < pts[j].Coords[d] })
 	// A valid cut c needs pts[c-1] < pts[c] on dimension d, so that
 	// "<= goes left" keeps both halves non-empty with duplicates
@@ -87,6 +88,7 @@ func BuildChain(pts []Point, dim, bucketSize int) (*Tree, error) {
 			return nil, fmt.Errorf("kdtree: point %d has %d coords, want %d", i, len(p.Coords), dim)
 		}
 	}
+	//semtree:allow boundaryonce: construction-time sort for the degenerate-chain builder; not on the query-result path
 	sort.Slice(pts, func(i, j int) bool { return pts[i].Coords[0] < pts[j].Coords[0] })
 	t.root = buildChain(pts, t.bucketSize)
 	t.size = len(pts)

@@ -207,6 +207,7 @@ func chooseSplitValue(bucket []Point, dim int, lo, hi float64) float64 {
 	for i, p := range bucket {
 		vals[i] = p.Coords[dim]
 	}
+	//semtree:allow boundaryonce: construction-time median selection when splitting a leaf; not on the query-result path
 	sort.Float64s(vals)
 	med := vals[(len(vals)-1)/2]
 	if med < hi {
