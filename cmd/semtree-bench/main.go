@@ -13,6 +13,7 @@
 //	semtree-bench -fig scheduler -hops 0,1ms,10ms,50ms
 //	semtree-bench -fig quota -tenants 2
 //	semtree-bench -fig pruning -dims 2,4,8,16,32
+//	semtree-bench -fig placement -partitions 1,5 -dims 2,4,8,16
 package main
 
 import (
@@ -43,7 +44,7 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "per-query deadline for the deadline experiment: reports p50/p99 latency and the fraction of queries cut off (default 8x latency)")
 		hops       = flag.String("hops", "", "comma-separated per-hop latencies for the scheduler experiment, e.g. 0,1ms,50ms (default 0,1ms,5ms,20ms,50ms)")
 		tenants    = flag.Int("tenants", 0, "tenant count for the quota experiment: 1 quota-throttled aggressor plus N-1 unthrottled victims (default 2)")
-		dims       = flag.String("dims", "", "comma-separated dimensionalities for the pruning experiment, e.g. 2,4,8,16 (default 2,4,8,16)")
+		dims       = flag.String("dims", "", "comma-separated dimensionalities for the pruning and placement experiments, e.g. 2,4,8,16 (default 2,4,8,16)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		csvDir     = flag.String("csv", "", "also write <dir>/<fig>.csv")
 	)

@@ -78,3 +78,35 @@ func (p *part) allowed(ctx context.Context) error {
 	_, err := p.fab.Call(ctx, 1, 2, nil)
 	return err
 }
+
+// The migration shape: a repack handler must never drain a bucket to
+// its destination while the partition write lock is held — the
+// destination's reply path can need this partition, and the call
+// blocks every query for the whole round trip.
+func (p *part) badMigrateDrain(ctx context.Context, bucket []int) error {
+	p.state.Lock()
+	defer p.state.Unlock()
+	for range bucket {
+		if _, err := p.fab.Call(ctx, 1, 2, nil); err != nil { // want "fabric Call while p.state held"
+			return err
+		}
+	}
+	return nil
+}
+
+// The legal phased version: snapshot under the lock, drain with no
+// lock held, re-lock only to commit the parent-edge flip.
+func (p *part) legalMigratePhased(ctx context.Context, bucket []int) error {
+	p.state.Lock()
+	snapshot := append([]int(nil), bucket...)
+	p.state.Unlock()
+	for range snapshot {
+		if _, err := p.fab.Call(ctx, 1, 2, nil); err != nil {
+			return err
+		}
+	}
+	p.state.Lock()
+	snapshot = snapshot[:0]
+	p.state.Unlock()
+	return nil
+}

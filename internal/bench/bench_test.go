@@ -49,7 +49,7 @@ func TestRunnersRegistryComplete(t *testing.T) {
 	ids := RunnerIDs()
 	want := []string{"ablation-bucket", "ablation-dims", "ablation-measure",
 		"ablation-weights", "complexity", "deadline", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"pruning", "quota", "scheduler", "throughput"}
+		"placement", "pruning", "quota", "scheduler", "throughput"}
 	if len(ids) != len(want) {
 		t.Fatalf("runner ids = %v", ids)
 	}
@@ -378,5 +378,38 @@ func TestPruningShape(t *testing.T) {
 	}
 	if regionMisses.Y[last] >= planeMisses.Y[last] {
 		t.Fatalf("region misses not strictly below plane at dims=8:\n%s", fig.Table())
+	}
+}
+
+// TestPlacementShape: the placement figure's structural claim at smoke
+// scale — the box-aware layout touches strictly fewer partitions and
+// messages per query than round-robin at dims 8 (the runner itself
+// errors on any result divergence, so reaching the assertions implies
+// byte-identical results).
+func TestPlacementShape(t *testing.T) {
+	p := tinyParams()
+	p.Sizes = []int{4000}
+	p.Partitions = []int{1, 5}
+	p.DimsSweep = []int{2, 8}
+	p.Queries = 40
+	fig, err := Placement(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range fig.Series {
+		byName[s.Name] = s
+	}
+	rrParts, plParts := byName["rr parts/q"], byName["placed parts/q"]
+	rrMsgs, plMsgs := byName["rr msgs/q"], byName["placed msgs/q"]
+	if len(rrParts.Y) != 2 || len(plParts.Y) != 2 {
+		t.Fatalf("missing series: %+v", fig.Series)
+	}
+	last := len(rrParts.Y) - 1
+	if plParts.Y[last] >= rrParts.Y[last] {
+		t.Fatalf("placed parts/q not strictly below rr at dims=8:\n%s", fig.Table())
+	}
+	if plMsgs.Y[last] >= rrMsgs.Y[last] {
+		t.Fatalf("placed msgs/q not strictly below rr at dims=8:\n%s", fig.Table())
 	}
 }

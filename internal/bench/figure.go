@@ -219,6 +219,7 @@ func Runners() map[string]Runner {
 		"scheduler":        Scheduler,
 		"quota":            Quota,
 		"pruning":          Pruning,
+		"placement":        Placement,
 		"complexity":       Complexity,
 		"ablation-weights": AblationWeights,
 		"ablation-dims":    AblationDims,

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"semtree/internal/cluster"
+	"semtree/internal/core"
+	"semtree/internal/kdtree"
+)
+
+// buildPlaced builds a distributed tree over clustered points under the
+// given placement policy. The partition capacity is inflated to 4×
+// buildDistributed's so every spill adopts more subtrees than there are
+// fresh targets — the regime where the placement decision exists: with
+// fewer moves than targets, any policy degenerates to one subtree per
+// partition.
+func buildPlaced(pts []kdtree.Point, m int, p Params, fabric cluster.Fabric, policy core.PlacementPolicy) (*core.Tree, error) {
+	capacity := 0
+	if m > 1 {
+		capacity = (m - 1) * p.BucketSize * 4
+	}
+	tr, err := core.New(core.Config{
+		Dim:               p.Dims,
+		BucketSize:        p.BucketSize,
+		PartitionCapacity: capacity,
+		MaxPartitions:     m,
+		Fabric:            fabric,
+		Placement:         policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	batch := 256
+	if capacity > 0 && capacity < batch {
+		batch = capacity
+	}
+	if err := tr.InsertBatchAsync(pts, batch); err != nil {
+		tr.Close()
+		return nil, err
+	}
+	tr.Flush()
+	return tr, nil
+}
+
+// Placement measures the geometry-aware placement kernel against the
+// round-robin scatter it replaced, across a dimensionality sweep
+// (Params.DimsSweep): per-query partitions touched and fabric messages
+// for the fan-out protocol on two trees that differ only in
+// Config.Placement — same clustered points, same queries, and (asserted
+// per query, an error otherwise) byte-identical results. The workload
+// is Gaussian blobs with the queries drawn from the same mixture, so a
+// layout that co-locates geometrically close buckets keeps each query's
+// fan-out on few partitions; round-robin scatters every cluster across
+// all of them. The expected shape: placed sits strictly below rr on
+// both metrics once dimensionality gives the boxes room to separate
+// (dims >= 8) — the curves CI's structural gate enforces.
+func Placement(ctx context.Context, p Params) (*Figure, error) {
+	p = p.withDefaults()
+	n := maxSize(p.Sizes)
+	m := 1
+	for _, c := range p.Partitions {
+		if c > m {
+			m = c
+		}
+	}
+	fig := &Figure{
+		ID: "placement", Title: fmt.Sprintf("Box-aware vs round-robin partition placement (K=%d, %d points, %d partitions, fan-out protocol)", p.K, n, m),
+		XLabel: "dims", YLabel: "parts/query | msgs/query", YFmt: "%.2f",
+		Notes: []string{
+			"same clustered points and queries per column; only Config.Placement differs; results verified byte-identical per query",
+			"expected: placed <= rr everywhere, strictly below at dims >= 8 where boxes separate cleanly",
+		},
+	}
+	policies := []struct {
+		name   string
+		policy core.PlacementPolicy
+	}{{"rr", core.PlacementRoundRobin}, {"placed", core.PlacementBox}}
+	parts := make([]Series, len(policies))
+	msgs := make([]Series, len(policies))
+	for i, pol := range policies {
+		parts[i] = Series{Name: pol.name + " parts/q"}
+		msgs[i] = Series{Name: pol.name + " msgs/q"}
+	}
+	for _, dims := range p.DimsSweep {
+		pd := p
+		pd.Dims = dims
+		// Clusters scale with the partition count so each partition has
+		// whole clusters to own; seed varies per dims so no column is a
+		// projection of another.
+		data := makeClustered(n, p.Queries, dims, 2*m, p.Seed+int64(dims))
+		var results [][][]kdtree.Neighbor
+		for i, pol := range policies {
+			fabric := cluster.NewInProc(cluster.InProcOptions{})
+			tr, err := buildPlaced(data.prefix(n), m, pd, fabric, pol.policy)
+			if err != nil {
+				fabric.Close()
+				return nil, err
+			}
+			// Pin the fan-out protocol: placement exists to shrink its
+			// per-query partition set, and pinning keeps both trees on
+			// identical message patterns per partition touched.
+			sched := tr.NewScheduler(core.SchedulerConfig{Protocol: core.ProtocolFanOut})
+			var totParts, totMsgs int64
+			var res [][]kdtree.Neighbor
+			for _, q := range data.queries {
+				ns, st, err := sched.KNearest(ctx, q, p.K)
+				if err != nil {
+					tr.Close()
+					fabric.Close()
+					return nil, err
+				}
+				totParts += int64(st.Partitions)
+				totMsgs += st.FabricMessages
+				res = append(res, ns)
+			}
+			queries := float64(len(data.queries))
+			parts[i].X = append(parts[i].X, float64(dims))
+			parts[i].Y = append(parts[i].Y, float64(totParts)/queries)
+			msgs[i].X = append(msgs[i].X, float64(dims))
+			msgs[i].Y = append(msgs[i].Y, float64(totMsgs)/queries)
+			results = append(results, res)
+			tr.Close()
+			fabric.Close()
+		}
+		// The policies must be invisible to callers: any result
+		// divergence voids the comparison, so fail loudly rather than
+		// plot it.
+		if err := sameResults(results[0], results[1]); err != nil {
+			return nil, fmt.Errorf("placement: dims %d: %w", dims, err)
+		}
+	}
+	fig.Series = append(fig.Series, parts...)
+	fig.Series = append(fig.Series, msgs...)
+	return fig, nil
+}
+
+// sameResults asserts two per-query result sets are byte-identical:
+// same neighbors, same order, same distance bits.
+func sameResults(a, b [][]kdtree.Neighbor) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("result counts differ: %d != %d", len(a), len(b))
+	}
+	for q := range a {
+		if len(a[q]) != len(b[q]) {
+			return fmt.Errorf("query %d: result lengths differ: %d != %d", q, len(a[q]), len(b[q]))
+		}
+		for i := range a[q] {
+			if a[q][i].Point.ID != b[q][i].Point.ID || a[q][i].Dist != b[q][i].Dist {
+				return fmt.Errorf("query %d item %d: (%d,%v) != (%d,%v)", q, i,
+					a[q][i].Point.ID, a[q][i].Dist, b[q][i].Point.ID, b[q][i].Dist)
+			}
+		}
+	}
+	return nil
+}

@@ -29,15 +29,20 @@ import (
 // box is the k-NN/range pruning guard; a tombstone's box is cleared
 // (its region lives on in the parent's edge and the remote-box cache).
 type pnode struct {
-	leaf     bool
-	moved    bool
-	fwd      childRef
-	splitDim int32
-	splitVal float64
-	left     childRef
-	right    childRef
-	bucket   []kdtree.Point
-	lo, hi   []float64
+	leaf  bool
+	moved bool
+	// migrating marks a leaf the background repacker is draining to
+	// another partition: it keeps serving reads and absorbing inserts
+	// (the deltas forward before commit), but splits are deferred and
+	// spills skip it until the migration commits or aborts.
+	migrating bool
+	fwd       childRef
+	splitDim  int32
+	splitVal  float64
+	left      childRef
+	right     childRef
+	bucket    []kdtree.Point
+	lo, hi    []float64
 }
 
 // partition is one fabric-hosted piece of the SemTree. Nodes live in an
@@ -96,6 +101,10 @@ func (p *partition) handle(ctx context.Context, from cluster.NodeID, req any) (a
 		return p.handleReset(r)
 	case installReq:
 		return p.handleInstall(r)
+	case repackScanReq:
+		return p.handleRepackScan()
+	case migrateReq:
+		return p.handleMigrate(r)
 	default:
 		return nil, fmt.Errorf("core: partition %d: unknown request %T", p.id, req)
 	}
@@ -264,6 +273,11 @@ func (p *partition) handleInsertBatch(r insertBatchReq) (any, error) {
 // splitLeaf turns a saturated leaf into a routing node with two local
 // leaf children (Figure 1). Callers hold the write lock.
 func (p *partition) splitLeaf(idx int32) {
+	if p.nodes[idx].migrating {
+		// A migration is draining this bucket; splitting would detach
+		// the delta stream. The adopting side splits on arrival.
+		return
+	}
 	bucket := p.nodes[idx].bucket
 	var dim int
 	var splitVal float64
@@ -383,8 +397,10 @@ func (p *partition) capacityExceededLocked() bool {
 // partitions and direct links replace the local references; the moved
 // leaves stay behind as forwarding tombstones for in-flight operations.
 // When fewer compute nodes remain than leaves exist, the available new
-// partitions adopt the leaves round-robin (a budget-limited variant of
-// the paper's one-partition-per-leaf procedure).
+// partitions adopt the leaves as the placement kernel assigns them —
+// geometrically close leaves together (Config.Placement; round-robin
+// under the ablation policy) — a budget-limited variant of the paper's
+// one-partition-per-leaf procedure.
 func (p *partition) buildPartition() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -406,12 +422,12 @@ func (p *partition) buildPartition() {
 			continue
 		}
 		if p.local(n.left) {
-			if c := &p.nodes[n.left.Node]; c.leaf && !c.moved {
+			if c := &p.nodes[n.left.Node]; c.leaf && !c.moved && !c.migrating {
 				moves = append(moves, move{int32(i), false, n.left.Node})
 			}
 		}
 		if p.local(n.right) {
-			if c := &p.nodes[n.right.Node]; c.leaf && !c.moved {
+			if c := &p.nodes[n.right.Node]; c.leaf && !c.moved && !c.migrating {
 				moves = append(moves, move{int32(i), true, n.right.Node})
 			}
 		}
@@ -424,8 +440,31 @@ func (p *partition) buildPartition() {
 		return
 	}
 	p.spills.Add(1)
+	// Assign every movable leaf a target up front: the placement
+	// kernel packs geometrically close leaves onto the same partition
+	// (round-robin under the ablation policy). The kernel is pure
+	// computation over the leaves' boxes, safe under the spill lock.
+	assign := make([]cluster.NodeID, len(moves))
+	if p.t.cfg.Placement == PlacementRoundRobin {
+		for k := range moves {
+			assign[k] = targets[k%len(targets)]
+		}
+	} else {
+		subs := make([]placeBox, len(moves))
+		for k, mv := range moves {
+			leaf := &p.nodes[mv.leaf]
+			subs[k] = placeBox{lo: leaf.lo, hi: leaf.hi, points: len(leaf.bucket)}
+		}
+		tgs := make([]placeTarget, len(targets))
+		for i, id := range targets {
+			tgs[i] = placeTarget{id: id}
+		}
+		for k, ti := range placeSubtrees(subs, tgs, p.t.model.hopToNs) {
+			assign[k] = targets[ti]
+		}
+	}
 	for k, mv := range moves {
-		target := targets[k%len(targets)]
+		target := assign[k]
 		leaf := &p.nodes[mv.leaf]
 		// The subtree's region ships with its registration: the adopted
 		// side installs it as the new root's box, and the cached copy

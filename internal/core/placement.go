@@ -1,0 +1,199 @@
+package core
+
+import (
+	"sort"
+
+	"semtree/internal/cluster"
+)
+
+// Geometry-aware partition placement: the build-partition algorithm
+// (§III-B.2) and the rebalance trunk install decide *where* a subtree
+// lives, and PR 5's exact per-subtree bounding boxes make that decision
+// informable. Instead of scattering leaves round-robin, the placement
+// kernel scores every candidate partition by how little its union box
+// must grow to absorb the subtree (the R-tree least-enlargement
+// heuristic), nudged by current load and by the cost model's
+// per-destination hop estimate — so spatially close subtrees land
+// together, a broad query's fan-out stays bounded by the geometry of
+// its region instead of by the partition count, and nearby compute
+// nodes are preferred when the fabric's latency is non-uniform.
+// Config.Placement selects the policy; PlacementRoundRobin restores the
+// legacy behavior as the ablation baseline the `placement` bench figure
+// measures against.
+
+// PlacementPolicy selects how spilled and rebalanced subtrees are
+// assigned to partitions.
+type PlacementPolicy int
+
+const (
+	// PlacementBox (the default) scores candidate partitions by
+	// bounding-box enlargement plus load and per-destination hop cost,
+	// clustering geometrically close subtrees on the same partition.
+	PlacementBox PlacementPolicy = iota
+	// PlacementRoundRobin restores the legacy arena-order round-robin
+	// assignment, as the ablation baseline for the placement figure.
+	PlacementRoundRobin
+)
+
+const (
+	// placeLoadWeight weighs a candidate's normalized load against the
+	// geometric term: geometry dominates (it is what bounds query
+	// fan-out), load breaks up pathological pile-ups on one partition.
+	placeLoadWeight = 0.25
+	// placeHopWeight weighs the candidate's per-destination hop
+	// estimate, so a geometric near-tie resolves toward the cheaper
+	// compute node when the fabric's latency is non-uniform.
+	placeHopWeight = 0.25
+)
+
+// placeBox is one subtree to place: its exact bounding box and point
+// count. A nil box (empty subtree) fits anywhere for free.
+type placeBox struct {
+	lo, hi []float64
+	points int
+}
+
+// placeTarget is one candidate partition as the kernel sees it: the
+// union box of the data it already hosts (nil when empty) and its
+// current load.
+type placeTarget struct {
+	id     cluster.NodeID
+	lo, hi []float64
+	points int
+}
+
+// boxEnlargement is the growth in total margin (summed side lengths)
+// of the target union box when it absorbs the subtree box. An empty
+// target absorbs any box for free — which is what makes the greedy
+// kernel spread first and cluster after: subtrees fill empty
+// partitions before competing for the geometrically closest one.
+func boxEnlargement(tlo, thi, slo, shi []float64) float64 {
+	if tlo == nil || slo == nil {
+		return 0
+	}
+	e := 0.0
+	for d := range tlo {
+		lo, hi := tlo[d], thi[d]
+		if slo[d] < lo {
+			lo = slo[d]
+		}
+		if shi[d] > hi {
+			hi = shi[d]
+		}
+		e += (hi - lo) - (thi[d] - tlo[d])
+	}
+	return e
+}
+
+// unionExpand grows the union box [lo, hi] to cover [alo, ahi],
+// materializing an owned copy on first use. A nil addend leaves the
+// union unchanged.
+func unionExpand(lo, hi, alo, ahi []float64) ([]float64, []float64) {
+	if alo == nil {
+		return lo, hi
+	}
+	if lo == nil {
+		return append([]float64(nil), alo...), append([]float64(nil), ahi...)
+	}
+	for d := range lo {
+		if alo[d] < lo[d] {
+			lo[d] = alo[d]
+		}
+		if ahi[d] > hi[d] {
+			hi[d] = ahi[d]
+		}
+	}
+	return lo, hi
+}
+
+// placeScores prices one subtree against every candidate target:
+// normalized box enlargement plus weighted load and hop fractions,
+// lower is better. Each component is normalized over the candidate set
+// (the max observed value), so the score is scale-free in both the
+// coordinate space and the fabric's latency range. hopNs may be nil
+// when no per-destination estimates are wanted.
+func placeScores(sub placeBox, targets []placeTarget, hopNs func(cluster.NodeID) float64) []float64 {
+	enl := make([]float64, len(targets))
+	maxEnl := 0.0
+	maxLoad := 0
+	for i, tg := range targets {
+		enl[i] = boxEnlargement(tg.lo, tg.hi, sub.lo, sub.hi)
+		if enl[i] > maxEnl {
+			maxEnl = enl[i]
+		}
+		if tg.points > maxLoad {
+			maxLoad = tg.points
+		}
+	}
+	var hops []float64
+	maxHop := 0.0
+	if hopNs != nil {
+		hops = make([]float64, len(targets))
+		for i, tg := range targets {
+			hops[i] = hopNs(tg.id)
+			if hops[i] > maxHop {
+				maxHop = hops[i]
+			}
+		}
+	}
+	scores := make([]float64, len(targets))
+	for i, tg := range targets {
+		s := 0.0
+		if maxEnl > 0 {
+			s = enl[i] / maxEnl
+		}
+		if maxLoad > 0 {
+			s += placeLoadWeight * float64(tg.points) / float64(maxLoad)
+		}
+		if maxHop > 0 {
+			s += placeHopWeight * hops[i] / maxHop
+		}
+		scores[i] = s
+	}
+	return scores
+}
+
+// placeSubtrees greedily assigns every subtree to one target and
+// returns the chosen target index per subtree (in the subtrees' input
+// order). Subtrees are placed largest-first — big subtrees anchor the
+// layout, small ones then join whichever anchor they enlarge least —
+// and every assignment updates the running union box and load, so one
+// call packs a whole spill coherently. Ties resolve to the lowest
+// target index; the assignment is deterministic for fixed inputs.
+func placeSubtrees(subs []placeBox, targets []placeTarget, hopNs func(cluster.NodeID) float64) []int {
+	order := make([]int, len(subs))
+	for i := range order {
+		order[i] = i
+	}
+	//semtree:allow boundaryonce: placement-time largest-first ordering at spill/rebalance; not on the query-result path
+	sort.Slice(order, func(a, b int) bool {
+		if subs[order[a]].points != subs[order[b]].points {
+			return subs[order[a]].points > subs[order[b]].points
+		}
+		return order[a] < order[b]
+	})
+	state := make([]placeTarget, len(targets))
+	copy(state, targets)
+	for i := range state {
+		// Owned box copies: assignments expand them.
+		state[i].lo = append([]float64(nil), state[i].lo...)
+		state[i].hi = append([]float64(nil), state[i].hi...)
+		if len(state[i].lo) == 0 {
+			state[i].lo, state[i].hi = nil, nil
+		}
+	}
+	assign := make([]int, len(subs))
+	for _, si := range order {
+		scores := placeScores(subs[si], state, hopNs)
+		best := 0
+		for j := 1; j < len(scores); j++ {
+			if scores[j] < scores[best] {
+				best = j
+			}
+		}
+		assign[si] = best
+		state[best].lo, state[best].hi = unionExpand(state[best].lo, state[best].hi, subs[si].lo, subs[si].hi)
+		state[best].points += subs[si].points
+	}
+	return assign
+}

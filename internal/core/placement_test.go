@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"semtree/internal/cluster"
+	"semtree/internal/kdtree"
+)
+
+// Tests for the geometry-aware placement kernel: the greedy assignment
+// must spread over empty targets first and cluster after, be
+// deterministic, and — on clustered workloads — produce a layout whose
+// queries touch no more (and typically fewer) partitions than the
+// round-robin baseline while returning byte-identical results.
+
+// clusteredPoints generates n points in `clusters` Gaussian blobs with
+// centers uniform in [0, 100)^dim — the workload where placement
+// matters: geometrically close buckets exist to be co-located.
+func clusteredPoints(r *rand.Rand, n, dim, clusters int) []kdtree.Point {
+	centers := make([][]float64, clusters)
+	for i := range centers {
+		c := make([]float64, dim)
+		for d := range c {
+			c[d] = r.Float64() * 100
+		}
+		centers[i] = c
+	}
+	pts := make([]kdtree.Point, n)
+	for i := range pts {
+		center := centers[i%clusters]
+		c := make([]float64, dim)
+		for d := range c {
+			c[d] = center[d] + r.NormFloat64()*2
+		}
+		pts[i] = kdtree.Point{Coords: c, ID: uint64(i)}
+	}
+	return pts
+}
+
+func TestPlaceSubtreesSpreadsThenClusters(t *testing.T) {
+	// Two tight pairs of boxes far apart; two empty targets. The kernel
+	// must anchor one pair member per target (spread), then join each
+	// remaining box with its geometric partner (cluster).
+	mkBox := func(at float64) placeBox {
+		return placeBox{lo: []float64{at, at}, hi: []float64{at + 1, at + 1}, points: 8}
+	}
+	subs := []placeBox{mkBox(0), mkBox(90), mkBox(2), mkBox(92)}
+	targets := []placeTarget{{id: 1}, {id: 2}}
+	assign := placeSubtrees(subs, targets, nil)
+	if assign[0] != assign[2] || assign[1] != assign[3] {
+		t.Fatalf("close boxes split across targets: %v", assign)
+	}
+	if assign[0] == assign[1] {
+		t.Fatalf("far boxes piled on one target: %v", assign)
+	}
+}
+
+func TestPlaceSubtreesDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var subs []placeBox
+	for i := 0; i < 20; i++ {
+		lo := []float64{r.Float64() * 100, r.Float64() * 100}
+		subs = append(subs, placeBox{
+			lo: lo, hi: []float64{lo[0] + r.Float64()*5, lo[1] + r.Float64()*5},
+			points: 1 + r.Intn(16),
+		})
+	}
+	targets := []placeTarget{{id: 1}, {id: 2}, {id: 3}}
+	first := placeSubtrees(subs, targets, nil)
+	for trial := 0; trial < 5; trial++ {
+		if got := placeSubtrees(subs, targets, nil); len(got) != len(first) {
+			t.Fatal("assignment length changed")
+		} else {
+			for i := range got {
+				if got[i] != first[i] {
+					t.Fatalf("trial %d: assignment differs at %d: %d != %d", trial, i, got[i], first[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPlaceSubtreesHopPreference(t *testing.T) {
+	// A geometric near-tie must resolve toward the cheaper destination.
+	sub := placeBox{lo: []float64{50, 50}, hi: []float64{51, 51}, points: 8}
+	targets := []placeTarget{
+		{id: 1, lo: []float64{0, 0}, hi: []float64{40, 40}, points: 10},
+		{id: 2, lo: []float64{60, 60}, hi: []float64{100, 100}, points: 10},
+	}
+	hop := func(id cluster.NodeID) float64 {
+		if id == 1 {
+			return 5e6 // 5ms to target 1
+		}
+		return 0
+	}
+	scores := placeScores(sub, targets, hop)
+	if scores[1] >= scores[0] {
+		t.Fatalf("cheap destination not preferred: scores %v", scores)
+	}
+}
+
+// placementPair builds two trees over the same clustered points and
+// topology, differing only in Config.Placement.
+func placementPair(t *testing.T, pts []kdtree.Point, dim int) (placed, rr *Tree) {
+	t.Helper()
+	mk := func(policy PlacementPolicy) *Tree {
+		tr := mustTree(t, Config{
+			Dim: dim, BucketSize: 8,
+			PartitionCapacity: 128, MaxPartitions: 5,
+			Placement: policy,
+		})
+		if err := tr.InsertAll(pts, 1); err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.PartitionCount(); got < 3 {
+			t.Fatalf("partitions = %d, want >= 3 for a meaningful layout", got)
+		}
+		return tr
+	}
+	return mk(PlacementBox), mk(PlacementRoundRobin)
+}
+
+// TestPlacementIdenticalResults: the placement policy must not change
+// any query result — same points, same order, same distance bits —
+// while the placed layout's queries touch no more partitions in total
+// than round-robin's.
+func TestPlacementIdenticalResults(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	pts := clusteredPoints(r, 3000, 8, 6)
+	placed, rr := placementPair(t, pts, 8)
+	var placedParts, rrParts int64
+	for trial := 0; trial < 40; trial++ {
+		q := clusteredPoints(r, 1, 8, 6)[0].Coords
+		for _, k := range []int{1, 3, 10} {
+			want, wantSt, err := rr.knn(context.Background(), q, k, ProtocolFanOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotSt, err := placed.knn(context.Background(), q, k, ProtocolFanOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: len %d != %d", trial, k, len(got), len(want))
+			}
+			for i := range want {
+				if !sameNeighbor(got[i], want[i]) {
+					t.Fatalf("trial %d k=%d item %d: (%d,%v) != (%d,%v)", trial, k, i,
+						got[i].Point.ID, got[i].Dist, want[i].Point.ID, want[i].Dist)
+				}
+			}
+			placedParts += int64(gotSt.Partitions)
+			rrParts += int64(wantSt.Partitions)
+		}
+	}
+	if placedParts > rrParts {
+		t.Fatalf("placed layout touched more partitions than round-robin: %d > %d", placedParts, rrParts)
+	}
+	checkPartitionBoxes(t, placed)
+	checkPartitionBoxes(t, rr)
+}
+
+// TestRebalancePlacementExact: a rebalance under the box policy must
+// keep boxes exact and results correct (the frontier install goes
+// through the same kernel).
+func TestRebalancePlacementExact(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	pts := clusteredPoints(r, 2000, 6, 4)
+	tr := mustTree(t, Config{
+		Dim: 6, BucketSize: 8,
+		PartitionCapacity: 100, MaxPartitions: 5,
+	})
+	if err := tr.InsertAll(pts, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	checkPartitionBoxes(t, tr)
+	for trial := 0; trial < 20; trial++ {
+		q := clusteredPoints(r, 1, 6, 4)[0].Coords
+		got, err := tr.KNearest(context.Background(), q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteKNN(pts, q, 5); !sameIDSets(got, want) {
+			t.Fatalf("trial %d: rebalanced tree disagrees with oracle", trial)
+		}
+	}
+}

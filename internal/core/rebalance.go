@@ -261,10 +261,30 @@ func (t *Tree) Rebalance() error {
 		}
 	}
 
-	// Install each frontier subtree round-robin on the data partitions.
+	// Install each frontier subtree on the data partition the placement
+	// kernel assigns it: the targets start empty, so the kernel spreads
+	// one anchor subtree per partition and clusters any surplus with
+	// its geometrically closest anchor (round-robin under the ablation
+	// policy).
+	assign := make([]int, len(frontier))
+	if t.cfg.Placement == PlacementRoundRobin {
+		for i := range frontier {
+			assign[i] = i % len(dataParts)
+		}
+	} else {
+		subs := make([]placeBox, len(frontier))
+		for i, idx := range frontier {
+			subs[i] = placeBox{lo: flat[idx].Lo, hi: flat[idx].Hi, points: flatPoints(flat, idx)}
+		}
+		targets := make([]placeTarget, len(dataParts))
+		for i, dp := range dataParts {
+			targets[i] = placeTarget{id: dp.id}
+		}
+		assign = placeSubtrees(subs, targets, t.model.hopToNs)
+	}
 	isFrontier := make(map[int32]childRef, len(frontier))
 	for i, idx := range frontier {
-		target := dataParts[i%len(dataParts)].id
+		target := dataParts[assign[i]].id
 		sub, err := kdtree.Subtree(flat, idx)
 		if err != nil {
 			return fmt.Errorf("core: rebalance cut: %w", err)
@@ -285,6 +305,16 @@ func (t *Tree) Rebalance() error {
 	}
 	t.size.Store(int64(len(pts)))
 	return nil
+}
+
+// flatPoints counts the points under one node of a flat tree, for the
+// placement kernel's load term.
+func flatPoints(flat []kdtree.FlatNode, idx int32) int {
+	n := flat[idx]
+	if n.Leaf {
+		return len(n.Bucket)
+	}
+	return flatPoints(flat, n.Left) + flatPoints(flat, n.Right)
 }
 
 // wireNodes converts a self-contained flat fragment to wire form,

@@ -76,6 +76,49 @@ func BenchmarkKNNProtocols(b *testing.B) {
 	})
 }
 
+// BenchmarkKNNPlacement measures the geometry-aware placement kernel
+// against the legacy round-robin scatter on a clustered workload:
+// identical results, fewer partitions and messages per query under the
+// box policy. Part of CI's bench-baseline regression gate.
+func BenchmarkKNNPlacement(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		policy PlacementPolicy
+	}{{"placed", PlacementBox}, {"rr", PlacementRoundRobin}} {
+		b.Run(mode.name, func(b *testing.B) {
+			r := rand.New(rand.NewSource(3))
+			pts := clusteredPoints(r, 20000, 8, 10)
+			tr, err := New(Config{Dim: 8, BucketSize: 16, PartitionCapacity: 4 * 16,
+				MaxPartitions: 5, Placement: mode.policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { tr.Close() })
+			if err := tr.InsertBatchAsync(pts, 64); err != nil {
+				b.Fatal(err)
+			}
+			tr.Flush()
+			// Queries live inside the clusters (perturbed data points),
+			// where a clustered layout keeps the fan-out local.
+			qs := make([][]float64, 256)
+			for i := range qs {
+				base := pts[r.Intn(len(pts))].Coords
+				q := make([]float64, len(base))
+				for d := range q {
+					q[d] = base[d] + r.NormFloat64()
+				}
+				qs[i] = q
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tr.knn(context.Background(), qs[i%len(qs)], 3, ProtocolFanOut); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkKNNRegionPrune measures the region (bounding-box)
 // min-distance guard against the paper's splitting-plane bound on the
 // same multi-partition workload: identical results, fewer nodes and

@@ -56,6 +56,14 @@ type Config struct {
 	// work — which makes this flag the ablation lever the `pruning`
 	// bench figure and the equivalence tests measure the guard with.
 	PlaneGuardOnly bool
+	// Placement selects how spilled and rebalanced subtrees are
+	// assigned to partitions. The default (PlacementBox) clusters
+	// geometrically close subtrees on the same partition via the
+	// box-enlargement kernel; PlacementRoundRobin restores the legacy
+	// scatter as the ablation baseline of the `placement` bench
+	// figure. Results are identical either way — exact k-NN and range
+	// results do not depend on which partition hosts which subtree.
+	Placement PlacementPolicy
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -98,6 +106,10 @@ type Tree struct {
 
 	mu    sync.RWMutex
 	parts []*partition
+
+	// repackMu serializes background repacking passes; the planner's
+	// partition-graph acyclicity check assumes no concurrent planner.
+	repackMu sync.Mutex
 
 	size atomic.Int64
 }
