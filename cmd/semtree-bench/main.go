@@ -14,6 +14,7 @@
 //	semtree-bench -fig quota -tenants 2
 //	semtree-bench -fig pruning -dims 2,4,8,16,32
 //	semtree-bench -fig placement -partitions 1,5 -dims 2,4,8,16
+//	semtree-bench -fig churn -sizes 10000,50000 -mixes 10,50,90
 package main
 
 import (
@@ -45,6 +46,7 @@ func main() {
 		hops       = flag.String("hops", "", "comma-separated per-hop latencies for the scheduler experiment, e.g. 0,1ms,50ms (default 0,1ms,5ms,20ms,50ms)")
 		tenants    = flag.Int("tenants", 0, "tenant count for the quota experiment: 1 quota-throttled aggressor plus N-1 unthrottled victims (default 2)")
 		dims       = flag.String("dims", "", "comma-separated dimensionalities for the pruning and placement experiments, e.g. 2,4,8,16 (default 2,4,8,16)")
+		mixes      = flag.String("mixes", "", "comma-separated insert percentages for the churn experiment, e.g. 10,50,90 (default 10,50,90)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		csvDir     = flag.String("csv", "", "also write <dir>/<fig>.csv")
 	)
@@ -72,6 +74,9 @@ func main() {
 		fatal(err)
 	}
 	if params.DimsSweep, err = parseInts(*dims); err != nil {
+		fatal(err)
+	}
+	if params.Mixes, err = parseInts(*mixes); err != nil {
 		fatal(err)
 	}
 

@@ -77,7 +77,11 @@ type Index struct {
 	dims   int
 	opts   persistedOptions
 
-	mu     sync.Mutex  // guards coords
+	// mu guards coords AND the store↔coords pairing: Insert and
+	// BulkAdd write the store and the embedding table under one
+	// critical section, and Save reads both under it, so a snapshot
+	// never observes a triple without its embedding (or vice versa).
+	mu     sync.Mutex
 	coords [][]float64 // embedding per stored triple, indexed by triple.ID
 }
 
@@ -147,11 +151,11 @@ func Build(store *triple.Store, opts Options) (*Index, error) {
 	for i, c := range coords {
 		points[i] = kdtree.Point{Coords: c, ID: uint64(i)}
 	}
-	if err := tree.InsertBatchAsync(points, opts.BatchSize); err != nil {
+	//semtree:allow ctxfirst: Build is construction-time and runs to completion by contract; there is no caller context to thread
+	if err := tree.BulkLoad(context.Background(), points); err != nil {
 		tree.Close()
 		return nil, err
 	}
-	tree.Flush()
 
 	return &Index{
 		store: store, metric: metric, mapper: mapper, tree: tree, dims: dims,
@@ -185,9 +189,12 @@ func (e ErrUnindexedID) Error() string {
 // the store but not in the index, and a query that somehow retrieves
 // such an ID fails with ErrUnindexedID naming it.
 func (ix *Index) Insert(t triple.Triple, prov triple.Provenance) (triple.ID, error) {
-	id := ix.store.Add(t, prov)
 	c := ix.mapper.Map(t)
+	// Store write and embedding append happen under one critical
+	// section: a concurrent Save must never observe the triple in the
+	// store without its coordinate row (or the reverse).
 	ix.mu.Lock()
+	id := ix.store.Add(t, prov)
 	for uint64(len(ix.coords)) < uint64(id) {
 		ix.coords = append(ix.coords, nil) // IDs added out of band (direct store writes)
 	}
@@ -198,6 +205,54 @@ func (ix *Index) Insert(t triple.Triple, prov triple.Provenance) (triple.ID, err
 		return id, fmt.Errorf("semtree: insert: %w", err)
 	}
 	return id, nil
+}
+
+// BulkItem is one triple of a bulk ingest: the triple and its
+// provenance, exactly as Insert takes them.
+type BulkItem struct {
+	Triple triple.Triple
+	Prov   triple.Provenance
+}
+
+// BulkAdd ingests a batch of triples in one pass: the embeddings are
+// computed by a bounded worker pool, the store and embedding table are
+// extended atomically (a concurrent Save sees all of the batch or none
+// of it), and the images enter the distributed tree through its sorted
+// bulk loader — balanced fragment grafts instead of per-point split
+// cascades. Returned IDs are positional: ids[i] is items[i]. The
+// context bounds the tree load; triples already committed to the store
+// when it expires stay stored (re-running the load is idempotent only
+// at the store level), so treat a context error as a partial ingest.
+// Results are byte-identical to inserting the items one at a time.
+func (ix *Index) BulkAdd(ctx context.Context, items []BulkItem) ([]triple.ID, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	coords := make([][]float64, len(items))
+	_ = core.RunBatch(ctx, len(items), 0, func(i int) error {
+		coords[i] = ix.mapper.Map(items[i].Triple)
+		return nil
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ids := make([]triple.ID, len(items))
+	points := make([]kdtree.Point, len(items))
+	ix.mu.Lock()
+	for i, it := range items {
+		id := ix.store.Add(it.Triple, it.Prov)
+		for uint64(len(ix.coords)) < uint64(id) {
+			ix.coords = append(ix.coords, nil) // IDs added out of band
+		}
+		ix.coords = append(ix.coords, coords[i])
+		ids[i] = id
+		points[i] = kdtree.Point{Coords: coords[i], ID: uint64(id)}
+	}
+	ix.mu.Unlock()
+	if err := ix.tree.BulkLoad(ctx, points); err != nil {
+		return ids, fmt.Errorf("semtree: bulk add: %w", err)
+	}
+	return ids, nil
 }
 
 // KNearest returns the k stored triples closest to q, ascending by

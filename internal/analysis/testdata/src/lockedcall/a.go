@@ -94,6 +94,44 @@ func (p *part) badMigrateDrain(ctx context.Context, bucket []int) error {
 	return nil
 }
 
+// The bulk-adopt shape: a bulk-add handler descends and grafts the
+// local entries under one write lock, but entries that resolve to a
+// foreign child must be forwarded with the lock released — the
+// destination may be mid-spill and call back into this partition.
+func (p *part) badBulkAdopt(ctx context.Context, batch []int) error {
+	p.state.Lock()
+	defer p.state.Unlock()
+	for _, e := range batch {
+		if e%2 == 0 {
+			continue // grafted locally
+		}
+		if _, err := p.fab.Call(ctx, 1, 2, nil); err != nil { // want "fabric Call while p.state held"
+			return err
+		}
+	}
+	return nil
+}
+
+// The legal bulk-adopt version: group the foreign entries under the
+// lock, forward the groups after the unlock.
+func (p *part) legalBulkAdopt(ctx context.Context, batch []int) error {
+	p.state.Lock()
+	var remote []int
+	for _, e := range batch {
+		if e%2 == 0 {
+			continue // grafted locally
+		}
+		remote = append(remote, e)
+	}
+	p.state.Unlock()
+	for range remote {
+		if _, err := p.fab.Call(ctx, 1, 2, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // The legal phased version: snapshot under the lock, drain with no
 // lock held, re-lock only to commit the parent-edge flip.
 func (p *part) legalMigratePhased(ctx context.Context, bucket []int) error {

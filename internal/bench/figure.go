@@ -150,6 +150,7 @@ type Params struct {
 	Hops       []time.Duration // per-hop latency sweep for the scheduler experiment (default 0..50ms)
 	Tenants    int             // tenant count for the quota experiment: 1 throttled aggressor + N−1 victims (default 2)
 	DimsSweep  []int           // dimensionality sweep for the pruning experiment (default 2, 4, 8, 16)
+	Mixes      []int           // insert percentages for the churn experiment (default 10, 50, 90)
 	Seed       int64
 }
 
@@ -192,6 +193,10 @@ func (p Params) withDefaults() Params {
 	if p.Tenants < 2 {
 		p.Tenants = 2 // the quota experiment needs an aggressor and a victim
 	}
+	if len(p.Mixes) == 0 {
+		// Query-heavy through insert-heavy, for the churn experiment.
+		p.Mixes = []int{10, 50, 90}
+	}
 	if len(p.DimsSweep) == 0 {
 		// From the low dimensions where the splitting-plane bound still
 		// holds its own through the regime where only the region bound
@@ -220,6 +225,7 @@ func Runners() map[string]Runner {
 		"quota":            Quota,
 		"pruning":          Pruning,
 		"placement":        Placement,
+		"churn":            Churn,
 		"complexity":       Complexity,
 		"ablation-weights": AblationWeights,
 		"ablation-dims":    AblationDims,

@@ -186,6 +186,7 @@ type statsResp struct {
 	Nodes    int
 	Leaves   int
 	NavSteps int64
+	BoxWork  int64
 }
 
 // heightReq asks for the height of the subtree rooted at Node,

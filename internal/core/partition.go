@@ -70,6 +70,11 @@ type partition struct {
 	// its own).
 	remoteBoxes map[childRef]box
 
+	// boxWork counts box-maintenance writes (path-box growth plus
+	// remote-edge cache expansions). Guarded by mu: every writer holds
+	// the write lock, handleStats reads under the read lock.
+	boxWork int64
+
 	navSteps atomic.Int64 // nodes traversed by insert descents
 	inserts  atomic.Int64 // insertions applied locally
 	spills   atomic.Int64 // build-partition runs
@@ -85,6 +90,14 @@ func (p *partition) handle(ctx context.Context, from cluster.NodeID, req any) (a
 		return p.handleInsert(r)
 	case insertBatchReq:
 		return p.handleInsertBatch(r)
+	case bulkAddReq:
+		return p.handleBulkAdd(r)
+	case graftReq:
+		return p.handleBulkGraft(r)
+	case snapshotReq:
+		return p.handleSnapshot()
+	case restoreReq:
+		return p.handleRestore(r)
 	case knnReq:
 		return p.handleKNN(ctx, r)
 	case rangeReq:
@@ -533,6 +546,7 @@ func (p *partition) handleStats() (any, error) {
 		Nodes:    len(p.nodes),
 		Leaves:   leaves,
 		NavSteps: p.navSteps.Load(),
+		BoxWork:  p.boxWork,
 	}, nil
 }
 

@@ -240,51 +240,23 @@ func (t *Tree) Rebalance() error {
 		return nil
 	}
 
-	// Cut the flat tree: BFS from the root until the frontier is wide
-	// enough to give every data partition a subtree.
-	frontier := []int32{0}
-	for len(frontier) < len(dataParts) {
-		grew := false
-		var next []int32
-		for _, idx := range frontier {
-			n := flat[idx]
-			if n.Leaf {
-				next = append(next, idx)
-				continue
-			}
-			next = append(next, n.Left, n.Right)
-			grew = true
-		}
-		frontier = next
-		if !grew {
-			break
-		}
+	// Cut the flat tree below the root until the frontier is wide
+	// enough to give every data partition a subtree, then install each
+	// frontier subtree on the data partition the placement kernel
+	// assigns it: the targets start empty, so the kernel spreads one
+	// anchor subtree per partition and clusters any surplus with its
+	// geometrically closest anchor (round-robin under the ablation
+	// policy). The cut and the assignment are shared with the bulk
+	// loader (bulkload.go).
+	targets := make([]cluster.NodeID, len(dataParts))
+	for i, dp := range dataParts {
+		targets[i] = dp.id
 	}
-
-	// Install each frontier subtree on the data partition the placement
-	// kernel assigns it: the targets start empty, so the kernel spreads
-	// one anchor subtree per partition and clusters any surplus with
-	// its geometrically closest anchor (round-robin under the ablation
-	// policy).
-	assign := make([]int, len(frontier))
-	if t.cfg.Placement == PlacementRoundRobin {
-		for i := range frontier {
-			assign[i] = i % len(dataParts)
-		}
-	} else {
-		subs := make([]placeBox, len(frontier))
-		for i, idx := range frontier {
-			subs[i] = placeBox{lo: flat[idx].Lo, hi: flat[idx].Hi, points: flatPoints(flat, idx)}
-		}
-		targets := make([]placeTarget, len(dataParts))
-		for i, dp := range dataParts {
-			targets[i] = placeTarget{id: dp.id}
-		}
-		assign = placeSubtrees(subs, targets, t.model.hopToNs)
-	}
+	frontier := cutFrontier(flat, len(targets))
+	assign := t.assignFrontier(flat, frontier, targets)
 	isFrontier := make(map[int32]childRef, len(frontier))
 	for i, idx := range frontier {
-		target := dataParts[assign[i]].id
+		target := assign[i]
 		sub, err := kdtree.Subtree(flat, idx)
 		if err != nil {
 			return fmt.Errorf("core: rebalance cut: %w", err)

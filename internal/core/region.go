@@ -92,6 +92,7 @@ func (p *partition) expandPathBoxes(path []int32, c []float64) {
 	for _, idx := range path {
 		if n := &p.nodes[idx]; !n.moved {
 			n.expandBox(c)
+			p.boxWork++
 		}
 	}
 }
@@ -138,5 +139,6 @@ func (p *partition) expandRemoteBox(ref childRef, c []float64) {
 	if b, ok := p.remoteBoxes[ref]; ok {
 		b.lo, b.hi = kdtree.ExpandBox(b.lo, b.hi, c)
 		p.remoteBoxes[ref] = b
+		p.boxWork++
 	}
 }

@@ -1,0 +1,417 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"semtree/internal/kdtree"
+)
+
+// buildChurnedTree builds a multi-partition tree the hard way — bulk
+// load, single inserts, a repack pass — so its snapshot exercises
+// tombstones, cross-partition edges and remote-box caches, not just a
+// pristine bulk layout.
+func buildChurnedTree(t *testing.T, r *rand.Rand) (*Tree, []kdtree.Point) {
+	t.Helper()
+	const dim = 4
+	pts := clusteredPoints(r, 1500, dim, 4)
+	tr := mustTree(t, Config{
+		Dim: dim, BucketSize: 8,
+		PartitionCapacity: 120, MaxPartitions: 6,
+		Placement: PlacementRoundRobin, // leave work for the repacker
+	})
+	if err := tr.BulkLoad(context.Background(), pts[:1000]); err != nil {
+		t.Fatal(err)
+	}
+	extra := pts[1000:]
+	if err := tr.InsertAll(extra, 2); err != nil {
+		t.Fatal(err)
+	}
+	tr.Flush()
+	if _, err := tr.Repack(context.Background(), RepackConfig{MaxMoves: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.PartitionCount() < 2 {
+		t.Fatalf("tree did not distribute: %d partitions", tr.PartitionCount())
+	}
+	return tr, pts
+}
+
+// TestSnapshotRestoreByteIdentical is the restore contract: encode,
+// decode, restore on a fresh fabric — every k-NN and range query over
+// the restored tree answers byte-identically to the original, across
+// both protocols, and the restored region metadata is exact.
+func TestSnapshotRestoreByteIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(89))
+	tr, pts := buildChurnedTree(t, r)
+
+	snap, err := tr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreTree(Config{Dim: 1, BucketSize: 8, PartitionCapacity: 120, MaxPartitions: 2}, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { restored.Close() })
+
+	if restored.Len() != tr.Len() {
+		t.Fatalf("restored %d points, want %d", restored.Len(), tr.Len())
+	}
+	if restored.PartitionCount() != tr.PartitionCount() {
+		t.Fatalf("restored %d partitions, want %d", restored.PartitionCount(), tr.PartitionCount())
+	}
+	checkPartitionBoxes(t, restored)
+
+	for _, proto := range []Protocol{ProtocolSequential, ProtocolFanOut} {
+		os := tr.NewScheduler(SchedulerConfig{Protocol: proto})
+		rs := restored.NewScheduler(SchedulerConfig{Protocol: proto})
+		for trial := 0; trial < 25; trial++ {
+			q := clusteredPoints(r, 1, 4, 4)[0].Coords
+			a, _, err := os.KNearest(context.Background(), q, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := rs.KNearest(context.Background(), q, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameNeighbors(t, b, a, "%v knn trial %d", proto, trial)
+			if want := bruteKNN(pts, q, 7); !sameIDSets(b, want) {
+				t.Fatalf("%v trial %d: restored tree disagrees with brute force", proto, trial)
+			}
+		}
+	}
+	for trial := 0; trial < 15; trial++ {
+		q := clusteredPoints(r, 1, 4, 4)[0].Coords
+		a, err := tr.RangeSearch(context.Background(), q, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.RangeSearch(context.Background(), q, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameNeighbors(t, b, a, "range trial %d", trial)
+	}
+
+	// The restored fleet stays live: it keeps absorbing inserts and
+	// answering correctly afterwards.
+	more := clusteredPoints(r, 100, 4, 4)
+	for i := range more {
+		more[i].ID = uint64(len(pts) + i)
+	}
+	if err := restored.InsertAll(more, 1); err != nil {
+		t.Fatal(err)
+	}
+	restored.Flush()
+	all := append(append([]kdtree.Point(nil), pts...), more...)
+	q := clusteredPoints(r, 1, 4, 4)[0].Coords
+	got, err := restored.KNearest(context.Background(), q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bruteKNN(all, q, 5); !sameIDSets(got, want) {
+		t.Fatal("restored tree wrong after post-restore inserts")
+	}
+}
+
+// TestSnapshotRequiresQuiescence: a migration caught in flight refuses
+// the snapshot instead of serializing a torn state.
+func TestSnapshotRequiresQuiescence(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	tr := mustTree(t, Config{Dim: 3, BucketSize: 4})
+	if err := tr.InsertAll(randomPoints(r, 50, 3), 1); err != nil {
+		t.Fatal(err)
+	}
+	p := tr.rootPartition()
+	p.mu.Lock()
+	p.nodes[0].migrating = true
+	p.mu.Unlock()
+	if _, err := tr.Snapshot(); err == nil {
+		t.Fatal("snapshot of a migrating partition accepted")
+	}
+	p.mu.Lock()
+	p.nodes[0].migrating = false
+	p.mu.Unlock()
+	if _, err := tr.Snapshot(); err != nil {
+		t.Fatalf("quiesced snapshot refused: %v", err)
+	}
+}
+
+// mustSnap builds a small valid snapshot to corrupt.
+func mustSnap(t *testing.T) *TreeSnapshot {
+	t.Helper()
+	r := rand.New(rand.NewSource(101))
+	tr := mustTree(t, Config{
+		Dim: 3, BucketSize: 4,
+		PartitionCapacity: 40, MaxPartitions: 4,
+	})
+	if err := tr.BulkLoad(context.Background(), clusteredPoints(r, 400, 3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := tr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("fresh snapshot invalid: %v", err)
+	}
+	return snap
+}
+
+// findNode locates the first node matching pred, for targeted
+// corruption.
+func findNode(t *testing.T, s *TreeSnapshot, pred func(n *SnapNode) bool) (int, int) {
+	t.Helper()
+	for pi := range s.Parts {
+		for ni := range s.Parts[pi].Nodes {
+			if pred(&s.Parts[pi].Nodes[ni]) {
+				return pi, ni
+			}
+		}
+	}
+	t.Fatal("no node matches predicate")
+	return 0, 0
+}
+
+// TestSnapshotValidateRejects corrupts a valid snapshot one invariant
+// at a time; every mutation must be rejected with ErrSnapshotCorrupt.
+func TestSnapshotValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(t *testing.T, s *TreeSnapshot)
+	}{
+		{"wrong-format", func(t *testing.T, s *TreeSnapshot) { s.Format = 99 }},
+		{"zero-dim", func(t *testing.T, s *TreeSnapshot) { s.Dim = 0 }},
+		{"huge-dim", func(t *testing.T, s *TreeSnapshot) { s.Dim = 1 << 20 }},
+		{"no-parts", func(t *testing.T, s *TreeSnapshot) { s.Parts = nil }},
+		{"empty-root", func(t *testing.T, s *TreeSnapshot) { s.Parts[0].Nodes = nil }},
+		{"size-mismatch", func(t *testing.T, s *TreeSnapshot) { s.Size++ }},
+		{"points-mismatch", func(t *testing.T, s *TreeSnapshot) { s.Parts[0].Points++; s.Size++ }},
+		{"dangling-child", func(t *testing.T, s *TreeSnapshot) {
+			pi, ni := findNode(t, s, func(n *SnapNode) bool { return !n.Leaf && !n.Moved })
+			s.Parts[pi].Nodes[ni].Left = SnapRef{Part: 9999, Node: 0}
+		}},
+		{"leaf-and-tombstone", func(t *testing.T, s *TreeSnapshot) {
+			pi, ni := findNode(t, s, func(n *SnapNode) bool { return n.Leaf })
+			s.Parts[pi].Nodes[ni].Moved = true
+		}},
+		{"routing-with-bucket", func(t *testing.T, s *TreeSnapshot) {
+			pi, ni := findNode(t, s, func(n *SnapNode) bool { return !n.Leaf && !n.Moved })
+			s.Parts[pi].Nodes[ni].Bucket = []kdtree.Point{{Coords: []float64{1, 2, 3}}}
+		}},
+		{"split-dim-out-of-range", func(t *testing.T, s *TreeSnapshot) {
+			pi, ni := findNode(t, s, func(n *SnapNode) bool { return !n.Leaf && !n.Moved })
+			s.Parts[pi].Nodes[ni].SplitDim = 7
+		}},
+		{"inexact-leaf-box", func(t *testing.T, s *TreeSnapshot) {
+			pi, ni := findNode(t, s, func(n *SnapNode) bool { return n.Leaf && len(n.Bucket) > 0 })
+			s.Parts[pi].Nodes[ni].Lo[0] -= 1
+		}},
+		{"inexact-routing-box", func(t *testing.T, s *TreeSnapshot) {
+			pi, ni := findNode(t, s, func(n *SnapNode) bool { return !n.Leaf && !n.Moved && n.Lo != nil })
+			s.Parts[pi].Nodes[ni].Hi[0] += 1
+		}},
+		{"wrong-point-dims", func(t *testing.T, s *TreeSnapshot) {
+			pi, ni := findNode(t, s, func(n *SnapNode) bool { return n.Leaf && len(n.Bucket) > 0 })
+			s.Parts[pi].Nodes[ni].Bucket[0] = kdtree.Point{Coords: []float64{1}}
+		}},
+		{"orphan-node", func(t *testing.T, s *TreeSnapshot) {
+			// A reachable-looking leaf nobody points at: the bucket is
+			// counted so Points/Size stay consistent, making
+			// reachability the only detector.
+			s.Parts[0].Nodes = append(s.Parts[0].Nodes, SnapNode{
+				Leaf:   true,
+				Bucket: []kdtree.Point{{Coords: []float64{5, 5, 5}, ID: 999999}},
+				Lo:     []float64{5, 5, 5}, Hi: []float64{5, 5, 5},
+			})
+			s.Parts[0].Points++
+			s.Size++
+		}},
+		{"cycle", func(t *testing.T, s *TreeSnapshot) {
+			pi, ni := findNode(t, s, func(n *SnapNode) bool { return !n.Leaf && !n.Moved })
+			s.Parts[pi].Nodes[ni].Right = SnapRef{} // back to the root
+		}},
+		{"stale-remote-box", func(t *testing.T, s *TreeSnapshot) {
+			var found bool
+			for pi := range s.Parts {
+				if len(s.Parts[pi].Remote) > 0 {
+					s.Parts[pi].Remote[0].Hi[0] += 1
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Skip("no remote-box entries in this layout")
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snap := mustSnap(t)
+			tc.mut(t, snap)
+			err := snap.Validate()
+			if err == nil {
+				t.Fatal("corrupted snapshot validated")
+			}
+			if !errors.Is(err, ErrSnapshotCorrupt) {
+				t.Fatalf("error %v does not wrap ErrSnapshotCorrupt", err)
+			}
+			if _, rerr := RestoreTree(Config{Dim: 3}, snap); rerr == nil {
+				t.Fatal("RestoreTree accepted a corrupt snapshot")
+			}
+		})
+	}
+}
+
+// TestSnapshotValidateDeepChain: validation must walk a maximally deep
+// (chain-shaped) snapshot iteratively — a recursive walk would
+// overflow the stack long before 200k levels.
+func TestSnapshotValidateDeepChain(t *testing.T) {
+	const depth = 200_000
+	nodes := make([]SnapNode, 0, 2*depth+1)
+	// Node 2i is the routing spine; 2i+1 the left leaf; the last spine
+	// slot is a leaf. Every leaf holds one point at x = its level, so
+	// all boxes are computable in one pass from the bottom up.
+	pt := func(v float64, id uint64) kdtree.Point {
+		return kdtree.Point{Coords: []float64{v}, ID: id}
+	}
+	for i := 0; i < depth; i++ {
+		nodes = append(nodes,
+			SnapNode{ // spine routing node; box filled below
+				SplitDim: 0, SplitVal: float64(i),
+				Left:  SnapRef{Node: int32(2*i + 1)},
+				Right: SnapRef{Node: int32(2*i + 2)},
+			},
+			SnapNode{ // left leaf
+				Leaf:   true,
+				Bucket: []kdtree.Point{pt(float64(i), uint64(i))},
+				Lo:     []float64{float64(i)}, Hi: []float64{float64(i)},
+			})
+	}
+	nodes = append(nodes, SnapNode{ // chain terminator
+		Leaf:   true,
+		Bucket: []kdtree.Point{pt(depth, depth)},
+		Lo:     []float64{depth}, Hi: []float64{depth},
+	})
+	for i := 0; i < depth; i++ {
+		nodes[2*i].Lo = []float64{float64(i)}
+		nodes[2*i].Hi = []float64{depth}
+	}
+	snap := &TreeSnapshot{
+		Format: SnapshotFormat, Dim: 1, Size: depth + 1,
+		Parts: []PartitionSnapshot{{Nodes: nodes, Points: depth + 1}},
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("deep chain rejected: %v", err)
+	}
+	// And the corrupt variant — a cycle closing at the very bottom —
+	// must come back as a typed error, not a stack overflow.
+	snap.Parts[0].Nodes[2*(depth-1)].Right = SnapRef{}
+	err := snap.Validate()
+	if err == nil || !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("deep cycle: err = %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestDecodeSnapshotCorrupt: garbage and truncated encodings come back
+// as ErrSnapshotCorrupt, never a panic.
+func TestDecodeSnapshotCorrupt(t *testing.T) {
+	if _, err := DecodeSnapshot(strings.NewReader("not a snapshot")); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("garbage: %v", err)
+	}
+	snap := mustSnap(t)
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, buf.Len() / 2, buf.Len() - 1} {
+		if _, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()[:cut])); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("truncated at %d: %v", cut, err)
+		}
+	}
+}
+
+// FuzzPartitionRestore: arbitrary bytes through decode → validate →
+// restore must never panic, OOM, or install a tree that breaks on
+// queries; every rejection is ErrSnapshotCorrupt.
+func FuzzPartitionRestore(f *testing.F) {
+	// Seeds: a real snapshot, truncations of it, version skew, garbage.
+	r := rand.New(rand.NewSource(103))
+	tr, err := New(Config{Dim: 3, BucketSize: 4, PartitionCapacity: 40, MaxPartitions: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := tr.BulkLoad(context.Background(), clusteredPoints(r, 200, 3, 2)); err != nil {
+		f.Fatal(err)
+	}
+	snap, err := tr.Snapshot()
+	tr.Close()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := EncodeSnapshot(&valid, snap); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()/2])
+	f.Add([]byte("go away"))
+	skew := *snap
+	skew.Format = 41
+	var skewed bytes.Buffer
+	if err := EncodeSnapshot(&skewed, &skew); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(skewed.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			// Bound the decoder's work; a mutated length prefix can
+			// legally demand enormous (slow, GC-heavy) allocations
+			// that starve the fuzz engine without finding anything.
+			return
+		}
+		s, err := DecodeSnapshot(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrSnapshotCorrupt) {
+				t.Fatalf("decode error %v does not wrap ErrSnapshotCorrupt", err)
+			}
+			return
+		}
+		if err := s.Validate(); err != nil {
+			if !errors.Is(err, ErrSnapshotCorrupt) {
+				t.Fatalf("validate error %v does not wrap ErrSnapshotCorrupt", err)
+			}
+			return
+		}
+		// A snapshot that validates must restore and answer queries.
+		// Bound the work: a huge (but internally consistent) synthetic
+		// snapshot is a resource test, not a correctness one.
+		if len(s.Parts) > 16 || s.Size > 1<<16 {
+			return
+		}
+		restored, err := RestoreTree(Config{BucketSize: 4}, s)
+		if err != nil {
+			t.Fatalf("validated snapshot failed to restore: %v", err)
+		}
+		defer restored.Close()
+		q := make([]float64, s.Dim)
+		if _, err := restored.KNearest(context.Background(), q, 3); err != nil {
+			t.Fatalf("restored tree failed a query: %v", err)
+		}
+	})
+}

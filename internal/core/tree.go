@@ -111,6 +111,11 @@ type Tree struct {
 	// partition-graph acyclicity check assumes no concurrent planner.
 	repackMu sync.Mutex
 
+	// bulkMu serializes BulkLoad passes: two concurrent bulk builds
+	// would race for the root graft and orphan each other's installs.
+	// Single inserts and queries never take it.
+	bulkMu sync.Mutex
+
 	size atomic.Int64
 }
 
@@ -124,7 +129,12 @@ type TreeStats struct {
 	Leaves          int
 	NavSteps        int64 // total nodes traversed by insert descents
 	Inserts         int64
-	Fabric          cluster.Stats
+	// BoxWork counts box-maintenance writes: node boxes grown on insert
+	// descent paths plus remote-edge cache expansions. The churn bench
+	// figure reports it per insert as the region-metadata overhead of a
+	// growing tree.
+	BoxWork int64
+	Fabric  cluster.Stats
 }
 
 // New creates a distributed SemTree with its root partition.
@@ -699,6 +709,7 @@ func (t *Tree) Stats() (TreeStats, error) {
 		st.Nodes += pr.Nodes
 		st.Leaves += pr.Leaves
 		st.NavSteps += pr.NavSteps
+		st.BoxWork += pr.BoxWork
 		st.Inserts += p.inserts.Load()
 	}
 	st.Fabric = t.fabric.Stats()

@@ -1,6 +1,7 @@
 package semtree
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -13,38 +14,66 @@ import (
 	"semtree/internal/vocab"
 )
 
-// snapshotVersion guards the on-disk format.
-const snapshotVersion = 1
+// snapshotVersion is the on-disk format written by Save. Version 2
+// adds the distributed tree's partition snapshot; Load still accepts
+// version 1 streams (written before the tree was persisted) and
+// rebuilds their tree through the bulk loader.
+const snapshotVersion = 2
+
+// ErrSnapshotCorrupt reports snapshot bytes that cannot be loaded:
+// truncated or garbled encodings, unknown versions, and structural
+// violations inside the persisted tree (core.ErrSnapshotCorrupt,
+// re-exported). Test with errors.Is; corrupt input always returns this
+// error — it never panics.
+var ErrSnapshotCorrupt = core.ErrSnapshotCorrupt
 
 // indexSnapshot is the gob payload of a persisted index: the triples
 // with provenance, the embedding geometry (FastMap pivots plus the
 // exact coordinates of every stored triple, so reloaded answers are
-// bit-identical), and the metric parameters the embedding was built
-// under. The tree itself is *not* persisted — KD-trees bulk-load
-// cheaply (§III-B), and reloading may target a different partition
-// layout.
+// bit-identical), the metric parameters the embedding was built under,
+// and — since version 2 — the distributed tree's partition snapshot
+// (core.TreeSnapshot), so a restart restores the exact tree layout
+// without re-embedding or re-ingesting. Tree is nil in version 1
+// streams (gob leaves absent fields zero); Load then rebuilds the tree
+// from Coords through the bulk loader.
 type indexSnapshot struct {
 	Version int
 	Options persistedOptions
 	Entries []triple.Entry
 	Mapper  fastmap.Snapshot[triple.Triple]
 	Coords  [][]float64
+	Tree    *core.TreeSnapshot
 }
 
-// Save writes a snapshot of the index to w. The index must not be
-// mutated concurrently.
+// Save writes a snapshot of the index to w. The distributed tree must
+// be quiescent (no concurrent Insert, BulkAdd, Rebalance or Repack);
+// concurrent queries are fine. The store-and-embedding capture itself
+// is atomic against Insert and BulkAdd — both sides serialize on the
+// index lock — so even a Save that races an ingest reports a clean
+// count mismatch from the tree capture instead of tearing.
 func Save(w io.Writer, ix *Index) error {
+	// One critical section for the store walk and the coords copy: an
+	// Insert between the two would leave a triple without its embedding
+	// row (or the reverse) in the snapshot.
 	ix.mu.Lock()
 	coords := append([][]float64(nil), ix.coords...)
-	ix.mu.Unlock()
 	entries := make([]triple.Entry, 0, ix.store.Len())
 	ix.store.Each(func(id triple.ID, e triple.Entry) bool {
 		entries = append(entries, e)
 		return true
 	})
+	ix.mu.Unlock()
 	if len(entries) != len(coords) {
 		return fmt.Errorf("semtree: store holds %d triples but %d embeddings are tracked "+
 			"(triples added to the store outside the index?)", len(entries), len(coords))
+	}
+	treeSnap, err := ix.tree.Snapshot()
+	if err != nil {
+		return fmt.Errorf("semtree: save: %w", err)
+	}
+	if treeSnap.Size != int64(len(entries)) {
+		return fmt.Errorf("semtree: tree snapshot holds %d points but %d triples are stored "+
+			"(index mutated during Save?)", treeSnap.Size, len(entries))
 	}
 	snap := indexSnapshot{
 		Version: snapshotVersion,
@@ -52,6 +81,7 @@ func Save(w io.Writer, ix *Index) error {
 		Entries: entries,
 		Mapper:  ix.mapper.Snapshot(),
 		Coords:  coords,
+		Tree:    treeSnap,
 	}
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("semtree: save: %w", err)
@@ -73,17 +103,28 @@ func decodeSnapshot(r io.Reader, snap *indexSnapshot) error {
 // embedding parameters are taken from the snapshot; tree-layout options
 // (bucket size, partitions, fabric) come from opts — their embedding
 // fields (Weights, Measure, NumericLiterals, Dims, Seed) are ignored.
+//
+// A version-2 snapshot restores the distributed tree's exact partition
+// layout (boxes and remote caches included) after structural
+// validation, so the loaded index answers every query byte-identically
+// to the saved one; opts.MaxPartitions is raised to the persisted
+// partition count when lower. A version-1 snapshot (no tree payload)
+// rebuilds the tree from the persisted coordinates through the bulk
+// loader. Corrupt input — truncation, garbage, unknown versions, or a
+// tree payload violating the structural invariants — returns
+// ErrSnapshotCorrupt.
 func Load(r io.Reader, opts Options) (*Index, error) {
 	var snap indexSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("semtree: load: %w", err)
+		return nil, fmt.Errorf("semtree: load: %w: %v", ErrSnapshotCorrupt, err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("semtree: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	if snap.Version != 1 && snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("semtree: load: %w: snapshot version %d, want 1 or %d",
+			ErrSnapshotCorrupt, snap.Version, snapshotVersion)
 	}
 	if len(snap.Entries) != len(snap.Coords) {
-		return nil, fmt.Errorf("semtree: snapshot has %d entries but %d embeddings",
-			len(snap.Entries), len(snap.Coords))
+		return nil, fmt.Errorf("semtree: load: %w: snapshot has %d entries but %d embeddings",
+			ErrSnapshotCorrupt, len(snap.Entries), len(snap.Coords))
 	}
 	reg := opts.Registry
 	if reg == nil {
@@ -115,31 +156,70 @@ func Load(r io.Reader, opts Options) (*Index, error) {
 		store.Add(e.Triple, e.Prov)
 	}
 
-	tree, err := core.New(core.Config{
+	for i, c := range snap.Coords {
+		if len(c) != snap.Options.Dims {
+			return nil, fmt.Errorf("semtree: load: %w: snapshot coordinate %d has %d dims, want %d",
+				ErrSnapshotCorrupt, i, len(c), snap.Options.Dims)
+		}
+	}
+	cfg := core.Config{
 		Dim:               snap.Options.Dims,
 		BucketSize:        opts.BucketSize,
 		PartitionCapacity: opts.PartitionCapacity,
 		MaxPartitions:     opts.MaxPartitions,
 		Fabric:            opts.Fabric,
 		Unbalanced:        opts.Unbalanced,
-	})
-	if err != nil {
-		return nil, err
 	}
-	points := make([]kdtree.Point, len(snap.Coords))
-	for i, c := range snap.Coords {
-		if len(c) != snap.Options.Dims {
-			tree.Close()
-			return nil, fmt.Errorf("semtree: snapshot coordinate %d has %d dims, want %d",
-				i, len(c), snap.Options.Dims)
+	var tree *core.Tree
+	if snap.Tree != nil {
+		// Version 2: restore the persisted partition layout exactly.
+		// The cross-check against the entry count comes before the
+		// structural validation inside RestoreTree, so an inconsistent
+		// envelope fails fast either way.
+		if snap.Tree.Size != int64(len(snap.Entries)) {
+			return nil, fmt.Errorf("semtree: load: %w: tree snapshot holds %d points but %d entries persisted",
+				ErrSnapshotCorrupt, snap.Tree.Size, len(snap.Entries))
 		}
-		points[i] = kdtree.Point{Coords: c, ID: uint64(i)}
+		if snap.Tree.Dim != snap.Options.Dims {
+			return nil, fmt.Errorf("semtree: load: %w: tree snapshot dim %d, embedding dim %d",
+				ErrSnapshotCorrupt, snap.Tree.Dim, snap.Options.Dims)
+		}
+		// Every point the tree serves must resolve in the entry table —
+		// reloaded IDs are positional — or queries over the restored tree
+		// would surface phantom IDs.
+		for pi := range snap.Tree.Parts {
+			for ni := range snap.Tree.Parts[pi].Nodes {
+				for _, pt := range snap.Tree.Parts[pi].Nodes[ni].Bucket {
+					if pt.ID >= uint64(len(snap.Entries)) {
+						return nil, fmt.Errorf("semtree: load: %w: tree references triple ID %d but only %d entries persisted",
+							ErrSnapshotCorrupt, pt.ID, len(snap.Entries))
+					}
+				}
+			}
+		}
+		t, err := core.RestoreTree(cfg, snap.Tree)
+		if err != nil {
+			return nil, fmt.Errorf("semtree: load: %w", err)
+		}
+		tree = t
+	} else {
+		// Version 1: no tree payload; rebuild balanced from the
+		// persisted coordinates.
+		t, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		points := make([]kdtree.Point, len(snap.Coords))
+		for i, c := range snap.Coords {
+			points[i] = kdtree.Point{Coords: c, ID: uint64(i)}
+		}
+		//semtree:allow ctxfirst: Load is construction-time and runs to completion by contract; there is no caller context to thread
+		if err := t.BulkLoad(context.Background(), points); err != nil {
+			t.Close()
+			return nil, err
+		}
+		tree = t
 	}
-	if err := tree.InsertBatchAsync(points, opts.BatchSize); err != nil {
-		tree.Close()
-		return nil, err
-	}
-	tree.Flush()
 
 	return &Index{
 		store: store, metric: metric, mapper: mapper, tree: tree,

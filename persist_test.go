@@ -3,6 +3,8 @@ package semtree
 import (
 	"bytes"
 	"context"
+	"errors"
+	"sync"
 	"testing"
 
 	"semtree/internal/synth"
@@ -66,37 +68,49 @@ func TestSaveLoadRoundTripIdenticalAnswers(t *testing.T) {
 	}
 }
 
-func TestLoadWithDifferentPartitionLayout(t *testing.T) {
+// TestLoadRestoresPartitionLayout: a version-2 snapshot carries the
+// distributed tree itself, so Load restores the saved partition layout
+// exactly — even when the load-time options ask for fewer partitions —
+// and answers identically. (To re-shape a reloaded fleet, Rebalance
+// after Load.)
+func TestLoadRestoresPartitionLayout(t *testing.T) {
 	g := synth.New(synth.Config{Seed: 63}, nil)
 	store := triple.NewStore()
 	for _, tp := range g.Triples(800) {
 		store.Add(tp, triple.Provenance{})
 	}
-	orig, err := Build(store, Options{Seed: 6})
+	orig, err := Build(store, Options{Seed: 6, PartitionCapacity: 100, MaxPartitions: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer orig.Close()
+	if orig.PartitionCount() < 2 {
+		t.Fatalf("build did not distribute: %d partitions", orig.PartitionCount())
+	}
 	var buf bytes.Buffer
 	if err := Save(&buf, orig); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := Load(&buf, Options{PartitionCapacity: 100, MaxPartitions: 6})
+	loaded, err := Load(&buf, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer loaded.Close()
-	if loaded.PartitionCount() < 2 {
-		t.Fatalf("partition layout not applied at load: %d partitions", loaded.PartitionCount())
+	if loaded.PartitionCount() != orig.PartitionCount() {
+		t.Fatalf("restored %d partitions, saved tree had %d",
+			loaded.PartitionCount(), orig.PartitionCount())
 	}
 	qGen := synth.New(synth.Config{Seed: 64}, nil)
 	for q := 0; q < 15; q++ {
 		query := qGen.RandomTriple()
 		a, _ := orig.KNearest(context.Background(), query, 5)
 		b, _ := loaded.KNearest(context.Background(), query, 5)
+		if len(a) != len(b) {
+			t.Fatalf("result sizes differ: %d vs %d", len(a), len(b))
+		}
 		for i := range a {
-			if a[i].Dist != b[i].Dist {
-				t.Fatalf("repartitioned load changed answers")
+			if a[i].Dist != b[i].Dist || a[i].ID != b[i].ID {
+				t.Fatalf("restored load changed answers")
 			}
 		}
 	}
@@ -153,9 +167,153 @@ func TestSaveDetectsOutOfBandStoreWrites(t *testing.T) {
 	}
 }
 
+// TestLoadVersion1Compat: streams written before the tree snapshot
+// existed carry Version 1 and no Tree payload. Load must still accept
+// them, rebuilding the tree from the persisted coordinates through the
+// bulk loader; answers stay bit-identical because the coordinates are
+// exact.
+func TestLoadVersion1Compat(t *testing.T) {
+	g := synth.New(synth.Config{Seed: 67}, nil)
+	store := triple.NewStore()
+	for _, tp := range g.Triples(400) {
+		store.Add(tp, triple.Provenance{Doc: "v1"})
+	}
+	orig, err := Build(store, Options{Seed: 8, PartitionCapacity: 120, MaxPartitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	// Downgrade the stream to what a version-1 writer produced: no tree
+	// payload, version stamp 1.
+	var snap indexSnapshot
+	if err := decodeSnapshot(&buf, &snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Version = 1
+	snap.Tree = nil
+	var v1 bytes.Buffer
+	if err := encodeSnapshot(&v1, &snap); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := Load(&v1, Options{PartitionCapacity: 120, MaxPartitions: 4})
+	if err != nil {
+		t.Fatalf("Load of version-1 stream: %v", err)
+	}
+	defer loaded.Close()
+	if loaded.Len() != orig.Len() {
+		t.Fatalf("v1 load has %d triples, want %d", loaded.Len(), orig.Len())
+	}
+	qGen := synth.New(synth.Config{Seed: 68}, nil)
+	for q := 0; q < 20; q++ {
+		query := qGen.RandomTriple()
+		a, err := orig.KNearest(context.Background(), query, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.KNearest(context.Background(), query, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("result sizes differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Dist != b[i].Dist {
+				t.Fatalf("query %d rank %d: v1 rebuild changed distance %v vs %v",
+					q, i, a[i].Dist, b[i].Dist)
+			}
+		}
+	}
+	m, err := loaded.KNearest(context.Background(), store.MustGet(0), 1)
+	if err != nil || len(m) != 1 || m[0].Prov.Doc != "v1" {
+		t.Fatalf("provenance lost through v1 path: %v %v", m, err)
+	}
+}
+
+// TestSaveConcurrentWithInsert: Save reads the store and the embedding
+// table under the index lock, so a Save racing Insert must either
+// capture a consistent snapshot (which then loads cleanly) or fail with
+// the explicit count-mismatch error from the tree capture — never write
+// a torn stream. Run under -race this also proves the capture itself is
+// data-race free.
+func TestSaveConcurrentWithInsert(t *testing.T) {
+	g := synth.New(synth.Config{Seed: 69}, nil)
+	store := triple.NewStore()
+	for _, tp := range g.Triples(150) {
+		store.Add(tp, triple.Provenance{})
+	}
+	ix, err := Build(store, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	extra := g.Triples(120)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, tp := range extra {
+			if _, err := ix.Insert(tp, triple.Provenance{}); err != nil {
+				t.Errorf("Insert: %v", err)
+				return
+			}
+		}
+	}()
+
+	var good []bytes.Buffer
+	for i := 0; i < 12; i++ {
+		var buf bytes.Buffer
+		if err := Save(&buf, ix); err != nil {
+			// The only legal failure is the clean mutation report.
+			if !bytes.Contains([]byte(err.Error()), []byte("mutated during Save")) {
+				t.Fatalf("Save under churn failed with an unexpected error: %v", err)
+			}
+			continue
+		}
+		good = append(good, buf)
+	}
+	wg.Wait()
+
+	// Every snapshot that Save reported as written must load cleanly and
+	// be internally consistent; Load's own cross-checks (entries vs
+	// coords vs tree size) would reject a torn capture.
+	for i := range good {
+		loaded, err := Load(&good[i], Options{})
+		if err != nil {
+			t.Fatalf("snapshot %d written under churn does not load: %v", i, err)
+		}
+		if n := loaded.Len(); n < 150 || n > 150+len(extra) {
+			t.Fatalf("snapshot %d holds %d triples, want between 150 and %d", i, n, 150+len(extra))
+		}
+		loaded.Close()
+	}
+
+	// After quiescence Save must succeed and capture everything.
+	var buf bytes.Buffer
+	if err := Save(&buf, ix); err != nil {
+		t.Fatalf("Save after churn: %v", err)
+	}
+	loaded, err := Load(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if loaded.Len() != 150+len(extra) {
+		t.Fatalf("final snapshot holds %d triples, want %d", loaded.Len(), 150+len(extra))
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
-	if _, err := Load(bytes.NewReader([]byte("not a snapshot")), Options{}); err == nil {
-		t.Fatal("garbage accepted")
+	_, err := Load(bytes.NewReader([]byte("not a snapshot")), Options{})
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("garbage must return ErrSnapshotCorrupt, got %v", err)
 	}
 }
 
@@ -180,7 +338,77 @@ func TestLoadRejectsWrongVersion(t *testing.T) {
 	if err := encodeSnapshot(&buf2, &snap); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Load(&buf2, Options{}); err == nil {
-		t.Fatal("wrong version accepted")
+	_, err = Load(&buf2, Options{})
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("wrong version must return ErrSnapshotCorrupt, got %v", err)
 	}
+}
+
+// FuzzLoadSnapshot: Load must never panic on arbitrary snapshot bytes.
+// Bytes that gob cannot decode into the envelope, and decodable
+// envelopes with an unknown version stamp, must surface as
+// ErrSnapshotCorrupt; bytes Load accepts must yield a queryable index.
+func FuzzLoadSnapshot(f *testing.F) {
+	g := synth.New(synth.Config{Seed: 70}, nil)
+	store := triple.NewStore()
+	for _, tp := range g.Triples(120) {
+		store.Add(tp, triple.Provenance{Doc: "fz"})
+	}
+	ix, err := Build(store, Options{Seed: 11, PartitionCapacity: 60, MaxPartitions: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := Save(&valid, ix); err != nil {
+		f.Fatal(err)
+	}
+	ix.Close()
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2]) // truncation
+	f.Add([]byte("not a snapshot"))
+	f.Add([]byte{})
+	// Version skew.
+	var snap indexSnapshot
+	if err := decodeSnapshot(bytes.NewReader(valid.Bytes()), &snap); err != nil {
+		f.Fatal(err)
+	}
+	snap.Version = 41
+	var skew bytes.Buffer
+	if err := encodeSnapshot(&skew, &snap); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(skew.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return // size-capped: huge inputs only test the allocator
+		}
+		// Pre-decode to learn what a correct Load must conclude, and to
+		// bound the work a decodable envelope may demand.
+		var snap indexSnapshot
+		decErr := decodeSnapshot(bytes.NewReader(data), &snap)
+		if decErr == nil {
+			if len(snap.Entries) > 1<<12 || len(snap.Coords) > 1<<12 ||
+				len(snap.Mapper.PivotA) > 64 || len(snap.Mapper.PivotB) > 64 ||
+				(snap.Tree != nil && (len(snap.Tree.Parts) > 16 || snap.Tree.Size > 1<<16)) {
+				return
+			}
+		}
+		loaded, err := Load(bytes.NewReader(data), Options{})
+		if err != nil {
+			if decErr != nil && !errors.Is(err, ErrSnapshotCorrupt) {
+				t.Fatalf("undecodable bytes must report ErrSnapshotCorrupt, got %v", err)
+			}
+			if decErr == nil && snap.Version != 1 && snap.Version != snapshotVersion &&
+				!errors.Is(err, ErrSnapshotCorrupt) {
+				t.Fatalf("version %d must report ErrSnapshotCorrupt, got %v", snap.Version, err)
+			}
+			return
+		}
+		defer loaded.Close()
+		g := synth.New(synth.Config{Seed: 72}, nil)
+		if _, err := loaded.KNearest(context.Background(), g.RandomTriple(), 3); err != nil {
+			t.Fatalf("accepted snapshot does not answer queries: %v", err)
+		}
+	})
 }
