@@ -201,7 +201,7 @@ func BenchmarkSearcherBatch(b *testing.B) {
 	for i := range qs {
 		qs[i] = g.RandomTriple()
 	}
-	s := idx.Searcher(semtree.SearchOptions{K: 3})
+	s := idx.Searcher(semtree.WithK(3))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := s.SearchBatch(context.Background(), qs)

@@ -12,6 +12,7 @@
 //	semtree-bench -fig deadline -deadline 1ms -latency 200µs
 //	semtree-bench -fig scheduler -hops 0,1ms,10ms,50ms
 //	semtree-bench -fig quota -tenants 2
+//	semtree-bench -fig serve -frontends 2
 //	semtree-bench -fig pruning -dims 2,4,8,16,32
 //	semtree-bench -fig placement -partitions 1,5 -dims 2,4,8,16
 //	semtree-bench -fig churn -sizes 10000,50000 -mixes 10,50,90
@@ -45,6 +46,7 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "per-query deadline for the deadline experiment: reports p50/p99 latency and the fraction of queries cut off (default 8x latency)")
 		hops       = flag.String("hops", "", "comma-separated per-hop latencies for the scheduler experiment, e.g. 0,1ms,50ms (default 0,1ms,5ms,20ms,50ms)")
 		tenants    = flag.Int("tenants", 0, "tenant count for the quota experiment: 1 quota-throttled aggressor plus N-1 unthrottled victims (default 2)")
+		frontends  = flag.Int("frontends", 0, "front-end count for the serve experiment's fleet (default 2)")
 		dims       = flag.String("dims", "", "comma-separated dimensionalities for the pruning and placement experiments, e.g. 2,4,8,16 (default 2,4,8,16)")
 		mixes      = flag.String("mixes", "", "comma-separated insert percentages for the churn experiment, e.g. 10,50,90 (default 10,50,90)")
 		seed       = flag.Int64("seed", 1, "workload seed")
@@ -53,15 +55,16 @@ func main() {
 	flag.Parse()
 
 	params := bench.Params{
-		Queries:  *queries,
-		K:        *k,
-		RangeD:   *rangeD,
-		Latency:  *latency,
-		Parallel: *parallel,
-		Batch:    *batch,
-		Deadline: *deadline,
-		Tenants:  *tenants,
-		Seed:     *seed,
+		Queries:   *queries,
+		K:         *k,
+		RangeD:    *rangeD,
+		Latency:   *latency,
+		Parallel:  *parallel,
+		Batch:     *batch,
+		Deadline:  *deadline,
+		Tenants:   *tenants,
+		Frontends: *frontends,
+		Seed:      *seed,
 	}
 	var err error
 	if params.Sizes, err = parseInts(*sizes); err != nil {

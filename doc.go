@@ -49,7 +49,7 @@
 // admission counters, the live estimates and the protocol-choice
 // histogram:
 //
-//	s := idx.Searcher(semtree.SearchOptions{K: 3},
+//	s := idx.Searcher(semtree.WithK(3),
 //		semtree.WithMaxInFlight(64), semtree.WithAdmissionControl(true))
 //	results, _ := s.SearchBatch(ctx, queryTriples)
 //	for _, r := range results {
@@ -70,12 +70,22 @@
 // message is spent — an over-budget tenant is throttled to its refill
 // rate while other tenants' latency is untouched:
 //
-//	tenant := idx.Searcher(semtree.SearchOptions{K: 3},
+//	tenant := idx.Searcher(semtree.WithK(3),
 //		semtree.WithQuota(4*typicalCost, typicalCost*targetQPS))
 //	if _, err := tenant.Search(ctx, q); errors.Is(err, semtree.ErrQuotaExhausted) {
 //		// back off ~cost/refill and retry; the bucket refills lazily
 //	}
 //	_ = tenant.SchedulerStats().MeteredCost // the tenant's cumulative bill
+//
+// The same machinery serves network callers: internal/serve (run via
+// cmd/semtree-serve) hosts one Searcher per authenticated tenant
+// behind a length-prefixed binary protocol, propagating client
+// deadlines into contexts and carrying every sentinel across the wire
+// as a stable numeric code (ErrorCode, RegisterErrorCode) so
+// errors.Is works identically on both sides of the connection. A
+// fleet of such front-ends can lease per-tenant refill shares from a
+// central allocator, making one tenant's quota fleet-wide rather than
+// per-process.
 //
 // Quick start:
 //
@@ -85,7 +95,7 @@
 //
 // Serving a query stream with deadlines and per-query stats:
 //
-//	s := idx.Searcher(semtree.SearchOptions{K: 3, Parallelism: 8})
+//	s := idx.Searcher(semtree.WithK(3), semtree.WithParallelism(8))
 //	ctx, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
 //	defer cancel()
 //	results, err := s.SearchBatch(ctx, queryTriples) // results[i] answers queryTriples[i]
@@ -96,8 +106,8 @@
 //
 // Range retrieval and exact re-ranking hang off the same options:
 //
-//	near := idx.Searcher(semtree.SearchOptions{Radius: 0.35})
-//	exact := idx.Searcher(semtree.SearchOptions{K: 5, ExactFactor: 4})
+//	near := idx.Searcher(semtree.WithRadius(0.35))
+//	exact := idx.Searcher(semtree.WithK(5), semtree.WithExactFactor(4))
 //
 // The one-shot helpers KNearest, Range, KNearestExact and KNearestIDs
 // are thin wrappers over a Searcher.

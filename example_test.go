@@ -123,7 +123,7 @@ func ExampleSearcher_SearchBatch() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
-	s := idx.Searcher(semtree.SearchOptions{K: 1})
+	s := idx.Searcher(semtree.WithK(1))
 	results, err := s.SearchBatch(ctx, []triple.Triple{q1, q2})
 	if err != nil {
 		log.Fatal(err) // batch-level: the context expired
@@ -166,7 +166,7 @@ func ExampleSearcher_quota() {
 	// One Searcher per tenant isolates the quota: a 200-unit burst,
 	// refilled at 1000 cost units per second (see semtree.CostOf for
 	// the cost-unit scale).
-	tenant := idx.Searcher(semtree.SearchOptions{K: 1}, semtree.WithQuota(200, 1000))
+	tenant := idx.Searcher(semtree.WithK(1), semtree.WithQuota(200, 1000))
 	q, _ := triple.ParseTriple("('OBSW001', Fun:block_cmd, CmdType:start-up)")
 
 	admitted, throttled := 0, 0
@@ -216,7 +216,7 @@ func ExampleSearcher_SchedulerStats() {
 	}
 	defer idx.Close()
 
-	s := idx.Searcher(semtree.SearchOptions{K: 1})
+	s := idx.Searcher(semtree.WithK(1))
 	q1, _ := triple.ParseTriple("('OBSW001', Fun:block_cmd, CmdType:start-up)")
 	q2, _ := triple.ParseTriple("('OBSW001', Fun:send_msg, MsgType:power_amplifier)")
 	for _, q := range []triple.Triple{q1, q2} {

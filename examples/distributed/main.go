@@ -52,7 +52,7 @@ func main() {
 	query, _ := triple.ParseTriple("('OBSW001', Fun:block_cmd, CmdType:start-up)")
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	res, err := idx.Searcher(semtree.SearchOptions{K: 5}).Search(ctx, query)
+	res, err := idx.Searcher(semtree.WithK(5)).Search(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -47,7 +47,7 @@ func main() {
 	// Size the quota from measured traffic: run a short calibration
 	// batch and price it with CostOf (distance evaluations + fabric
 	// messages + wall time on one cost-unit scale).
-	calib := idx.Searcher(semtree.SearchOptions{K: 3})
+	calib := idx.Searcher(semtree.WithK(3))
 	var total float64
 	for _, q := range queries[:16] {
 		res, err := calib.Search(ctx, q)
@@ -61,9 +61,9 @@ func main() {
 
 	// Tenant A: a 4-query burst budget, refilled at 10 queries/sec.
 	// Tenant B: unthrottled.
-	tenantA := idx.Searcher(semtree.SearchOptions{K: 3},
+	tenantA := idx.Searcher(semtree.WithK(3),
 		semtree.WithQuota(4*perQuery, 10*perQuery))
-	tenantB := idx.Searcher(semtree.SearchOptions{K: 3})
+	tenantB := idx.Searcher(semtree.WithK(3))
 
 	// Tenant A hammers far past its budget while tenant B runs its
 	// normal workload.

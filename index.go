@@ -259,7 +259,7 @@ func (ix *Index) BulkAdd(ctx context.Context, items []BulkItem) ([]triple.ID, er
 // embedded distance. Thin wrapper over Searcher; k <= 0 returns nil.
 // The context bounds the query (cancellation and deadline).
 func (ix *Index) KNearest(ctx context.Context, q triple.Triple, k int) ([]Match, error) {
-	return matchesOf(ix.Searcher(SearchOptions{K: k}).Search(ctx, q))
+	return matchesOf(ix.Searcher(WithK(k)).Search(ctx, q))
 }
 
 // Range returns every stored triple within embedded distance d of q,
@@ -268,7 +268,7 @@ func (ix *Index) KNearest(ctx context.Context, q triple.Triple, k int) ([]Match,
 // Searcher.
 func (ix *Index) Range(ctx context.Context, q triple.Triple, d float64) ([]Match, error) {
 	// ModeRange keeps d == 0 meaning "exact embedded matches only".
-	return matchesOf(ix.Searcher(SearchOptions{Mode: ModeRange, Radius: d}).Search(ctx, q))
+	return matchesOf(ix.Searcher(WithMode(ModeRange), WithRadius(d)).Search(ctx, q))
 }
 
 // KNearestExact returns the k stored triples closest to q under the
@@ -280,7 +280,7 @@ func (ix *Index) Range(ctx context.Context, q triple.Triple, d float64) ([]Match
 // gain over plain KNearest. k <= 0 returns nil, like KNearest. Thin
 // wrapper over Searcher.
 func (ix *Index) KNearestExact(ctx context.Context, q triple.Triple, k, factor int) ([]Match, error) {
-	return matchesOf(ix.Searcher(SearchOptions{K: k, ExactFactor: factor}).Search(ctx, q))
+	return matchesOf(ix.Searcher(WithK(k), WithExactFactor(factor)).Search(ctx, q))
 }
 
 // KNearestIDs implements the reqcheck.Index interface: ranked result

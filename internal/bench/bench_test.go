@@ -50,7 +50,7 @@ func TestRunnersRegistryComplete(t *testing.T) {
 	ids := RunnerIDs()
 	want := []string{"ablation-bucket", "ablation-dims", "ablation-measure",
 		"ablation-weights", "churn", "complexity", "deadline", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"placement", "pruning", "quota", "scheduler", "throughput"}
+		"placement", "pruning", "quota", "scheduler", "serve", "throughput"}
 	if len(ids) != len(want) {
 		t.Fatalf("runner ids = %v", ids)
 	}

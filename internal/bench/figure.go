@@ -149,6 +149,7 @@ type Params struct {
 	Deadline   time.Duration   // per-query deadline for the deadline experiment (default 8× latency)
 	Hops       []time.Duration // per-hop latency sweep for the scheduler experiment (default 0..50ms)
 	Tenants    int             // tenant count for the quota experiment: 1 throttled aggressor + N−1 victims (default 2)
+	Frontends  int             // front-end count for the serve experiment's fleet (default 2)
 	DimsSweep  []int           // dimensionality sweep for the pruning experiment (default 2, 4, 8, 16)
 	Mixes      []int           // insert percentages for the churn experiment (default 10, 50, 90)
 	Seed       int64
@@ -193,6 +194,9 @@ func (p Params) withDefaults() Params {
 	if p.Tenants < 2 {
 		p.Tenants = 2 // the quota experiment needs an aggressor and a victim
 	}
+	if p.Frontends < 2 {
+		p.Frontends = 2 // fleet convergence needs at least two front-ends
+	}
 	if len(p.Mixes) == 0 {
 		// Query-heavy through insert-heavy, for the churn experiment.
 		p.Mixes = []int{10, 50, 90}
@@ -223,6 +227,7 @@ func Runners() map[string]Runner {
 		"deadline":         Deadline,
 		"scheduler":        Scheduler,
 		"quota":            Quota,
+		"serve":            ServeFleet,
 		"pruning":          Pruning,
 		"placement":        Placement,
 		"churn":            Churn,

@@ -164,3 +164,21 @@ func (b *quotaBucket) snapshot() (level, capacity float64) {
 	b.refillLocked()
 	return b.level, b.capacity
 }
+
+// setRate retargets the bucket at runtime: the level accrues at the
+// old rate up to now, then capacity and refill switch to the new
+// values (level clamped into the new capacity). This is the
+// distributed-quota lease seam — a fleet allocator leases each
+// front-end a share of a tenant's global refill rate, and the lease is
+// applied here without dropping tokens already earned or granting
+// retroactive ones.
+func (b *quotaBucket) setRate(capacity, refillPerSec float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	b.capacity = capacity
+	b.refill = refillPerSec
+	if b.level > b.capacity {
+		b.level = b.capacity
+	}
+}

@@ -283,3 +283,76 @@ func TestQueueAwareDeadlineBudget(t *testing.T) {
 		t.Fatalf("stats = %+v, want 1 budget rejection", st)
 	}
 }
+
+// TestQuotaSetRate: the distributed-quota lease seam. Retargeting the
+// bucket accrues at the old rate up to the switch instant, applies the
+// new rate strictly afterwards, and clamps the level into the new
+// capacity — a lease renewal can neither drop earned tokens nor grant
+// retroactive ones.
+func TestQuotaSetRate(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	now := func() time.Time { return clock }
+
+	b := newQuotaBucket(QuotaConfig{Capacity: 100, RefillPerSec: 10}, now)
+	if charged, ok := b.take(100); !ok || charged != 100 {
+		t.Fatalf("drain take = (%v, %v)", charged, ok)
+	}
+	clock = clock.Add(2 * time.Second) // +20 at the old rate
+	b.setRate(50, 40)                  // halve the burst, quadruple the refill
+	if level, capacity := b.snapshot(); level != 20 || capacity != 50 {
+		t.Fatalf("after setRate: level %v cap %v, want 20 earned at the old rate, cap 50", level, capacity)
+	}
+	clock = clock.Add(time.Second) // +40 at the new rate, clamped to the new cap
+	if level, _ := b.snapshot(); level != 50 {
+		t.Fatalf("new-rate accrual: level %v, want clamp at new capacity 50", level)
+	}
+
+	// Shrinking capacity below the current level clamps immediately.
+	b.setRate(10, 40)
+	if level, capacity := b.snapshot(); level != 10 || capacity != 10 {
+		t.Fatalf("shrink: level %v cap %v, want both 10", level, capacity)
+	}
+}
+
+// TestSchedulerSetQuotaRate: the scheduler-level seam refuses to
+// conjure a bucket for an unquota'd scheduler and retargets a real one
+// so admission reflects the lease within the same instant.
+func TestSchedulerSetQuotaRate(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	tr, _, _ := latencyTree(t, r, 500, 3)
+
+	open := tr.NewScheduler(SchedulerConfig{})
+	if open.SetQuotaRate(100, 10) {
+		t.Fatal("SetQuotaRate on a quota-less scheduler must report false")
+	}
+
+	s := tr.NewScheduler(SchedulerConfig{Quota: &QuotaConfig{Capacity: 1000, RefillPerSec: 0}})
+	clock := time.Unix(2000, 0)
+	s.quota.now = func() time.Time { return clock }
+	s.quota.last = clock
+	if !s.SetQuotaRate(0, 0) {
+		t.Fatal("SetQuotaRate on a quota'd scheduler must report true")
+	}
+	// Leased down to zero: the next admission is rejected with the
+	// typed quota error (the drain-a-tenant lease).
+	q := randomPoints(r, 1, 3)[0].Coords
+	_, _, err := s.KNearest(context.Background(), q, 1)
+	if !errors.Is(err, ErrQuotaExhausted) {
+		t.Fatalf("after a zero lease: err = %v, want ErrQuotaExhausted", err)
+	}
+	st := s.Stats()
+	if !st.QuotaEnabled || st.QuotaCapacity != 0 {
+		t.Fatalf("stats after zero lease: %+v", st)
+	}
+
+	// Leased back up: a renewal grants headroom, not instant tokens —
+	// the bucket earns them at the new rate, so after a refill interval
+	// admission resumes.
+	if !s.SetQuotaRate(1e6, 1e6) {
+		t.Fatal("re-lease failed")
+	}
+	clock = clock.Add(time.Second)
+	if _, _, err := s.KNearest(context.Background(), q, 1); err != nil {
+		t.Fatalf("after re-lease: %v", err)
+	}
+}

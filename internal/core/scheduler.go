@@ -413,3 +413,20 @@ func (s *Scheduler) rangeOne(ctx context.Context, q []float64, d float64) QueryR
 	s.complete(charged, r.Stats)
 	return r
 }
+
+// SetQuotaRate retargets the scheduler's token bucket at runtime:
+// tokens already earned accrue at the old rate first, then the bucket
+// refills at the new rate with the new burst capacity (the level is
+// clamped into it). It reports false — and changes nothing — when the
+// scheduler was built without a quota; a lease cannot conjure a bucket
+// that admission never consults. This is the seam the serving tier's
+// distributed-quota allocator drives: a tenant's global refill is
+// split into per-front-end lease shares, each applied to that
+// front-end's scheduler here.
+func (s *Scheduler) SetQuotaRate(capacity, refillPerSec float64) bool {
+	if s.quota == nil {
+		return false
+	}
+	s.quota.setRate(capacity, refillPerSec)
+	return true
+}

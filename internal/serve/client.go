@@ -1,0 +1,311 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"semtree"
+	"semtree/internal/triple"
+)
+
+// Client talks to one semtree-serve front-end. It pools connections
+// (one in-flight request per pooled connection, like database/sql), is
+// safe for concurrent use, and retries typed-retryable failures —
+// ErrDraining and transport errors on requests that provably did not
+// execute — on a fresh connection. Search results decode to the same
+// types the in-process API returns: semtree.Result with matches,
+// ExecStats (including the server's protocol choice) and sentinel
+// errors that satisfy errors.Is exactly as they would in process.
+type Client struct {
+	addr  string
+	token string
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	closed bool
+
+	reqID atomic.Uint64
+}
+
+// maxIdleConns bounds the pool; excess connections close on release.
+const maxIdleConns = 4
+
+// clientRetries is the attempt budget for retryable failures.
+const clientRetries = 3
+
+type clientConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// Dial connects to a front-end and performs the hello exchange, so
+// authentication and version failures surface here as the typed
+// sentinels (ErrAuth, ErrVersion, ErrDraining) rather than on the
+// first query. The context bounds the dial and the hello.
+func Dial(ctx context.Context, addr, token string) (*Client, error) {
+	c := &Client{addr: addr, token: token}
+	cc, err := c.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.put(cc)
+	return c, nil
+}
+
+func (c *Client) dial(ctx context.Context) (*clientConn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	cc := &clientConn{conn: conn, br: bufio.NewReader(conn)}
+	if err := armDeadline(ctx, conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	defer disarmDeadline(conn)
+	if err := writeFrame(conn, encodeHello(helloFrame{Version: protoVersion, Token: c.token})); err != nil {
+		conn.Close()
+		return nil, c.ctxOr(ctx, err)
+	}
+	frame, err := c.readOne(ctx, cc)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ack, ok := frame.(helloAckFrame)
+	if !ok {
+		conn.Close()
+		return nil, fmt.Errorf("%w: expected hello ack", ErrProtocol)
+	}
+	if ack.Code != 0 {
+		conn.Close()
+		return nil, semtree.DecodeError(ack.Code, ack.Msg, 0)
+	}
+	return cc, nil
+}
+
+// get returns a pooled connection or dials a fresh one.
+func (c *Client) get(ctx context.Context) (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("serve: client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+	return c.dial(ctx)
+}
+
+// put releases a healthy connection back to the pool.
+func (c *Client) put(cc *clientConn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.idle) >= maxIdleConns {
+		cc.conn.Close()
+		return
+	}
+	c.idle = append(c.idle, cc)
+}
+
+// Close closes all pooled connections. In-flight requests on
+// checked-out connections finish; their connections close on release.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, cc := range c.idle {
+		cc.conn.Close()
+	}
+	c.idle = nil
+	return nil
+}
+
+// armDeadline mirrors the cluster fabric's idiom: the context deadline
+// caps the connection's reads and writes, and plain cancellation snaps
+// the deadlines shut. Callers must disarm before pooling.
+func armDeadline(ctx context.Context, conn net.Conn) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(d)
+	}
+	return nil
+}
+
+func disarmDeadline(conn net.Conn) { _ = conn.SetDeadline(time.Time{}) }
+
+// ctxOr prefers the context's own error over a transport error it
+// caused (a snapped deadline surfaces as a net timeout).
+func (c *Client) ctxOr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// readOne reads and decodes one frame, honoring ctx cancellation via
+// the connection deadline.
+func (c *Client) readOne(ctx context.Context, cc *clientConn) (any, error) {
+	stop := context.AfterFunc(ctx, func() { _ = cc.conn.SetDeadline(time.Now()) })
+	defer stop()
+	payload, err := readFrame(cc.br)
+	if err != nil {
+		return nil, c.ctxOr(ctx, err)
+	}
+	frame, err := decodeFrame(payload)
+	if err != nil {
+		return nil, c.ctxOr(ctx, err)
+	}
+	return frame, nil
+}
+
+// Search answers one query over the wire. Options are the facade's own
+// query-level options (WithMode, WithK, WithRadius, WithExactFactor);
+// scheduler-level options are the server's tenant configuration and are
+// ignored here. The context's deadline crosses the wire and bounds the
+// server-side execution; its cancellation cuts the local wait. Like
+// Searcher.Search, the per-query error is returned both in Result.Err
+// and as the second value, and it matches the in-process sentinels
+// under errors.Is.
+func (c *Client) Search(ctx context.Context, q triple.Triple, opts ...semtree.SearchOption) (semtree.Result, error) {
+	var o semtree.SearchOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	req := searchFrame{
+		Mode:        uint8(o.Mode),
+		K:           int64(o.K),
+		ExactFactor: int64(o.ExactFactor),
+		Radius:      o.Radius,
+		Query:       q,
+	}
+	var lastErr, lastTyped error
+	for attempt := 0; attempt < clientRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return semtree.Result{Err: err}, err
+		}
+		res, err := c.searchOnce(ctx, req)
+		if err == nil {
+			if Retryable(res.Err) && attempt < clientRetries-1 {
+				lastErr, lastTyped = res.Err, res.Err
+				continue
+			}
+			return res, res.Err
+		}
+		// Context errors and typed rejections are final; transport
+		// errors retry on a fresh connection — the frame either never
+		// arrived or the answer was lost, and search is idempotent.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return semtree.Result{Err: err}, err
+		}
+		lastErr = err
+	}
+	// When a retry died at the transport (e.g. the draining server
+	// stopped listening), the typed refusal an earlier attempt carried
+	// is the truthful, actionable answer — surface it over the dial
+	// noise.
+	if lastTyped != nil {
+		lastErr = lastTyped
+	}
+	return semtree.Result{Err: lastErr}, lastErr
+}
+
+func (c *Client) searchOnce(ctx context.Context, req searchFrame) (semtree.Result, error) {
+	cc, err := c.get(ctx)
+	if err != nil {
+		return semtree.Result{}, err
+	}
+	req.ReqID = c.reqID.Add(1)
+	if d, ok := ctx.Deadline(); ok {
+		req.Deadline = d.UnixNano()
+	} else {
+		req.Deadline = 0
+	}
+	if err := armDeadline(ctx, cc.conn); err != nil {
+		cc.conn.Close()
+		return semtree.Result{}, err
+	}
+	if err := writeFrame(cc.conn, encodeSearch(req)); err != nil {
+		cc.conn.Close()
+		return semtree.Result{}, c.ctxOr(ctx, err)
+	}
+	frame, err := c.readOne(ctx, cc)
+	if err != nil {
+		cc.conn.Close()
+		return semtree.Result{}, err
+	}
+	rf, ok := frame.(resultFrame)
+	if !ok || rf.ReqID != req.ReqID {
+		cc.conn.Close()
+		return semtree.Result{}, fmt.Errorf("%w: unexpected response frame", ErrProtocol)
+	}
+	disarmDeadline(cc.conn)
+	c.put(cc)
+
+	res := semtree.Result{Stats: fromWireStats(rf.Stats)}
+	if rf.HasErr {
+		res.Err = semtree.DecodeError(rf.Code, rf.Msg, rf.Detail)
+		return res, nil
+	}
+	if n := len(rf.Matches); n > 0 {
+		res.Matches = make([]semtree.Match, n)
+		for i, m := range rf.Matches {
+			res.Matches[i] = semtree.Match{
+				ID:     triple.ID(m.ID),
+				Triple: m.Triple,
+				Prov:   triple.Provenance{Doc: m.Doc, Section: m.Section, Seq: int(m.Seq)},
+				Dist:   m.Dist,
+			}
+		}
+	}
+	return res, nil
+}
+
+// Snapshot triggers a server-side Save of the serving index to the
+// server's configured snapshot path (admin tenants only) and returns
+// the snapshot's byte size. The server saves under its single critical
+// section while queries keep running.
+func (c *Client) Snapshot(ctx context.Context) (uint64, error) {
+	cc, err := c.get(ctx)
+	if err != nil {
+		return 0, err
+	}
+	reqID := c.reqID.Add(1)
+	if err := armDeadline(ctx, cc.conn); err != nil {
+		cc.conn.Close()
+		return 0, err
+	}
+	if err := writeFrame(cc.conn, encodeSnapshot(snapshotFrame{ReqID: reqID})); err != nil {
+		cc.conn.Close()
+		return 0, c.ctxOr(ctx, err)
+	}
+	frame, err := c.readOne(ctx, cc)
+	if err != nil {
+		cc.conn.Close()
+		return 0, err
+	}
+	ack, ok := frame.(snapshotAckFrame)
+	if !ok || ack.ReqID != reqID {
+		cc.conn.Close()
+		return 0, fmt.Errorf("%w: unexpected response frame", ErrProtocol)
+	}
+	disarmDeadline(cc.conn)
+	c.put(cc)
+	if ack.HasErr {
+		return 0, semtree.DecodeError(ack.Code, ack.Msg, ack.Detail)
+	}
+	return ack.Bytes, nil
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"semtree/internal/triple"
+)
+
+// FuzzServeFrame: the frame decoder must never panic on arbitrary
+// bytes — the same posture as the snapshot fuzzers. Malformed payloads
+// must surface as the typed ErrProtocol (so a hostile peer produces a
+// clean typed close, not a crash), and every payload the decoder
+// accepts must re-encode byte-identically — the decoder admits exactly
+// the canonical wire form, nothing looser.
+func FuzzServeFrame(f *testing.F) {
+	q := triple.Triple{
+		Subject:   triple.NewConcept("std", "OBSW001"),
+		Predicate: triple.NewConcept("Fun", "block_cmd"),
+		Object:    triple.NewConcept("CmdType", "start-up"),
+	}
+	f.Add(encodeHello(helloFrame{Version: protoVersion, Token: "tok"}))
+	f.Add(encodeHelloAck(helloAckFrame{Version: protoVersion}))
+	f.Add(encodeSearch(searchFrame{ReqID: 7, Deadline: 123, Mode: 1, K: 5, ExactFactor: 2, Radius: 0.5, Query: q}))
+	f.Add(encodeResult(resultFrame{ReqID: 7, Matches: []wireMatch{{ID: 3, Dist: 0.25, Triple: q, Doc: "d", Section: "s", Seq: 1}}}))
+	f.Add(encodeResult(resultFrame{ReqID: 9, HasErr: true, Code: 3, Msg: "quota", Detail: 0}))
+	f.Add(encodeSnapshot(snapshotFrame{ReqID: 1}))
+	f.Add(encodeSnapshotAck(snapshotAckFrame{ReqID: 1, Bytes: 4096}))
+	f.Add(encodeLeaseReport(leaseReportFrame{Tenant: "acme", FrontEnd: "fe0", DemandQPS: 12.5}))
+	f.Add(encodeLeaseGrant(leaseGrantFrame{Tenant: "acme", Capacity: 100, RefillPerSec: 25, TTLNanos: 1e9}))
+	f.Add([]byte{})
+	f.Add([]byte{ftSearch})
+	f.Add([]byte{255, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > maxFrameSize {
+			return // readFrame rejects these before decodeFrame runs
+		}
+		frame, err := decodeFrame(payload)
+		if err != nil {
+			if !errors.Is(err, ErrProtocol) {
+				t.Fatalf("malformed payload produced an untyped error: %v", err)
+			}
+			return
+		}
+		// Accepted payloads are canonical: re-encoding the decoded frame
+		// reproduces the input bit for bit.
+		var re []byte
+		switch fr := frame.(type) {
+		case helloFrame:
+			re = encodeHello(fr)
+		case helloAckFrame:
+			re = encodeHelloAck(fr)
+		case searchFrame:
+			re = encodeSearch(fr)
+		case resultFrame:
+			re = encodeResult(fr)
+		case snapshotFrame:
+			re = encodeSnapshot(fr)
+		case snapshotAckFrame:
+			re = encodeSnapshotAck(fr)
+		case leaseReportFrame:
+			re = encodeLeaseReport(fr)
+		case leaseGrantFrame:
+			re = encodeLeaseGrant(fr)
+		default:
+			t.Fatalf("decoder returned unknown frame type %T", frame)
+		}
+		if !reflect.DeepEqual(re, payload) {
+			t.Fatalf("accepted payload is not canonical:\nin  %x\nout %x", payload, re)
+		}
+	})
+}

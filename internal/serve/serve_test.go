@@ -1,0 +1,596 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"semtree"
+	"semtree/internal/synth"
+	"semtree/internal/triple"
+)
+
+// testIndex builds a small deterministic multi-partition index over
+// synthetic requirement triples.
+func testIndex(t testing.TB, n int) *semtree.Index {
+	t.Helper()
+	gen := synth.New(synth.Config{Seed: 42, Actors: 200}, nil)
+	store := triple.NewStore()
+	for i, tr := range gen.Triples(n) {
+		store.Add(tr, triple.Provenance{Doc: "doc", Section: "sec", Seq: i})
+	}
+	idx, err := semtree.Build(store, semtree.Options{
+		Seed:              42,
+		PartitionCapacity: 64,
+		MaxPartitions:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { idx.Close() })
+	return idx
+}
+
+// testQueries returns deterministic query triples disjoint from the
+// indexed workload.
+func testQueries(n int) []triple.Triple {
+	gen := synth.New(synth.Config{Seed: 43, Actors: 200}, nil)
+	qs := make([]triple.Triple, n)
+	for i := range qs {
+		qs[i] = gen.RandomTriple()
+	}
+	return qs
+}
+
+// startServer runs srv on a loopback listener and returns its address.
+// The cleanup drains the server (bounded) so tests never leak its
+// goroutines.
+func startServer(t *testing.T, srv *Server) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(t.Context())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ctx, lis)
+	}()
+	t.Cleanup(func() {
+		dctx, dcancel := context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
+		defer dcancel()
+		_ = srv.Drain(dctx)
+		cancel()
+		<-done
+	})
+	return lis.Addr().String()
+}
+
+// TestWireParity is the end-to-end acceptance gate: for a fixed seeded
+// tree, the answers a serve.Client gets over TCP must be byte-identical
+// to the in-process Searcher's — matches (IDs, triples, provenance,
+// distances), ExecStats including the protocol choice (only the
+// measured wall time may differ), and sentinel errors under errors.Is.
+func TestWireParity(t *testing.T) {
+	idx := testIndex(t, 600)
+	srv, err := NewServer(Config{
+		Index: idx,
+		Tenants: []TenantConfig{{
+			Name:    "parity",
+			Token:   "parity-token",
+			Options: []semtree.SearchOption{semtree.WithProtocol(semtree.ProtocolSequential)},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, srv)
+	cl, err := Dial(t.Context(), addr, "parity-token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// The in-process reference runs the same sequential protocol so the
+	// deterministic stats fields agree exactly.
+	ref := idx.Searcher(semtree.WithProtocol(semtree.ProtocolSequential))
+
+	shapes := []struct {
+		name string
+		opts []semtree.SearchOption
+	}{
+		{"knn", []semtree.SearchOption{semtree.WithK(5)}},
+		{"knn-exact", []semtree.SearchOption{semtree.WithK(3), semtree.WithExactFactor(4)}},
+		{"range", []semtree.SearchOption{semtree.WithMode(semtree.ModeRange), semtree.WithRadius(0.35)}},
+		{"range-truncated", []semtree.SearchOption{semtree.WithRadius(0.5), semtree.WithK(4)}},
+		{"knn-of-nothing", []semtree.SearchOption{semtree.WithK(0)}},
+	}
+	for qi, q := range testQueries(6) {
+		for _, shape := range shapes {
+			want, wantErr := ref.With(shape.opts...).Search(t.Context(), q)
+			got, gotErr := cl.Search(t.Context(), q, shape.opts...)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("q%d %s: err mismatch: in-process %v, wire %v", qi, shape.name, wantErr, gotErr)
+			}
+			if wantErr != nil && !errors.Is(gotErr, wantErr) {
+				t.Fatalf("q%d %s: wire error %v does not match in-process sentinel %v", qi, shape.name, gotErr, wantErr)
+			}
+			// Wall is measured time — the only field allowed to differ.
+			want.Stats.Wall, got.Stats.Wall = 0, 0
+			if !reflect.DeepEqual(want.Matches, got.Matches) {
+				t.Fatalf("q%d %s: matches diverge:\nin-process %+v\nwire       %+v", qi, shape.name, want.Matches, got.Matches)
+			}
+			if !reflect.DeepEqual(want.Stats, got.Stats) {
+				t.Fatalf("q%d %s: stats diverge:\nin-process %+v\nwire       %+v", qi, shape.name, want.Stats, got.Stats)
+			}
+			if got.Stats.Protocol != want.Stats.Protocol {
+				t.Fatalf("q%d %s: protocol choice diverged: %q vs %q", qi, shape.name, got.Stats.Protocol, want.Stats.Protocol)
+			}
+		}
+	}
+}
+
+// TestWireDeadlinePropagation: a context deadline must cross the wire
+// and come back as the context sentinel, matching the in-process error
+// contract under errors.Is.
+func TestWireDeadlinePropagation(t *testing.T) {
+	idx := testIndex(t, 400)
+	srv, err := NewServer(Config{Index: idx, Tenants: []TenantConfig{{Name: "t", Token: "tok"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, srv)
+	cl, err := Dial(t.Context(), addr, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithDeadline(t.Context(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err = cl.Search(ctx, testQueries(1)[0], semtree.WithK(3))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestAuthAndTenantIsolation: a wrong token is refused at dial with the
+// typed ErrAuth; a zero-quota tenant is rejected over the wire with
+// ErrQuotaExhausted (decoding to the same sentinel) while an open
+// tenant on the same server keeps answering, and the starved tenant's
+// rejections spend zero fabric messages (metered counters stay zero).
+// Runs under -race in the CI sweep alongside everything else.
+func TestAuthAndTenantIsolation(t *testing.T) {
+	idx := testIndex(t, 400)
+	srv, err := NewServer(Config{
+		Index: idx,
+		Tenants: []TenantConfig{
+			{Name: "open", Token: "open-tok"},
+			{Name: "starved", Token: "starved-tok",
+				Options: []semtree.SearchOption{semtree.WithQuota(0, 0)}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, srv)
+
+	if _, err := Dial(t.Context(), addr, "wrong-token"); !errors.Is(err, ErrAuth) {
+		t.Fatalf("bad token: err = %v, want ErrAuth", err)
+	}
+
+	open, err := Dial(t.Context(), addr, "open-tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer open.Close()
+	starved, err := Dial(t.Context(), addr, "starved-tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer starved.Close()
+
+	qs := testQueries(8)
+	var wg sync.WaitGroup
+	errsOpen := make([]error, len(qs))
+	errsStarved := make([]error, len(qs))
+	for i, q := range qs {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_, errsOpen[i] = open.Search(t.Context(), q, semtree.WithK(3))
+		}()
+		go func() {
+			defer wg.Done()
+			_, errsStarved[i] = starved.Search(t.Context(), q, semtree.WithK(3))
+		}()
+	}
+	wg.Wait()
+	for i := range qs {
+		if errsOpen[i] != nil {
+			t.Fatalf("open tenant query %d failed: %v", i, errsOpen[i])
+		}
+		if !errors.Is(errsStarved[i], semtree.ErrQuotaExhausted) {
+			t.Fatalf("starved tenant query %d: err = %v, want ErrQuotaExhausted", i, errsStarved[i])
+		}
+	}
+	st, ok := srv.TenantStats("starved")
+	if !ok {
+		t.Fatal("no stats for tenant starved")
+	}
+	if st.Admitted != 0 || st.RejectedQuota != int64(len(qs)) || st.MeteredFabricMessages != 0 {
+		t.Fatalf("starved tenant stats polluted: %+v", st)
+	}
+}
+
+// TestGracefulDrain: with queries in flight, Drain must deliver every
+// admitted query's answer (zero dropped), refuse late requests with the
+// typed retryable ErrDraining, refuse new connections, and leak no
+// goroutines.
+func TestGracefulDrain(t *testing.T) {
+	idx := testIndex(t, 600)
+	before := runtime.NumGoroutine()
+	srv, err := NewServer(Config{Index: idx, Tenants: []TenantConfig{{Name: "t", Token: "tok"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(t.Context())
+	defer cancel()
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = srv.Serve(ctx, lis)
+	}()
+	addr := lis.Addr().String()
+
+	// One client (and so one established connection) per request: every
+	// request is on a live, authenticated connection before the drain
+	// starts, which is what makes the zero-dropped contract assertable —
+	// a request still dialing when the listener closes was never the
+	// server's to lose.
+	const n = 32
+	clients := make([]*Client, n)
+	for i := range clients {
+		cl, err := Dial(t.Context(), addr, "tok")
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = cl
+		defer cl.Close()
+	}
+
+	qs := testQueries(n)
+	results := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, results[i] = clients[i].Search(t.Context(), qs[i], semtree.WithK(5), semtree.WithExactFactor(8))
+		}()
+	}
+	dctx, dcancel := context.WithTimeout(t.Context(), 10*time.Second)
+	defer dcancel()
+	if err := srv.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+
+	// Zero dropped: every request either completed with its answer or
+	// was refused with the typed draining sentinel — never a transport
+	// error, never silence.
+	var answered, refused int
+	for i, err := range results {
+		switch {
+		case err == nil:
+			answered++
+		case errors.Is(err, ErrDraining):
+			refused++
+		default:
+			t.Fatalf("query %d dropped with untyped error: %v", i, err)
+		}
+	}
+	t.Logf("drain: %d answered, %d refused (typed)", answered, refused)
+
+	// The drained server refuses new connections.
+	if _, err := Dial(t.Context(), addr, "tok"); err == nil {
+		t.Fatal("dial after drain succeeded")
+	}
+	for _, cl := range clients {
+		cl.Close()
+	}
+	cancel()
+	<-serveDone
+
+	// No goroutine may outlive the drain (the accept loop, connection
+	// handlers, request handlers and the lease loop all exit).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+4 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked across drain: %d running, started with %d", runtime.NumGoroutine(), before)
+}
+
+// TestSaveConcurrentWithServeQueries is the serving-tier extension of
+// TestSaveConcurrentWithInsert: the admin snapshot endpoint triggers
+// the single-critical-section Save on the serving index while live
+// network queries and concurrent inserts hammer it. The snapshot must
+// be loadable and internally consistent (store ↔ embedding pairing),
+// and an un-privileged tenant must be refused with ErrNotAdmin.
+func TestSaveConcurrentWithServeQueries(t *testing.T) {
+	idx := testIndex(t, 500)
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "live.semtree")
+	srv, err := NewServer(Config{
+		Index:        idx,
+		SnapshotPath: snapPath,
+		Tenants: []TenantConfig{
+			{Name: "admin", Token: "admin-tok", Admin: true},
+			{Name: "plain", Token: "plain-tok"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, srv)
+	admin, err := Dial(t.Context(), addr, "admin-tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	plain, err := Dial(t.Context(), addr, "plain-tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+
+	if _, err := plain.Snapshot(t.Context()); !errors.Is(err, ErrNotAdmin) {
+		t.Fatalf("un-privileged snapshot: err = %v, want ErrNotAdmin", err)
+	}
+
+	// Race: network queries, direct inserts and wire-triggered Saves,
+	// all concurrent.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	qs := testQueries(16)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := plain.Search(t.Context(), qs[i%len(qs)], semtree.WithK(3)); err != nil {
+				t.Errorf("query under snapshot: %v", err)
+				return
+			}
+		}
+	}()
+	gen := synth.New(synth.Config{Seed: 99, Actors: 200}, nil)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := idx.Insert(gen.RandomTriple(), triple.Provenance{Doc: "live", Seq: i}); err != nil {
+				t.Errorf("insert under snapshot: %v", err)
+				return
+			}
+		}
+	}()
+	var lastBytes uint64
+	for i := 0; i < 5; i++ {
+		n, err := admin.Snapshot(t.Context())
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		if n == 0 {
+			t.Fatalf("snapshot %d: zero bytes written", i)
+		}
+		lastBytes = n
+	}
+	close(stop)
+	wg.Wait()
+
+	if srv.Stats().Snapshots != 5 {
+		t.Fatalf("snapshot counter = %d, want 5", srv.Stats().Snapshots)
+	}
+	// The last snapshot written must load and answer.
+	f, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if fi, err := f.Stat(); err != nil || uint64(fi.Size()) != lastBytes {
+		t.Fatalf("snapshot size = %v (err %v), ack said %d", fi.Size(), err, lastBytes)
+	}
+	loaded, err := semtree.Load(f, semtree.Options{})
+	if err != nil {
+		t.Fatalf("loading the live snapshot: %v", err)
+	}
+	defer loaded.Close()
+	ms, err := loaded.KNearest(t.Context(), qs[0], 3)
+	if err != nil || len(ms) == 0 {
+		t.Fatalf("loaded snapshot query: %v (%d matches)", err, len(ms))
+	}
+}
+
+// TestAllocatorSplit pins the allocator's share arithmetic with an
+// injected clock: equal split without demand, demand-weighted split
+// with it, shares always summing to the fleet-wide rate, and a dead
+// front-end's share flowing back after the TTL.
+func TestAllocatorSplit(t *testing.T) {
+	clock := time.Unix(5000, 0)
+	a := NewAllocator(AllocatorConfig{
+		TTL:     2 * time.Second,
+		Tenants: map[string]semtree.QuotaConfig{"acme": {Capacity: 1000, RefillPerSec: 100}},
+	})
+	a.now = func() time.Time { return clock }
+
+	// Unmanaged tenant: TTL 0 ("keep your local config").
+	if g := a.grant(leaseReportFrame{Tenant: "other", FrontEnd: "fe1"}); g.TTLNanos != 0 {
+		t.Fatalf("unmanaged tenant got a lease: %+v", g)
+	}
+
+	// Single front-end, no demand: the full fleet rate.
+	g := a.grant(leaseReportFrame{Tenant: "acme", FrontEnd: "fe1"})
+	if g.Capacity != 1000 || g.RefillPerSec != 100 {
+		t.Fatalf("single front-end grant = %+v, want the full fleet rate", g)
+	}
+
+	// Two front-ends, no demand: equal split, summing to the fleet.
+	g2 := a.grant(leaseReportFrame{Tenant: "acme", FrontEnd: "fe2"})
+	if g2.RefillPerSec != 50 {
+		t.Fatalf("second front-end equal split = %+v, want refill 50", g2)
+	}
+
+	// Demand-weighted: 300 qps vs 100 qps → 75%/25% of the refill. The
+	// split converges one report round after demand shifts (the first
+	// report lands before the peer's demand is known), so report both,
+	// then read the settled shares.
+	a.grant(leaseReportFrame{Tenant: "acme", FrontEnd: "fe1", DemandQPS: 300})
+	g2 = a.grant(leaseReportFrame{Tenant: "acme", FrontEnd: "fe2", DemandQPS: 100})
+	g1 := a.grant(leaseReportFrame{Tenant: "acme", FrontEnd: "fe1", DemandQPS: 300})
+	if g1.RefillPerSec != 75 || g2.RefillPerSec != 25 {
+		t.Fatalf("demand split = %v + %v, want 75 + 25", g1.RefillPerSec, g2.RefillPerSec)
+	}
+	if sum := g1.RefillPerSec + g2.RefillPerSec; sum != 100 {
+		t.Fatalf("shares sum to %v, want the fleet-wide 100", sum)
+	}
+
+	// fe1 dies; past the TTL its share returns to fe2.
+	clock = clock.Add(3 * time.Second)
+	g2 = a.grant(leaseReportFrame{Tenant: "acme", FrontEnd: "fe2", DemandQPS: 100})
+	if g2.Capacity != 1000 || g2.RefillPerSec != 100 {
+		t.Fatalf("survivor's grant after TTL expiry = %+v, want the full fleet rate", g2)
+	}
+}
+
+// TestFleetQuotaConvergence is the end-to-end distributed-quota
+// contract: two front-ends over one index, one allocator, one quota'd
+// tenant. Before any lease each front-end independently grants the full
+// fleet rate (2× total); once the lease loops run, the per-front-end
+// buckets must converge so the capacities sum to the fleet-wide
+// configuration, not a multiple of it.
+func TestFleetQuotaConvergence(t *testing.T) {
+	idx := testIndex(t, 400)
+	const fleetCap, fleetRefill = 50000.0, 5000.0
+	tenants := func() []TenantConfig {
+		return []TenantConfig{{
+			Name:  "acme",
+			Token: "tok",
+			Options: []semtree.SearchOption{
+				semtree.WithQuota(fleetCap, fleetRefill),
+			},
+		}}
+	}
+
+	alloc := NewAllocator(AllocatorConfig{
+		Token:   "fleet-secret",
+		TTL:     time.Second,
+		Tenants: map[string]semtree.QuotaConfig{"acme": {Capacity: fleetCap, RefillPerSec: fleetRefill}},
+	})
+	alis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocDone := make(chan struct{})
+	actx, acancel := context.WithCancel(t.Context())
+	go func() {
+		defer close(allocDone)
+		_ = alloc.Serve(actx, alis)
+	}()
+	t.Cleanup(func() { acancel(); <-allocDone })
+
+	servers := make([]*Server, 2)
+	for i := range servers {
+		srv, err := NewServer(Config{
+			Index:          idx,
+			Tenants:        tenants(),
+			FrontEndID:     fmt.Sprintf("fe%d", i),
+			AllocatorAddr:  alis.Addr().String(),
+			AllocatorToken: "fleet-secret",
+			LeaseInterval:  20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		startServer(t, srv)
+	}
+
+	// Wait (bounded) for both lease loops to have applied a split
+	// grant: each front-end's capacity drops to half the fleet's.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		caps := make([]float64, 2)
+		for i, srv := range servers {
+			st, ok := srv.TenantStats("acme")
+			if !ok || !st.QuotaEnabled {
+				t.Fatal("tenant acme has no quota snapshot")
+			}
+			caps[i] = st.QuotaCapacity
+		}
+		if caps[0]+caps[1] <= fleetCap*1.01 && caps[0] > 0 && caps[1] > 0 {
+			t.Logf("converged: per-front-end capacities %v sum to fleet %v", caps, fleetCap)
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet capacities never converged: %v (fleet-wide %v)", caps, fleetCap)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHelloVersionMismatch: a future protocol version is refused with
+// the typed ErrVersion, not a hang or a guess.
+func TestHelloVersionMismatch(t *testing.T) {
+	idx := testIndex(t, 200)
+	srv, err := NewServer(Config{Index: idx, Tenants: []TenantConfig{{Name: "t", Token: "tok"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, srv)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, encodeHello(helloFrame{Version: protoVersion + 9, Token: "tok"})); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := decodeFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack := frame.(helloAckFrame)
+	if dec := semtree.DecodeError(ack.Code, ack.Msg, 0); !errors.Is(dec, ErrVersion) {
+		t.Fatalf("version mismatch decoded to %v, want ErrVersion", dec)
+	}
+}

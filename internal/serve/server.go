@@ -1,0 +1,593 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"semtree"
+)
+
+// TenantConfig describes one tenant the server will answer for: the
+// auth token its connections present, the scheduler-level search
+// options (WithQuota, WithMaxInFlight, WithAdmissionControl,
+// WithProtocol, ...) that shape its admission machinery, and whether it
+// may trigger admin operations. The options are the same functional
+// options the in-process API takes — the serving tier adds no second
+// configuration language.
+type TenantConfig struct {
+	// Name identifies the tenant in stats, lease reports and logs.
+	Name string
+	// Token is the shared secret connections present in their hello.
+	Token string
+	// Admin grants access to admin frames (the snapshot trigger).
+	Admin bool
+	// Options configure the tenant's Searcher. Query-level options set
+	// here (WithK, ...) become defaults a wire request overrides.
+	Options []semtree.SearchOption
+}
+
+// Config configures a Server.
+type Config struct {
+	// Index is the index the server answers from. Required.
+	Index *semtree.Index
+	// Tenants maps auth tokens onto per-tenant searchers. At least one
+	// is required.
+	Tenants []TenantConfig
+	// SnapshotPath is where the admin snapshot frame writes the index
+	// (atomically: temp file + rename). Empty disables the endpoint.
+	SnapshotPath string
+	// FrontEndID names this front-end in lease reports. Required when
+	// AllocatorAddr is set.
+	FrontEndID string
+	// AllocatorAddr, when set, enables fleet-wide quotas: the server
+	// periodically reports each quota'd tenant's demand to the
+	// allocator at this address and applies the leased refill share to
+	// the tenant's bucket.
+	AllocatorAddr string
+	// AllocatorToken authenticates the lease connection.
+	AllocatorToken string
+	// LeaseInterval is the report/renew period (default 200ms).
+	LeaseInterval time.Duration
+	// HelloTimeout bounds how long an accepted connection may take to
+	// present its hello (default 10s) so an idle dialer cannot pin a
+	// handler goroutine forever.
+	HelloTimeout time.Duration
+	// DrainGrace is how long Drain keeps live connections answering
+	// (with typed ErrDraining refusals) after the in-flight count first
+	// reaches zero, so requests already on the wire when the drain
+	// began are refused instead of dropped (default 250ms).
+	DrainGrace time.Duration
+}
+
+// tenant is the server-side state of one configured tenant.
+type tenant struct {
+	name     string
+	admin    bool
+	searcher *semtree.Searcher
+	quota    *semtree.QuotaConfig // fleet-wide config; nil = unquota'd
+
+	// lastArrived supports the lease agent's demand measurement: the
+	// admitted+quota-rejected counter at the previous report.
+	lastArrived int64
+}
+
+// ServerStats is a snapshot of the server's request counters.
+type ServerStats struct {
+	// Conns counts accepted connections that passed the hello.
+	Conns int64
+	// Served counts search requests answered (success or typed error).
+	Served int64
+	// RejectedDraining counts requests refused with ErrDraining.
+	RejectedDraining int64
+	// Snapshots counts admin snapshots taken.
+	Snapshots int64
+}
+
+// Server hosts per-tenant Searchers behind the serve wire protocol.
+// Connections are concurrent and so are requests within one connection:
+// every search frame runs on its own goroutine and responses are
+// serialized by a per-connection write lock, so a slow query never
+// blocks the queries behind it.
+type Server struct {
+	cfg     Config
+	tenants map[string]*tenant // keyed by token
+
+	mu    sync.Mutex
+	lis   net.Listener
+	conns map[net.Conn]struct{}
+
+	draining atomic.Bool
+	reqWG    sync.WaitGroup // in-flight request handlers
+	connWG   sync.WaitGroup // connection handlers + accept loop
+
+	connCount        atomic.Int64
+	served           atomic.Int64
+	rejectedDraining atomic.Int64
+	snapshots        atomic.Int64
+}
+
+// NewServer builds a server over cfg, constructing one Searcher per
+// tenant (each with its own scheduler, quota bucket and admission
+// queue — the same isolation the in-process API gives).
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Index == nil {
+		return nil, fmt.Errorf("serve: Config.Index is required")
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("serve: at least one tenant is required")
+	}
+	if cfg.HelloTimeout <= 0 {
+		cfg.HelloTimeout = 10 * time.Second
+	}
+	if cfg.LeaseInterval <= 0 {
+		cfg.LeaseInterval = 200 * time.Millisecond
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 250 * time.Millisecond
+	}
+	if cfg.AllocatorAddr != "" && cfg.FrontEndID == "" {
+		return nil, fmt.Errorf("serve: FrontEndID is required with AllocatorAddr")
+	}
+	s := &Server{
+		cfg:     cfg,
+		tenants: make(map[string]*tenant, len(cfg.Tenants)),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for _, tc := range cfg.Tenants {
+		if tc.Name == "" {
+			return nil, fmt.Errorf("serve: tenant with empty name")
+		}
+		if _, dup := s.tenants[tc.Token]; dup {
+			return nil, fmt.Errorf("serve: duplicate tenant token (tenant %q)", tc.Name)
+		}
+		// The options applied to a zero SearchOptions reveal the
+		// tenant's fleet-wide quota — the single source of truth the
+		// lease agent scales shares from.
+		var o semtree.SearchOptions
+		for _, opt := range tc.Options {
+			opt(&o)
+		}
+		s.tenants[tc.Token] = &tenant{
+			name:     tc.Name,
+			admin:    tc.Admin,
+			searcher: cfg.Index.Searcher(tc.Options...),
+			quota:    o.Quota,
+		}
+	}
+	return s, nil
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Conns:            s.connCount.Load(),
+		Served:           s.served.Load(),
+		RejectedDraining: s.rejectedDraining.Load(),
+		Snapshots:        s.snapshots.Load(),
+	}
+}
+
+// TenantStats returns the named tenant's scheduler snapshot (admission
+// counters, quota level, metered cost), or false if no such tenant.
+func (s *Server) TenantStats(name string) (semtree.SchedulerStats, bool) {
+	for _, t := range s.tenants {
+		if t.name == name {
+			return t.searcher.SchedulerStats(), true
+		}
+	}
+	return semtree.SchedulerStats{}, false
+}
+
+// Serve accepts connections on lis until ctx is done or Drain is
+// called, then returns. Each connection and each request within it runs
+// on its own goroutine; Serve itself blocks. The listener is owned by
+// the server from here on.
+func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+
+	if s.cfg.AllocatorAddr != "" {
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.leaseLoop(ctx)
+		}()
+	}
+	stop := context.AfterFunc(ctx, func() { _ = lis.Close() })
+	defer stop()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			return nil // listener closed by Drain
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.handleConn(ctx, conn)
+		}()
+	}
+}
+
+// Drain performs the graceful-shutdown contract: stop accepting new
+// connections, refuse new requests on live connections with the typed
+// retryable ErrDraining, let every in-flight request finish and get its
+// response written, hold the connections open for a grace window so
+// requests already on the wire when the drain began still get their
+// typed refusal (a frame can sit in a kernel buffer while the in-flight
+// count reads zero — closing at that instant would drop it silently),
+// then close the connections. Zero admitted requests are dropped. ctx
+// bounds the wait; an expired ctx abandons the stragglers and returns
+// its error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.lis != nil {
+		_ = s.lis.Close()
+	}
+	s.mu.Unlock()
+
+	// Wait for in-flight request handlers — each holds a reqWG slot
+	// from frame decode to response write — then for the grace window,
+	// then for the refusals the grace window admitted.
+	var err error
+	wait := func(d time.Duration) {
+		done := make(chan struct{})
+		go func() {
+			s.reqWG.Wait()
+			if d > 0 {
+				timer := time.NewTimer(d)
+				defer timer.Stop()
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+				}
+				s.reqWG.Wait()
+			}
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	}
+	wait(s.cfg.DrainGrace)
+
+	// Responses are out (or abandoned): snap the connections shut so
+	// their read loops unblock, and wait for every handler goroutine.
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	return err
+}
+
+// connWriter serializes frame writes onto one connection: concurrent
+// request handlers share it.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (w *connWriter) write(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return writeFrame(w.conn, payload)
+}
+
+func (s *Server) track(conn net.Conn) func() {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}
+}
+
+// handleConn runs one connection: hello exchange, then a read loop that
+// spawns one goroutine per request. A protocol error closes the
+// connection — framing cannot be resynchronized after garbage.
+func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
+	defer s.track(conn)()
+
+	// The hello must arrive promptly; afterwards the connection may
+	// idle indefinitely between requests.
+	_ = conn.SetReadDeadline(time.Now().Add(s.cfg.HelloTimeout))
+	payload, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	frame, err := decodeFrame(payload)
+	if err != nil {
+		return
+	}
+	hello, ok := frame.(helloFrame)
+	if !ok {
+		return
+	}
+	w := &connWriter{conn: conn}
+	refuse := func(sentinel error) {
+		code, msg, _ := encodeError(sentinel)
+		_ = w.write(encodeHelloAck(helloAckFrame{Version: protoVersion, Code: code, Msg: msg}))
+	}
+	if hello.Version != protoVersion {
+		refuse(fmt.Errorf("%w: server speaks %d, client sent %d", ErrVersion, protoVersion, hello.Version))
+		return
+	}
+	t, ok := s.tenants[hello.Token]
+	if !ok {
+		refuse(ErrAuth)
+		return
+	}
+	if s.draining.Load() {
+		refuse(ErrDraining)
+		return
+	}
+	if err := w.write(encodeHelloAck(helloAckFrame{Version: protoVersion})); err != nil {
+		return
+	}
+	s.connCount.Add(1)
+	_ = conn.SetReadDeadline(time.Time{})
+
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return // clean close, peer gone, or unframeable garbage
+		}
+		frame, err := decodeFrame(payload)
+		if err != nil {
+			return
+		}
+		switch f := frame.(type) {
+		case searchFrame:
+			s.reqWG.Add(1)
+			go func() {
+				defer s.reqWG.Done()
+				s.handleSearch(ctx, t, w, f)
+			}()
+		case snapshotFrame:
+			s.reqWG.Add(1)
+			go func() {
+				defer s.reqWG.Done()
+				s.handleSnapshot(t, w, f)
+			}()
+		default:
+			return // a server never receives acks or results
+		}
+	}
+}
+
+// handleSearch answers one query. The request's absolute deadline is
+// rebuilt into a context derived from the server's own, so both a
+// client deadline and a server shutdown bound the execution; the
+// decoded request fields are applied as functional options over the
+// tenant's searcher, sharing its scheduler and quota bucket.
+func (s *Server) handleSearch(ctx context.Context, t *tenant, w *connWriter, f searchFrame) {
+	reply := func(r resultFrame) {
+		r.ReqID = f.ReqID
+		_ = w.write(encodeResult(r))
+	}
+	if s.draining.Load() {
+		code, msg, detail := encodeError(ErrDraining)
+		s.rejectedDraining.Add(1)
+		reply(resultFrame{HasErr: true, Code: code, Msg: msg, Detail: detail})
+		return
+	}
+	if f.Mode > uint8(semtree.ModeRange) {
+		code, msg, detail := encodeError(fmt.Errorf("%w: unknown search mode %d", ErrProtocol, f.Mode))
+		reply(resultFrame{HasErr: true, Code: code, Msg: msg, Detail: detail})
+		return
+	}
+	if f.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.Unix(0, f.Deadline))
+		defer cancel()
+	}
+	// Zero-valued request fields mean "not specified": the tenant's
+	// configured defaults stand. Only explicit overrides are applied —
+	// a client that sets nothing gets exactly the tenant's searcher.
+	var wopts []semtree.SearchOption
+	if f.Mode != uint8(semtree.ModeAuto) {
+		wopts = append(wopts, semtree.WithMode(semtree.SearchMode(f.Mode)))
+	}
+	if f.K > 0 {
+		wopts = append(wopts, semtree.WithK(int(f.K)))
+	}
+	if f.Radius > 0 {
+		wopts = append(wopts, semtree.WithRadius(f.Radius))
+	}
+	if f.ExactFactor > 0 {
+		wopts = append(wopts, semtree.WithExactFactor(int(f.ExactFactor)))
+	}
+	sr := t.searcher.With(wopts...)
+	res, _ := sr.Search(ctx, f.Query)
+	s.served.Add(1)
+
+	out := resultFrame{Stats: toWireStats(res.Stats)}
+	if res.Err != nil {
+		out.HasErr = true
+		out.Code, out.Msg, out.Detail = encodeError(res.Err)
+	} else {
+		out.Matches = make([]wireMatch, len(res.Matches))
+		for i, m := range res.Matches {
+			out.Matches[i] = wireMatch{
+				ID:      uint64(m.ID),
+				Dist:    m.Dist,
+				Triple:  m.Triple,
+				Doc:     m.Prov.Doc,
+				Section: m.Prov.Section,
+				Seq:     int64(m.Prov.Seq),
+			}
+		}
+	}
+	reply(out)
+}
+
+// handleSnapshot services the admin snapshot trigger: Save the serving
+// index to the configured path, atomically (temp file + rename), while
+// queries keep running — the single-critical-section Save guarantees a
+// consistent snapshot without stopping the world.
+func (s *Server) handleSnapshot(t *tenant, w *connWriter, f snapshotFrame) {
+	reply := func(r snapshotAckFrame) {
+		r.ReqID = f.ReqID
+		_ = w.write(encodeSnapshotAck(r))
+	}
+	fail := func(err error) {
+		code, msg, detail := encodeError(err)
+		reply(snapshotAckFrame{HasErr: true, Code: code, Msg: msg, Detail: detail})
+	}
+	if !t.admin {
+		fail(ErrNotAdmin)
+		return
+	}
+	if s.draining.Load() {
+		s.rejectedDraining.Add(1)
+		fail(ErrDraining)
+		return
+	}
+	if s.cfg.SnapshotPath == "" {
+		fail(errors.New("serve: no snapshot path configured"))
+		return
+	}
+	n, err := s.snapshotTo(s.cfg.SnapshotPath)
+	if err != nil {
+		fail(err)
+		return
+	}
+	s.snapshots.Add(1)
+	reply(snapshotAckFrame{Bytes: n})
+}
+
+func (s *Server) snapshotTo(path string) (uint64, error) {
+	tmp, err := os.CreateTemp(dirOf(path), ".semtree-snap-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	if err := semtree.Save(tmp, s.cfg.Index); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	info, err := tmp.Stat()
+	if err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	return uint64(info.Size()), nil
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// toWireStats projects ExecStats onto the wire layout.
+func toWireStats(st semtree.ExecStats) wireStats {
+	return wireStats{
+		NodesVisited:   st.NodesVisited,
+		BucketsScanned: st.BucketsScanned,
+		DistanceEvals:  st.DistanceEvals,
+		Partitions:     int64(st.Partitions),
+		FabricMessages: st.FabricMessages,
+		ProbeMisses:    st.ProbeMisses,
+		WallNanos:      int64(st.Wall),
+		Protocol:       st.Protocol,
+	}
+}
+
+// fromWireStats is the inverse projection, used by the client.
+func fromWireStats(ws wireStats) semtree.ExecStats {
+	return semtree.ExecStats{
+		NodesVisited:   ws.NodesVisited,
+		BucketsScanned: ws.BucketsScanned,
+		DistanceEvals:  ws.DistanceEvals,
+		Partitions:     int(ws.Partitions),
+		FabricMessages: ws.FabricMessages,
+		ProbeMisses:    ws.ProbeMisses,
+		Wall:           time.Duration(ws.WallNanos),
+		Protocol:       ws.Protocol,
+	}
+}
+
+// leaseLoop is the front-end half of the distributed-quota protocol:
+// every LeaseInterval it reports each quota'd tenant's recent demand to
+// the allocator and applies the granted share to the tenant's bucket in
+// place (SetQuotaRate keeps earned tokens). If the allocator is
+// unreachable the tenants keep their current rates — fail-static: a
+// brief allocator outage neither drains nor un-throttles anyone.
+func (s *Server) leaseLoop(ctx context.Context) {
+	ticker := time.NewTicker(s.cfg.LeaseInterval)
+	defer ticker.Stop()
+	var cc *leaseConn
+	defer func() {
+		if cc != nil {
+			cc.close()
+		}
+	}()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		if s.draining.Load() {
+			return
+		}
+		if cc == nil {
+			var err error
+			cc, err = dialLease(ctx, s.cfg.AllocatorAddr, s.cfg.AllocatorToken)
+			if err != nil {
+				continue // retry next tick
+			}
+		}
+		for _, t := range s.tenants {
+			if t.quota == nil {
+				continue
+			}
+			st := t.searcher.SchedulerStats()
+			arrived := st.Admitted + st.RejectedQuota
+			demand := float64(arrived-t.lastArrived) / s.cfg.LeaseInterval.Seconds()
+			t.lastArrived = arrived
+			grant, err := cc.report(ctx, leaseReportFrame{
+				Tenant:    t.name,
+				FrontEnd:  s.cfg.FrontEndID,
+				DemandQPS: demand,
+			})
+			if err != nil {
+				cc.close()
+				cc = nil
+				break // redial next tick
+			}
+			if grant.TTLNanos <= 0 {
+				continue // allocator does not manage this tenant
+			}
+			t.searcher.SetQuotaRate(grant.Capacity, grant.RefillPerSec)
+		}
+	}
+}

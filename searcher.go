@@ -22,10 +22,13 @@ const (
 	ModeRange
 )
 
-// SearchOptions configure a Searcher, the facade of the concurrent
-// query engine. The zero value of each field selects a default; set K
-// for k-nearest retrieval and Radius (or ModeRange) for range
-// retrieval. In range mode K > 0 truncates the ranked result.
+// SearchOptions is the resolved configuration of a Searcher, the
+// facade of the concurrent query engine. The zero value of each field
+// selects a default; set K for k-nearest retrieval and Radius (or
+// ModeRange) for range retrieval. In range mode K > 0 truncates the
+// ranked result. Index.Searcher takes functional options (WithK,
+// WithRadius, ...) that build one of these; pass a pre-built struct
+// through the WithOptions adapter.
 type SearchOptions struct {
 	// Mode selects k-nearest vs range retrieval; ModeAuto (the zero
 	// value) infers it from Radius.
@@ -79,9 +82,97 @@ type SearchOptions struct {
 	Quota *QuotaConfig
 }
 
-// SearchOption mutates SearchOptions; pass options to Index.Searcher
-// after the struct to layer scheduler policy onto a base configuration.
+// SearchOption configures a Searcher. Options are applied in order to
+// a zero SearchOptions value, so later options override earlier ones;
+// Index.Searcher takes only options — the variadic form is the one
+// canonical configuration surface, and it is the single source of
+// truth for wire-request decoding in the serving tier (internal/serve
+// maps every request field onto exactly these options).
 type SearchOption func(*SearchOptions)
+
+// WithOptions layers a whole SearchOptions struct onto the
+// configuration: every non-zero field of opts overrides what earlier
+// options set, field by field (zero fields leave the accumulated
+// configuration alone, so WithOptions composes with the fine-grained
+// options instead of erasing them).
+//
+// Deprecated: WithOptions exists as a mechanical migration path for
+// callers of the old Index.Searcher(SearchOptions, ...SearchOption)
+// signature. New code should use the fine-grained options (WithK,
+// WithRadius, WithMode, ...) directly.
+func WithOptions(opts SearchOptions) SearchOption {
+	return func(o *SearchOptions) {
+		if opts.Mode != ModeAuto {
+			o.Mode = opts.Mode
+		}
+		if opts.K != 0 {
+			o.K = opts.K
+		}
+		if opts.Radius != 0 {
+			o.Radius = opts.Radius
+		}
+		if opts.ExactFactor != 0 {
+			o.ExactFactor = opts.ExactFactor
+		}
+		if opts.Parallelism != 0 {
+			o.Parallelism = opts.Parallelism
+		}
+		if opts.Protocol != ProtocolAuto {
+			o.Protocol = opts.Protocol
+		}
+		if opts.MaxInFlight != 0 {
+			o.MaxInFlight = opts.MaxInFlight
+		}
+		if opts.QueueDepth != 0 {
+			o.QueueDepth = opts.QueueDepth
+		}
+		if opts.AdmissionControl {
+			o.AdmissionControl = true
+		}
+		if opts.Quota != nil {
+			o.Quota = opts.Quota
+		}
+	}
+}
+
+// WithMode pins the retrieval mode (k-nearest vs range); the default
+// ModeAuto infers it from the radius.
+func WithMode(m SearchMode) SearchOption {
+	return func(o *SearchOptions) { o.Mode = m }
+}
+
+// WithK sets the number of neighbors returned per query. k <= 0 in
+// k-nearest mode returns nil; in range mode it leaves the ranked
+// result untruncated.
+func WithK(k int) SearchOption {
+	return func(o *SearchOptions) { o.K = k }
+}
+
+// WithRadius sets the range-retrieval distance on the Eq. 1 scale and
+// (under ModeAuto, for a positive radius) selects range mode.
+func WithRadius(d float64) SearchOption {
+	return func(o *SearchOptions) { o.Radius = d }
+}
+
+// WithExactFactor enables exact Eq. 1 re-ranking: factor·K candidates
+// are fetched from the embedded index and re-ordered under the true
+// metric. See SearchOptions.ExactFactor for the clamping rules.
+func WithExactFactor(factor int) SearchOption {
+	return func(o *SearchOptions) { o.ExactFactor = factor }
+}
+
+// WithParallelism bounds the workers that embed and execute a batch
+// (default GOMAXPROCS). Single-query Search calls are unaffected.
+func WithParallelism(n int) SearchOption {
+	return func(o *SearchOptions) { o.Parallelism = n }
+}
+
+// WithQueueDepth bounds the admission queue behind MaxInFlight:
+// 0 defaults to MaxInFlight, negative disables queueing (reject as
+// soon as the in-flight limit is saturated).
+func WithQueueDepth(n int) SearchOption {
+	return func(o *SearchOptions) { o.QueueDepth = n }
+}
 
 // Protocol is the cross-partition k-NN execution strategy
 // (core.Protocol): ProtocolAuto, ProtocolSequential or ProtocolFanOut.
@@ -207,27 +298,29 @@ type Searcher struct {
 	sched     *core.Scheduler
 }
 
-// Searcher returns a reusable query engine over the index; extra
-// options (WithProtocol, WithMaxInFlight, WithAdmissionControl) layer
-// scheduler policy onto the base struct. Each Searcher owns its own
-// admission scheduler — the in-flight limit and counters are
-// per-Searcher — while the cost model driving protocol choice is
-// shared index-wide, so estimates learned through one searcher benefit
-// all. The ad-hoc query methods (KNearest, Range, KNearestExact,
-// KNearestIDs) are thin wrappers around one of these.
-func (ix *Index) Searcher(opts SearchOptions, extra ...SearchOption) *Searcher {
-	for _, o := range extra {
-		o(&opts)
+// Searcher returns a reusable query engine over the index, configured
+// by options applied in order to a zero SearchOptions value (WithK,
+// WithRadius, WithProtocol, WithQuota, ...; WithOptions adapts a whole
+// struct for callers migrating from the old signature). Each Searcher
+// owns its own admission scheduler — the in-flight limit, quota bucket
+// and counters are per-Searcher — while the cost model driving
+// protocol choice is shared index-wide, so estimates learned through
+// one searcher benefit all. The ad-hoc query methods (KNearest, Range,
+// KNearestExact, KNearestIDs) are thin wrappers around one of these.
+func (ix *Index) Searcher(opts ...SearchOption) *Searcher {
+	var o SearchOptions
+	for _, opt := range opts {
+		opt(&o)
 	}
-	rangeMode := opts.Mode == ModeRange || (opts.Mode == ModeAuto && opts.Radius > 0)
+	rangeMode := o.Mode == ModeRange || (o.Mode == ModeAuto && o.Radius > 0)
 	sched := ix.tree.NewScheduler(core.SchedulerConfig{
-		Protocol:    opts.Protocol,
-		MaxInFlight: opts.MaxInFlight,
-		QueueDepth:  opts.QueueDepth,
-		Admission:   opts.AdmissionControl,
-		Quota:       opts.Quota,
+		Protocol:    o.Protocol,
+		MaxInFlight: o.MaxInFlight,
+		QueueDepth:  o.QueueDepth,
+		Admission:   o.AdmissionControl,
+		Quota:       o.Quota,
 	})
-	return &Searcher{ix: ix, opts: opts, rangeMode: rangeMode, sched: sched}
+	return &Searcher{ix: ix, opts: o, rangeMode: rangeMode, sched: sched}
 }
 
 // RepackConfig bounds one background repacking pass (core.RepackConfig):
@@ -262,6 +355,43 @@ func (s *Searcher) Repack(ctx context.Context, cfg RepackConfig) (RepackStats, e
 // their cost-unit total), and — under WithQuota — the token bucket's
 // current level and capacity.
 func (s *Searcher) SchedulerStats() SchedulerStats { return s.sched.Stats() }
+
+// With derives a searcher that shares this searcher's scheduler — and
+// therefore its admission limits, deadline budget and quota bucket —
+// while answering under different query-level options (WithMode, WithK,
+// WithRadius, WithExactFactor, WithParallelism). This is how one tenant
+// asks differently-shaped queries without splitting its quota: the
+// serving tier decodes every wire request into options and applies them
+// with With over the tenant's searcher. Scheduler-level options
+// (WithProtocol, WithMaxInFlight, WithQueueDepth, WithAdmissionControl,
+// WithQuota) are ignored here — the scheduler is shared by design; build
+// a new Searcher to change them.
+func (s *Searcher) With(opts ...SearchOption) *Searcher {
+	o := s.opts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	// Re-pin the scheduler-level fields: the derived searcher runs on
+	// the parent's scheduler, so its options must say so.
+	o.Protocol = s.opts.Protocol
+	o.MaxInFlight = s.opts.MaxInFlight
+	o.QueueDepth = s.opts.QueueDepth
+	o.AdmissionControl = s.opts.AdmissionControl
+	o.Quota = s.opts.Quota
+	rangeMode := o.Mode == ModeRange || (o.Mode == ModeAuto && o.Radius > 0)
+	return &Searcher{ix: s.ix, opts: o, rangeMode: rangeMode, sched: s.sched}
+}
+
+// SetQuotaRate retargets the searcher's token bucket in place: the new
+// capacity and refill rate take effect at the call instant (tokens
+// earned so far at the old rate are kept, clamped into the new
+// capacity). This is the lease seam the distributed-quota allocator
+// uses — a front-end's share of a tenant's fleet-wide refill arrives as
+// periodic SetQuotaRate calls. Returns false when the searcher was
+// built without WithQuota; a lease cannot conjure a bucket.
+func (s *Searcher) SetQuotaRate(capacity, refillPerSec float64) bool {
+	return s.sched.SetQuotaRate(capacity, refillPerSec)
+}
 
 // Search answers a single query under the searcher's options. The
 // context bounds the query end to end: an already-done context returns
